@@ -1,0 +1,202 @@
+package bufferdb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+var testDB = func() *DB {
+	db, err := OpenTPCH(0.002, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return db
+}()
+
+func TestOpenAndCatalog(t *testing.T) {
+	tables := testDB.Tables()
+	if len(tables) != 8 {
+		t.Errorf("tables = %v", tables)
+	}
+	n, err := testDB.RowCount("lineitem")
+	if err != nil || n == 0 {
+		t.Errorf("RowCount(lineitem) = %d, %v", n, err)
+	}
+	if _, err := testDB.RowCount("ghost"); err == nil {
+		t.Error("RowCount of missing table succeeded")
+	}
+	if _, err := OpenTPCH(-1, Options{}); err == nil {
+		t.Error("negative scale factor accepted")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	res, err := testDB.Query(`SELECT COUNT(*) AS n FROM lineitem WHERE l_shipdate <= DATE '1995-06-17'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 1 || res.Columns[0] != "n" {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	n, ok := res.Rows[0][0].(int64)
+	if !ok || n <= 0 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	if _, err := testDB.Query("SELEKT"); err == nil {
+		t.Error("garbage SQL accepted")
+	}
+}
+
+func TestNativeValueTypes(t *testing.T) {
+	res, err := testDB.Query(`SELECT l_orderkey, l_quantity, l_returnflag, l_shipdate FROM lineitem LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	if _, ok := row[0].(int64); !ok {
+		t.Errorf("int column → %T", row[0])
+	}
+	if _, ok := row[1].(float64); !ok {
+		t.Errorf("float column → %T", row[1])
+	}
+	if _, ok := row[2].(string); !ok {
+		t.Errorf("string column → %T", row[2])
+	}
+	if _, ok := row[3].(time.Time); !ok {
+		t.Errorf("date column → %T", row[3])
+	}
+}
+
+func TestRefinementTransparency(t *testing.T) {
+	const q = `SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'`
+	auto, err := testDB.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := testDB.QueryWithOptions(q, QueryOptions{DisableRefinement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Rows[0][1] != raw.Rows[0][1] || auto.Rows[0][0] != raw.Rows[0][0] {
+		t.Errorf("refinement changed result: %v vs %v", auto.Rows[0], raw.Rows[0])
+	}
+}
+
+func TestExplainShowsBuffer(t *testing.T) {
+	orig, refined, err := testDB.Explain(
+		`SELECT SUM(l_extendedprice), AVG(l_quantity), COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'`,
+		QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(orig, "Buffer") {
+		t.Errorf("original plan contains a buffer:\n%s", orig)
+	}
+	if !strings.Contains(refined, "Buffer") {
+		t.Errorf("refined plan lacks a buffer:\n%s", refined)
+	}
+}
+
+func TestThresholdCalibration(t *testing.T) {
+	th, err := testDB.Threshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th <= 0 {
+		t.Errorf("threshold = %v", th)
+	}
+	// Cached on second call.
+	th2, err := testDB.Threshold()
+	if err != nil || th2 != th {
+		t.Errorf("threshold not cached: %v vs %v", th2, th)
+	}
+	// Explicit threshold respected.
+	db, err := OpenTPCH(0.001, Options{CardinalityThreshold: 777})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th, _ := db.Threshold(); th != 777 {
+		t.Errorf("explicit threshold = %v", th)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	prof, err := testDB.Profile(
+		`SELECT SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)), AVG(l_quantity), COUNT(*)
+		 FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.BuffersInserted == 0 {
+		t.Error("no buffers inserted for the Query 1 shape")
+	}
+	if prof.Buffered.L1IMisses >= prof.Original.L1IMisses {
+		t.Errorf("L1I misses did not drop: %d vs %d", prof.Buffered.L1IMisses, prof.Original.L1IMisses)
+	}
+	if prof.ImprovementPct <= 0 {
+		t.Errorf("improvement = %v", prof.ImprovementPct)
+	}
+	if prof.Original.CPI <= 0 || prof.Buffered.Uops == 0 {
+		t.Errorf("stats incomplete: %+v", prof)
+	}
+}
+
+// TestIndependentInstancesInParallel: a DB is single-threaded (like the
+// paper's executor) but independent instances must not interfere.
+func TestIndependentInstancesInParallel(t *testing.T) {
+	const workers = 4
+	results := make(chan string, workers)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			db, err := OpenTPCH(0.001, Options{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			res, err := db.Query(`SELECT COUNT(*), SUM(l_quantity) FROM lineitem`)
+			if err != nil {
+				errs <- err
+				return
+			}
+			results <- fmt.Sprint(res.Rows[0])
+		}()
+	}
+	var first string
+	for w := 0; w < workers; w++ {
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		case got := <-results:
+			if first == "" {
+				first = got
+			} else if got != first {
+				t.Errorf("instances disagree: %s vs %s", got, first)
+			}
+		}
+	}
+}
+
+func TestForcedJoinMethods(t *testing.T) {
+	const q = `SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey`
+	var want any
+	for _, m := range []string{"hash", "nestloop", "merge"} {
+		res, err := testDB.QueryWithOptions(q, QueryOptions{ForceJoin: m})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if want == nil {
+			want = res.Rows[0][0]
+		} else if res.Rows[0][0] != want {
+			t.Errorf("%s join result %v != %v", m, res.Rows[0][0], want)
+		}
+	}
+	if _, err := testDB.QueryWithOptions(q, QueryOptions{ForceJoin: "quantum"}); err == nil {
+		t.Error("bogus join method accepted")
+	}
+}

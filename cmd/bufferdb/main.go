@@ -1,0 +1,137 @@
+// Command bufferdb is an interactive SQL shell over a generated TPC-H
+// database, with the paper's buffering plan refinement on by default.
+//
+// Usage:
+//
+//	bufferdb -sf 0.01                  # interactive shell
+//	bufferdb -q "SELECT COUNT(*) FROM lineitem"
+//
+// Shell meta-commands:
+//
+//	\explain <sql>   show the conventional and refined plans
+//	\profile <sql>   run both plans on the simulated CPU and compare
+//	\tables          list tables
+//	\q               quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bufferdb"
+)
+
+func main() {
+	var (
+		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		query   = flag.String("q", "", "run one query and exit")
+		noParse = flag.Bool("no-refine", false, "disable buffering plan refinement")
+	)
+	flag.Parse()
+
+	db, err := bufferdb.OpenTPCH(*sf, bufferdb.Options{DisableRefinement: *noParse})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *query != "" {
+		if err := runQuery(db, *query); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("bufferdb — TPC-H SF %g loaded (%v). End statements with ';', \\q quits.\n", *sf, db.Tables())
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	fmt.Print("bufferdb> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case pending.Len() == 0 && strings.HasPrefix(trimmed, "\\"):
+			if done := metaCommand(db, trimmed); done {
+				return
+			}
+		default:
+			pending.WriteString(line)
+			pending.WriteByte('\n')
+			if strings.HasSuffix(trimmed, ";") {
+				if err := runQuery(db, pending.String()); err != nil {
+					fmt.Println("error:", err)
+				}
+				pending.Reset()
+			}
+		}
+		fmt.Print("bufferdb> ")
+	}
+}
+
+// metaCommand handles backslash commands; returns true to quit.
+func metaCommand(db *bufferdb.DB, cmd string) bool {
+	switch {
+	case cmd == "\\q" || cmd == "\\quit":
+		return true
+	case cmd == "\\tables":
+		for _, t := range db.Tables() {
+			n, _ := db.RowCount(t)
+			fmt.Printf("  %-12s %10d rows\n", t, n)
+		}
+	case strings.HasPrefix(cmd, "\\explain "):
+		orig, refined, err := db.Explain(strings.TrimPrefix(cmd, "\\explain "), bufferdb.QueryOptions{})
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Println("-- conventional plan:")
+		fmt.Print(orig)
+		fmt.Println("-- refined plan:")
+		fmt.Print(refined)
+	case strings.HasPrefix(cmd, "\\profile "):
+		prof, err := db.Profile(strings.TrimPrefix(cmd, "\\profile "), bufferdb.QueryOptions{})
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("original:  %.4fs  L1I misses %d  mispredicts %d  CPI %.2f\n",
+			prof.Original.ElapsedSec, prof.Original.L1IMisses, prof.Original.Mispredicts, prof.Original.CPI)
+		fmt.Printf("buffered:  %.4fs  L1I misses %d  mispredicts %d  CPI %.2f\n",
+			prof.Buffered.ElapsedSec, prof.Buffered.L1IMisses, prof.Buffered.Mispredicts, prof.Buffered.CPI)
+		fmt.Printf("improvement %.1f%% with %d buffer(s)\n", prof.ImprovementPct, prof.BuffersInserted)
+	default:
+		fmt.Println("commands: \\tables, \\explain <sql>, \\profile <sql>, \\q")
+	}
+	return false
+}
+
+// runQuery executes a statement and prints a bounded result table.
+func runQuery(db *bufferdb.DB, q string) error {
+	res, err := db.Query(strings.TrimSuffix(strings.TrimSpace(q), ";"))
+	if err != nil {
+		return err
+	}
+	fmt.Println(strings.Join(res.Columns, " | "))
+	const maxRows = 50
+	for i, row := range res.Rows {
+		if i == maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			break
+		}
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = fmt.Sprint(v)
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bufferdb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Command calibrate runs the paper's §6/§7.3 calibration experiment: the
+// Query 1 template at a sweep of output cardinalities, buffered and
+// unbuffered, to determine the cardinality threshold the plan refinement
+// algorithm uses. The paper recommends running this once per machine; here
+// "machine" is the simulated CPU configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/core"
+	"bufferdb/internal/cpusim"
+)
+
+func main() {
+	var (
+		rows       = flag.Int("rows", 65536, "calibration table cardinality")
+		cards      = flag.String("cards", "0,4,16,64,256,1024,4096,16384,65536", "comma-separated output cardinalities")
+		bufferSize = flag.Int("buffersize", 0, "buffer capacity (0 = 1024)")
+	)
+	flag.Parse()
+
+	var sweep []int
+	for _, part := range strings.Split(*cards, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatal(fmt.Errorf("bad cardinality %q", part))
+		}
+		sweep = append(sweep, n)
+	}
+
+	cm := codemodel.NewCatalog()
+	res, err := core.CalibrateThreshold(cm, cpusim.DefaultConfig(), *rows, sweep, *bufferSize)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%12s %14s %14s %10s\n", "cardinality", "original (s)", "buffered (s)", "winner")
+	for _, p := range res.Points {
+		winner := "original"
+		if p.BufferedSec < p.OriginalSec {
+			winner = "buffered"
+		}
+		fmt.Printf("%12d %14.6f %14.6f %10s\n", p.Cardinality, p.OriginalSec, p.BufferedSec, winner)
+	}
+	fmt.Printf("\ncardinality threshold: %.0f rows\n", res.Threshold)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

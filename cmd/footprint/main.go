@@ -1,0 +1,93 @@
+// Command footprint prints the engine's instruction-footprint analysis:
+// the per-module table (the paper's Table 2) and, given module names,
+// their combined footprint with shared functions deduplicated — the
+// quantity the plan refinement algorithm compares against the L1
+// instruction cache.
+//
+// Usage:
+//
+//	footprint                      # the full Table 2
+//	footprint SeqScanPred Agg:sum,avg,count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bufferdb/internal/codemodel"
+)
+
+func main() {
+	l1i := flag.Int("l1i", 16*1024, "L1 instruction cache budget in bytes")
+	flag.Parse()
+
+	cm := codemodel.NewCatalog()
+	if flag.NArg() == 0 {
+		printTable(cm)
+		return
+	}
+
+	var mods []*codemodel.Module
+	for _, arg := range flag.Args() {
+		m, err := resolve(cm, arg)
+		if err != nil {
+			fatal(err)
+		}
+		mods = append(mods, m)
+		fmt.Printf("%-24s %6.1f KB\n", m.Name, kb(m.FootprintBytes()))
+	}
+	combined := codemodel.CombinedFootprint(mods...)
+	naive := codemodel.NaiveCombinedFootprint(mods...)
+	fmt.Printf("%-24s %6.1f KB (naive sum %.1f KB, shared %.1f KB)\n",
+		"combined (dedup)", kb(combined), kb(naive), kb(naive-combined))
+	verdict := "fits — one execution group, no buffer needed"
+	if combined >= *l1i {
+		verdict = "exceeds — split into groups and buffer between them"
+	}
+	fmt.Printf("vs %d KB L1I budget: %s\n", *l1i/1024, verdict)
+}
+
+// resolve parses a module argument: a spec-table name, or Agg:<fn,fn,...>.
+func resolve(cm *codemodel.Catalog, arg string) (*codemodel.Module, error) {
+	if rest, ok := strings.CutPrefix(arg, "Agg:"); ok {
+		return cm.AggModule(strings.Split(rest, ","))
+	}
+	if arg == "Agg" {
+		return cm.AggModule(nil)
+	}
+	return cm.Module(arg)
+}
+
+func printTable(cm *codemodel.Catalog) {
+	fmt.Printf("%-28s %10s %14s\n", "module", "dynamic", "naive static")
+	for _, name := range []string{
+		"SeqScan", "SeqScanPred", "IndexScan", "Sort",
+		"NestLoop", "MergeJoin", "HashBuild", "HashProbe",
+		"Filter", "Project", "Material", "Buffer",
+	} {
+		m := cm.MustModule(name)
+		fmt.Printf("%-28s %8.1fKB %12.1fKB\n", name, kb(m.FootprintBytes()), kb(m.StaticFootprintBytes()))
+	}
+	base, err := cm.AggModule(nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-28s %8.1fKB %12.1fKB\n", "Agg (base)", kb(base.FootprintBytes()), kb(base.StaticFootprintBytes()))
+	for _, fn := range []string{"count", "min", "max", "sum", "avg"} {
+		m, err := cm.AggModule([]string{fn})
+		if err != nil {
+			fatal(err)
+		}
+		inc := m.FootprintBytes() - base.FootprintBytes()
+		fmt.Printf("%-28s %8.1fKB\n", "Agg +"+strings.ToUpper(fn), kb(inc))
+	}
+}
+
+func kb(b int) float64 { return float64(b) / 1024 }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "footprint:", err)
+	os.Exit(1)
+}

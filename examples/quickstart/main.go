@@ -1,0 +1,42 @@
+// Quickstart: open a TPC-H database, run a query, read the results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bufferdb"
+)
+
+func main() {
+	// Generate a small memory-resident TPC-H instance (scale factor 0.01
+	// ≈ 60 k lineitem rows). Plan refinement — the paper's buffering pass
+	// — is on by default and is transparent: results never change.
+	db, err := bufferdb.OpenTPCH(0.01, bufferdb.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, t := range db.Tables() {
+		n, _ := db.RowCount(t)
+		fmt.Printf("%-10s %8d rows\n", t, n)
+	}
+
+	res, err := db.Query(`
+		SELECT l_returnflag, l_linestatus, COUNT(*) AS orders, AVG(l_quantity) AS avg_qty
+		FROM lineitem
+		WHERE l_shipdate <= DATE '1998-09-02'
+		GROUP BY l_returnflag, l_linestatus
+		ORDER BY l_returnflag, l_linestatus`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println(res.Columns)
+	for _, row := range res.Rows {
+		fmt.Println(row)
+	}
+}

@@ -1,0 +1,3 @@
+module bufferdb
+
+go 1.22

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"bufferdb/internal/plan"
+	"bufferdb/internal/sql"
+)
+
+// testRunner is shared: building the database and calibrating once keeps
+// the suite fast. Tests only read from it.
+var testRunner = func() *Runner {
+	r, err := NewRunner(Config{ScaleFactor: 0.005})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}()
+
+func TestRunnerDefaults(t *testing.T) {
+	if testRunner.Threshold <= 0 {
+		t.Errorf("calibrated threshold = %v", testRunner.Threshold)
+	}
+	r, err := NewRunner(Config{ScaleFactor: 0.001, CardinalityThreshold: 123})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Threshold != 123 {
+		t.Errorf("explicit threshold ignored: %v", r.Threshold)
+	}
+}
+
+func TestMeasureDeterminism(t *testing.T) {
+	p, err := testRunner.Plan(Query2, sql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := testRunner.Measure("a", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := testRunner.Measure("b", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ElapsedSec != b.ElapsedSec || a.Counters != b.Counters {
+		t.Error("identical runs measured differently (simulation must be deterministic)")
+	}
+	if a.Rows != 1 || a.FirstRow == "" {
+		t.Errorf("measurement lost the result: %+v", a)
+	}
+}
+
+func TestMeasureWall(t *testing.T) {
+	p, err := testRunner.Plan(Query2, sql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, rows, err := testRunner.MeasureWall(p)
+	if err != nil || rows != 1 || d <= 0 {
+		t.Errorf("MeasureWall = %v, %d, %v", d, rows, err)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 17 {
+		t.Errorf("registry lists %d experiments", len(exps))
+	}
+	ids := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	if _, ok := FindExperiment("fig10"); !ok {
+		t.Error("FindExperiment(fig10) failed")
+	}
+	if _, ok := FindExperiment("nope"); ok {
+		t.Error("FindExperiment(nope) succeeded")
+	}
+}
+
+func TestFig1Sequence(t *testing.T) {
+	rep, err := ExperimentFig1(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "PCPCPC") {
+		t.Errorf("original sequence missing alternation:\n%s", out)
+	}
+	if !strings.Contains(out, "CCCCC") {
+		t.Errorf("buffered sequence missing child batch:\n%s", out)
+	}
+}
+
+func TestFig4TraceShareSubstantial(t *testing.T) {
+	rep, err := ExperimentFig4(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's point: the i-cache penalty is a fair share of Query 1.
+	joined := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(joined, "Trace-miss share") {
+		t.Fatalf("report shape:\n%s", joined)
+	}
+	p, _ := testRunner.Plan(Query1, sql.Options{})
+	m, err := testRunner.Measure("q1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := m.Breakdown(testRunner.CPUCfg.ClockHz).TraceMissSec / m.ElapsedSec
+	if share < 0.10 || share > 0.45 {
+		t.Errorf("trace share = %.2f, want a 'fair proportion' (paper ≈ 0.2)", share)
+	}
+}
+
+func TestFig10HeadlineResult(t *testing.T) {
+	rep := &Report{}
+	orig, buf, err := testRunner.pairedRun(rep, Query1, sql.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red := reduction(orig.Counters.L1IMisses, buf.Counters.L1IMisses); red < 60 {
+		t.Errorf("L1I miss reduction = %.1f%%, want ≥ 60%% (paper: ~80%%)", red)
+	}
+	if red := reduction(orig.Counters.Mispredicts, buf.Counters.Mispredicts); red <= 0 {
+		t.Errorf("misprediction reduction = %.1f%%, want > 0", red)
+	}
+	if red := reduction(orig.Counters.ITLBMisses, buf.Counters.ITLBMisses); red < 50 {
+		t.Errorf("ITLB reduction = %.1f%%, want ≥ 50%% (paper: ~86%%)", red)
+	}
+	impr := improvement(orig.ElapsedSec, buf.ElapsedSec)
+	if impr < 5 || impr > 45 {
+		t.Errorf("overall improvement = %.1f%%, want a Fig.10-like gain (paper: ~12%%)", impr)
+	}
+}
+
+func TestFig9NoBenefitWhenFitting(t *testing.T) {
+	rep := &Report{}
+	orig, buf, err := testRunner.pairedRun(rep, Query2, sql.Options{}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impr := improvement(orig.ElapsedSec, buf.ElapsedSec)
+	// "slightly worse": a small negative effect, never a large one either way.
+	if impr > 1 || impr < -10 {
+		t.Errorf("Query 2 improvement = %.1f%%, want slightly negative", impr)
+	}
+	// And the refinement algorithm must decline to buffer it.
+	refined, err := testRunner.Refine(mustPlan(testRunner, Query2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := plan.CountKind(refined, plan.KindBuffer); n != 0 {
+		t.Errorf("refinement buffered Query 2 (%d buffers)", n)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	rep, err := ExperimentFig11(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := rep.Series
+	if len(pts) < 5 {
+		t.Fatalf("series too short: %d", len(pts))
+	}
+	// At the left edge buffering loses; at the right it wins.
+	first, last := pts[0], pts[len(pts)-1]
+	if first.Buffered < first.Original {
+		t.Errorf("buffered faster at cardinality %v", first.X)
+	}
+	if last.Buffered >= last.Original {
+		t.Errorf("buffered not faster at cardinality %v", last.X)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rep, err := ExperimentFig12(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySize := map[float64]float64{}
+	var orig float64
+	for _, p := range rep.Series {
+		bySize[p.X] = p.Buffered
+		orig = p.Original
+	}
+	// Tiny buffers carry overhead relative to moderate ones; from a
+	// moderate size on, further growth buys (almost) nothing — the paper's
+	// "misses reduced ∝ 1/buffersize, then flat" curve.
+	if bySize[1] <= bySize[1024] {
+		t.Errorf("size-1 buffer (%.4fs) not worse than size-1024 (%.4fs)", bySize[1], bySize[1024])
+	}
+	if bySize[1024] >= orig {
+		t.Errorf("size-1024 buffer (%.4fs) not better than original (%.4fs)", bySize[1024], orig)
+	}
+	flat := bySize[65536] / bySize[1024]
+	if flat < 0.95 || flat > 1.05 {
+		t.Errorf("plateau violated: 64K/1K elapsed ratio = %.3f", flat)
+	}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"testing"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/sql"
+)
+
+func TestExtPrefetchShape(t *testing.T) {
+	rep, err := ExperimentExtPrefetch(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Lines) < 5 {
+		t.Fatalf("report too short:\n%s", rep)
+	}
+
+	// Re-derive the measurements to assert the shape: prefetching cuts
+	// misses meaningfully but buffering still beats it.
+	p, err := testRunner.Plan(Query1, nil2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := testRunner.Refine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfCfg := testRunner.CPUCfg
+	pfCfg.L1IPrefetchNextLines = 3
+	base, err := testRunner.measureWith("base", p, testRunner.CPUCfg, testRunner.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := testRunner.measureWith("pf", p, pfCfg, testRunner.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := testRunner.measureWith("buf", refined, testRunner.CPUCfg, testRunner.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Counters.L1IPrefetches == 0 {
+		t.Fatal("prefetcher never fired")
+	}
+	pfRed := reduction(base.Counters.L1IMisses, pf.Counters.L1IMisses)
+	if pfRed < 10 || pfRed > 80 {
+		t.Errorf("prefetch miss reduction = %.1f%%, want partial (10–80%%)", pfRed)
+	}
+	if buf.ElapsedSec >= pf.ElapsedSec {
+		t.Errorf("buffering (%.4fs) not faster than prefetching (%.4fs)", buf.ElapsedSec, pf.ElapsedSec)
+	}
+	// All three compute the same answer.
+	if base.FirstRow != pf.FirstRow || base.FirstRow != buf.FirstRow {
+		t.Error("variants disagree on the result")
+	}
+}
+
+func TestExtLayoutShape(t *testing.T) {
+	rep, err := ExperimentExtLayout(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	if len(rep.Lines) < 6 {
+		t.Fatalf("report too short:\n%s", out)
+	}
+	// Assert the claims made in the report by recomputation happens in
+	// the experiment itself; here verify the key invariant numerically.
+	p, err := testRunner.Plan(Query1, nil2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedCM := newPackedCM()
+	scattered, err := testRunner.measureWith("s", p, testRunner.CPUCfg, testRunner.CM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := testRunner.measureWith("p", p, testRunner.CPUCfg, packedCM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packing must (nearly) eliminate ITLB misses…
+	if red := reduction(scattered.Counters.ITLBMisses, packed.Counters.ITLBMisses); red < 95 {
+		t.Errorf("packed layout ITLB reduction = %.1f%%, want ≥ 95%%", red)
+	}
+	// …while leaving the L1I thrashing substantially intact.
+	if red := reduction(scattered.Counters.L1IMisses, packed.Counters.L1IMisses); red > 30 {
+		t.Errorf("packed layout removed %.1f%% of L1I misses; footprint should persist", red)
+	}
+}
+
+// nil2 returns zero-valued sql options (helper keeping imports local).
+func nil2() sql.Options { return sql.Options{} }
+
+// newPackedCM builds a packed-layout code model.
+func newPackedCM() *codemodel.Catalog {
+	return codemodel.NewCatalogWithLayout(codemodel.LayoutPacked)
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"bufferdb/internal/plan"
+	"bufferdb/internal/sql"
+)
+
+func TestJoinExperimentsShapes(t *testing.T) {
+	cases := []struct {
+		id     string
+		method sql.JoinMethod
+		run    func(*Runner) (*Report, error)
+	}{
+		{"fig15", sql.JoinNestLoop, ExperimentFig15},
+		{"fig16", sql.JoinHash, ExperimentFig16},
+		{"fig17", sql.JoinMerge, ExperimentFig17},
+	}
+	for _, c := range cases {
+		rep, err := c.run(testRunner)
+		if err != nil {
+			t.Fatalf("%s: %v", c.id, err)
+		}
+		out := rep.String()
+		if !strings.Contains(out, "Overall improvement") || !strings.Contains(out, "Execution groups") {
+			t.Errorf("%s report incomplete:\n%s", c.id, out)
+		}
+		// Every join variant improves on the simulated machine.
+		p, err := testRunner.Plan(Query3, sql.Options{ForceJoin: c.method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, err := testRunner.Refine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := testRunner.Measure("o", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := testRunner.Measure("b", refined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if buf.ElapsedSec >= orig.ElapsedSec {
+			t.Errorf("%s: refined plan slower (%.4f vs %.4f)", c.id, buf.ElapsedSec, orig.ElapsedSec)
+		}
+		if red := reduction(orig.Counters.L1IMisses, buf.Counters.L1IMisses); red < 50 {
+			t.Errorf("%s: L1I reduction %.1f%%, want ≥ 50%% (paper: 53–79%%)", c.id, red)
+		}
+	}
+}
+
+func TestFig15NestLoopInnerNotBuffered(t *testing.T) {
+	p, err := testRunner.Plan(Query3, sql.Options{ForceJoin: sql.JoinNestLoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := testRunner.Refine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one buffer, and never above the index lookup (paper:
+	// foreign-key inner never benefits).
+	if n := plan.CountKind(refined, plan.KindBuffer); n != 1 {
+		t.Errorf("nestloop buffers = %d, want 1:\n%s", n, plan.Explain(refined))
+	}
+	plan.Walk(refined, func(n *plan.Node) {
+		if n.Kind == plan.KindBuffer && n.Children[0].Kind == plan.KindIndexLookup {
+			t.Error("buffer above the nest-loop inner index lookup")
+		}
+	})
+}
+
+func TestFig17NoBufferAboveSort(t *testing.T) {
+	p, err := testRunner.Plan(Query3, sql.Options{ForceJoin: sql.JoinMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := testRunner.Refine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Walk(refined, func(n *plan.Node) {
+		if n.Kind == plan.KindBuffer && n.Children[0].Kind == plan.KindSort {
+			t.Error("buffer above the blocking sort")
+		}
+	})
+	// The ordered index scan is buffered (unlike the nest-loop plan).
+	found := false
+	plan.Walk(refined, func(n *plan.Node) {
+		if n.Kind == plan.KindBuffer && n.Children[0].Kind == plan.KindIndexFullScan {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("no buffer above IndexFullScan:\n%s", plan.Explain(refined))
+	}
+}
+
+func TestTable3AllPositive(t *testing.T) {
+	rows, err := table34Rows(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range rows {
+		impr := improvement(m[0].ElapsedSec, m[1].ElapsedSec)
+		if impr < 3 || impr > 40 {
+			t.Errorf("%s improvement = %.1f%%, want a Table-3-like gain (paper: 12–15%%)", name, impr)
+		}
+	}
+}
+
+func TestTable4CPIAndInstructionCounts(t *testing.T) {
+	rows, err := table34Rows(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range rows {
+		if m[1].CPI >= m[0].CPI {
+			t.Errorf("%s: buffered CPI %.3f not below original %.3f", name, m[1].CPI, m[0].CPI)
+		}
+		// Buffer operators are light-weight: instruction counts within a
+		// few percent (paper: < 1%; our buffers also charge setup work).
+		delta := float64(m[1].Counters.Uops)/float64(m[0].Counters.Uops) - 1
+		if delta < -0.01 || delta > 0.06 {
+			t.Errorf("%s: instruction count delta %.2f%%, want small", name, delta*100)
+		}
+	}
+}
+
+func TestTable5RunsAndQ1Improves(t *testing.T) {
+	rep, err := ExperimentTable5(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, q := range []string{"Q1", "Q3", "Q6", "Q14"} {
+		if !strings.Contains(out, q) {
+			t.Errorf("table5 missing %s:\n%s", q, out)
+		}
+	}
+	// TPC-H Q1 (unselective, big footprint) is the paper's clearest win.
+	p, err := testRunner.Plan(TPCHQ1, sql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := testRunner.Refine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := testRunner.Measure("o", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := testRunner.Measure("b", refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impr := improvement(orig.ElapsedSec, buf.ElapsedSec); impr < 5 {
+		t.Errorf("TPC-H Q1 improvement = %.1f%%, want ≥ 5%%", impr)
+	}
+	if err := testRunner.verifyAgainstReference(p, orig); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable2Report(t *testing.T) {
+	rep, err := ExperimentTable2(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{"SeqScan (with predicates)", "13.0KB", "Hash join: probe", "Buffer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	rep, err := ExperimentTable1(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "2.4 GHz") {
+		t.Errorf("table1:\n%s", rep)
+	}
+}
+
+func TestFig13Report(t *testing.T) {
+	rep, err := ExperimentFig13(testRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Lines) != len(fig12Sizes)+1 {
+		t.Errorf("fig13 rows = %d, want %d", len(rep.Lines), len(fig12Sizes)+1)
+	}
+}

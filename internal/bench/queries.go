@@ -1,0 +1,130 @@
+package bench
+
+// The workload queries of the paper's evaluation (§7). Query 1 and Query 2
+// are the paper's own calibration pair (Figures 3 and 8); Query 3 is the
+// two-table join of §7.5; the TPC-H queries are §7.6's subset that neither
+// uses subplans nor very selective predicates (those diminish the benefit,
+// as the paper notes).
+
+// Query1 is the paper's Figure 3: a pricing summary whose scan+aggregation
+// footprint exceeds the L1 instruction cache.
+const Query1 = `
+SELECT SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'`
+
+// Query2 is the paper's Figure 8: COUNT-only, whose combined footprint fits.
+const Query2 = `
+SELECT COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'`
+
+// Query3 is the paper's Figure 14: the lineitem ⋈ orders join run under all
+// three join methods.
+const Query3 = `
+SELECT SUM(o_totalprice), COUNT(*), AVG(l_discount)
+FROM lineitem, orders
+WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1995-06-17'`
+
+// TPCHQ1 is TPC-H Query 1 (pricing summary report).
+const TPCHQ1 = `
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus`
+
+// TPCHQ3 is TPC-H Query 3 (shipping priority).
+const TPCHQ3 = `
+SELECT l_orderkey,
+       SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       o_orderdate, o_shippriority
+FROM customer, orders, lineitem
+WHERE c_mktsegment = 'BUILDING'
+  AND c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate < DATE '1995-03-15'
+  AND l_shipdate > DATE '1995-03-15'
+GROUP BY l_orderkey, o_orderdate, o_shippriority
+ORDER BY revenue DESC, o_orderdate
+LIMIT 10`
+
+// TPCHQ5 is TPC-H Query 5 (local supplier volume): a six-way join. The
+// customer–supplier nation equality becomes a residual filter above the
+// join pipeline, as in a conventional left-deep plan.
+const TPCHQ5 = `
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+GROUP BY n_name
+ORDER BY revenue DESC`
+
+// TPCHQ10 is TPC-H Query 10 (returned item reporting).
+const TPCHQ10 = `
+SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+       c_acctbal, n_name, c_address, c_phone
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1993-10-01' + INTERVAL '3' MONTH
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address
+ORDER BY revenue DESC
+LIMIT 20`
+
+// TPCHQ6 is TPC-H Query 6 (forecasting revenue change).
+const TPCHQ6 = `
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24`
+
+// TPCHQ12 is TPC-H Query 12 (shipping modes and order priority).
+const TPCHQ12 = `
+SELECT l_shipmode,
+       SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 1 ELSE 0 END) AS high_line_count,
+       SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+                THEN 0 ELSE 1 END) AS low_line_count
+FROM orders, lineitem
+WHERE o_orderkey = l_orderkey
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_commitdate < l_receiptdate
+  AND l_shipdate < l_commitdate
+  AND l_receiptdate >= DATE '1994-01-01'
+  AND l_receiptdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+GROUP BY l_shipmode
+ORDER BY l_shipmode`
+
+// TPCHQ14 is TPC-H Query 14 (promotion effect), in its full CASE form.
+const TPCHQ14 = `
+SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+                         THEN l_extendedprice * (1 - l_discount)
+                         ELSE 0 END)
+             / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+FROM lineitem, part
+WHERE l_partkey = p_partkey
+  AND l_shipdate >= DATE '1995-09-01'
+  AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH`

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one experiment's regenerated table or figure, as printable rows.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+	// Series holds (x, originalY, bufferedY) points for figure-style
+	// experiments, letting callers re-plot without parsing Lines.
+	Series []SeriesPoint
+}
+
+// SeriesPoint is one x-position of a figure's curves.
+type SeriesPoint struct {
+	X        float64
+	Original float64
+	Buffered float64
+}
+
+// Printf appends a formatted line.
+func (r *Report) Printf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment is a named, runnable paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(r *Runner) (*Report, error)
+}
+
+// Experiments lists every regenerable table and figure, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig1", "Operator execution sequence (buffer size 5)", ExperimentFig1},
+		{"table1", "Simulated system specification", ExperimentTable1},
+		{"fig4", "Query 1 execution time breakdown (unbuffered)", ExperimentFig4},
+		{"table2", "Instruction footprints by module", ExperimentTable2},
+		{"fig9", "Query 2: original vs buffered breakdown", ExperimentFig9},
+		{"fig10", "Query 1: original vs buffered breakdown", ExperimentFig10},
+		{"fig11", "Cardinality effects (calibration sweep)", ExperimentFig11},
+		{"fig12", "Buffer size sweep: elapsed time", ExperimentFig12},
+		{"fig13", "Buffer size sweep: breakdown", ExperimentFig13},
+		{"fig15", "Query 3 nested-loop join: plans and breakdown", ExperimentFig15},
+		{"fig16", "Query 3 hash join: plans and breakdown", ExperimentFig16},
+		{"fig17", "Query 3 merge join: plans and breakdown", ExperimentFig17},
+		{"table3", "Overall improvement per join method", ExperimentTable3},
+		{"table4", "CPI: original vs buffered plans", ExperimentTable4},
+		{"table5", "TPC-H queries: original vs refined", ExperimentTable5},
+		{"ext1", "Extension: instruction prefetching vs buffering", ExperimentExtPrefetch},
+		{"ext2", "Extension: code layout vs buffering", ExperimentExtLayout},
+	}
+}
+
+// FindExperiment resolves an experiment by ID.
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,264 @@
+// Package btree implements an in-memory B+-tree keyed by int64, mapping keys
+// to heap row identifiers. It backs the engine's IndexScan operator: primary
+// key lookups (e.g. orders.o_orderkey) and ordered full-index scans for
+// merge joins.
+//
+// Duplicate keys are supported; a key's row identifiers are returned in
+// insertion order. The tree is not safe for concurrent mutation; the engine
+// builds all indexes at load time and only reads them during execution.
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// fanout is the maximum number of keys per node. 64 keeps inner nodes near
+// one cache line of keys and makes splits rare for the workload sizes the
+// benchmark harness generates.
+const fanout = 64
+
+// Tree is an in-memory B+-tree from int64 keys to int row identifiers.
+type Tree struct {
+	root   node
+	height int
+	size   int
+}
+
+// node is either an *inner or a *leaf.
+type node interface {
+	// insert adds key→rid and reports a split: when the returned node is
+	// non-nil, the caller must add (sep, right) above this node.
+	insert(key int64, rid int) (sep int64, right node)
+	// firstLeafGE descends to the leaf containing the smallest key >= key
+	// and returns it with the position of that key.
+	firstLeafGE(key int64) (*leaf, int)
+	// depthCheck verifies invariants, returning leaf depth.
+	depthCheck(t *testingSink, depth int) int
+}
+
+type inner struct {
+	// keys[i] separates children[i] (< keys[i]) from children[i+1] (>= keys[i]).
+	keys     []int64
+	children []node
+}
+
+type leaf struct {
+	keys []int64
+	rids []int
+	next *leaf
+}
+
+// New creates an empty tree.
+func New() *Tree {
+	return &Tree{root: &leaf{}, height: 1}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Insert adds one key → row-identifier entry. Duplicates are allowed.
+func (t *Tree) Insert(key int64, rid int) {
+	sep, right := t.root.insert(key, rid)
+	if right != nil {
+		t.root = &inner{keys: []int64{sep}, children: []node{t.root, right}}
+		t.height++
+	}
+	t.size++
+}
+
+// Lookup returns the row identifiers stored under key, in insertion order.
+// The second result reports whether the key is present.
+func (t *Tree) Lookup(key int64) ([]int, bool) {
+	lf, i := t.root.firstLeafGE(key)
+	var out []int
+	for lf != nil {
+		for ; i < len(lf.keys); i++ {
+			if lf.keys[i] != key {
+				return out, len(out) > 0
+			}
+			out = append(out, lf.rids[i])
+		}
+		lf, i = lf.next, 0
+	}
+	return out, len(out) > 0
+}
+
+// LookupOne returns the first row identifier under key. It is the fast path
+// for unique (primary key) indexes.
+func (t *Tree) LookupOne(key int64) (int, bool) {
+	lf, i := t.root.firstLeafGE(key)
+	for lf != nil && i >= len(lf.keys) {
+		lf, i = lf.next, 0
+	}
+	if lf == nil || lf.keys[i] != key {
+		return 0, false
+	}
+	return lf.rids[i], true
+}
+
+// Cursor iterates entries in key order starting at the smallest key >= from.
+type Cursor struct {
+	lf  *leaf
+	pos int
+}
+
+// SeekGE positions a cursor at the smallest key >= from.
+func (t *Tree) SeekGE(from int64) *Cursor {
+	lf, i := t.root.firstLeafGE(from)
+	return &Cursor{lf: lf, pos: i}
+}
+
+// Min positions a cursor at the smallest key in the tree.
+func (t *Tree) Min() *Cursor {
+	return t.SeekGE(minInt64)
+}
+
+const minInt64 = -1 << 63
+
+// Next returns the current entry and advances. ok=false signals exhaustion.
+func (c *Cursor) Next() (key int64, rid int, ok bool) {
+	for c.lf != nil && c.pos >= len(c.lf.keys) {
+		c.lf, c.pos = c.lf.next, 0
+	}
+	if c.lf == nil {
+		return 0, 0, false
+	}
+	key, rid = c.lf.keys[c.pos], c.lf.rids[c.pos]
+	c.pos++
+	return key, rid, true
+}
+
+// --- node implementations ---
+
+func (l *leaf) insert(key int64, rid int) (int64, node) {
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] > key })
+	l.keys = append(l.keys, 0)
+	l.rids = append(l.rids, 0)
+	copy(l.keys[i+1:], l.keys[i:])
+	copy(l.rids[i+1:], l.rids[i:])
+	l.keys[i], l.rids[i] = key, rid
+
+	if len(l.keys) <= fanout {
+		return 0, nil
+	}
+	mid := len(l.keys) / 2
+	right := &leaf{
+		keys: append([]int64(nil), l.keys[mid:]...),
+		rids: append([]int(nil), l.rids[mid:]...),
+		next: l.next,
+	}
+	l.keys = l.keys[:mid:mid]
+	l.rids = l.rids[:mid:mid]
+	l.next = right
+	return right.keys[0], right
+}
+
+func (l *leaf) firstLeafGE(key int64) (*leaf, int) {
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i] >= key })
+	return l, i
+}
+
+func (in *inner) insert(key int64, rid int) (int64, node) {
+	i := sort.Search(len(in.keys), func(i int) bool { return in.keys[i] > key })
+	sep, right := in.children[i].insert(key, rid)
+	if right == nil {
+		return 0, nil
+	}
+	in.keys = append(in.keys, 0)
+	in.children = append(in.children, nil)
+	copy(in.keys[i+1:], in.keys[i:])
+	copy(in.children[i+2:], in.children[i+1:])
+	in.keys[i] = sep
+	in.children[i+1] = right
+
+	if len(in.keys) <= fanout {
+		return 0, nil
+	}
+	mid := len(in.keys) / 2
+	upSep := in.keys[mid]
+	rightNode := &inner{
+		keys:     append([]int64(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid:mid]
+	in.children = in.children[: mid+1 : mid+1]
+	return upSep, rightNode
+}
+
+func (in *inner) firstLeafGE(key int64) (*leaf, int) {
+	// Descend into the leftmost child that can contain key. Using >= here
+	// (rather than >) matters for duplicate keys: a separator equal to the
+	// key means equal entries may end the left child, and the leaf chain
+	// walk in the callers picks up the rest from the right siblings.
+	i := sort.Search(len(in.keys), func(i int) bool { return in.keys[i] >= key })
+	return in.children[i].firstLeafGE(key)
+}
+
+// --- invariant checking (used by tests and the property suite) ---
+
+// testingSink lets depthCheck report problems without importing testing.
+type testingSink struct {
+	errs []string
+}
+
+func (s *testingSink) errorf(format string, args ...any) {
+	s.errs = append(s.errs, fmt.Sprintf(format, args...))
+}
+
+func (l *leaf) depthCheck(t *testingSink, depth int) int {
+	for i := 1; i < len(l.keys); i++ {
+		if l.keys[i-1] > l.keys[i] {
+			t.errorf("leaf keys out of order at %d: %d > %d", i, l.keys[i-1], l.keys[i])
+		}
+	}
+	if len(l.keys) != len(l.rids) {
+		t.errorf("leaf keys/rids length mismatch: %d vs %d", len(l.keys), len(l.rids))
+	}
+	return depth
+}
+
+func (in *inner) depthCheck(t *testingSink, depth int) int {
+	if len(in.children) != len(in.keys)+1 {
+		t.errorf("inner arity mismatch: %d keys, %d children", len(in.keys), len(in.children))
+	}
+	d := -1
+	for _, c := range in.children {
+		cd := c.depthCheck(t, depth+1)
+		if d == -1 {
+			d = cd
+		} else if d != cd {
+			t.errorf("unbalanced tree: leaf depths %d and %d", d, cd)
+		}
+	}
+	return d
+}
+
+// CheckInvariants verifies structural invariants: sorted leaves, balanced
+// depth, key/rid parity, and that an in-order walk yields sorted keys whose
+// count equals Len(). It returns a list of violations (empty when healthy).
+func (t *Tree) CheckInvariants() []string {
+	sink := &testingSink{}
+	t.root.depthCheck(sink, 1)
+	c := t.Min()
+	prev := int64(minInt64)
+	n := 0
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		if k < prev {
+			sink.errorf("in-order walk regressed: %d after %d", k, prev)
+		}
+		prev = k
+		n++
+	}
+	if n != t.size {
+		sink.errorf("walk visited %d entries, Len() = %d", n, t.size)
+	}
+	return sink.errs
+}

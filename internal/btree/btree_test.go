@@ -1,0 +1,203 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func checkHealthy(t *testing.T, tr *Tree) {
+	t.Helper()
+	if errs := tr.CheckInvariants(); len(errs) != 0 {
+		t.Fatalf("invariant violations: %v", errs)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: len=%d height=%d", tr.Len(), tr.Height())
+	}
+	if _, ok := tr.LookupOne(5); ok {
+		t.Error("LookupOne on empty tree found something")
+	}
+	if rids, ok := tr.Lookup(5); ok || rids != nil {
+		t.Error("Lookup on empty tree found something")
+	}
+	if _, _, ok := tr.Min().Next(); ok {
+		t.Error("cursor on empty tree yielded an entry")
+	}
+	checkHealthy(t, tr)
+}
+
+func TestInsertLookupSequential(t *testing.T) {
+	tr := New()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), i*10)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("tree did not split: height=%d", tr.Height())
+	}
+	for _, k := range []int64{0, 1, 500, 9_999} {
+		rid, ok := tr.LookupOne(k)
+		if !ok || rid != int(k)*10 {
+			t.Errorf("LookupOne(%d) = %d, %v", k, rid, ok)
+		}
+	}
+	if _, ok := tr.LookupOne(n); ok {
+		t.Error("found a key beyond the inserted range")
+	}
+	checkHealthy(t, tr)
+}
+
+func TestInsertLookupRandomOrder(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(7))
+	keys := rng.Perm(5000)
+	for _, k := range keys {
+		tr.Insert(int64(k), k+1)
+	}
+	for _, k := range []int{0, 1234, 4999} {
+		rid, ok := tr.LookupOne(int64(k))
+		if !ok || rid != k+1 {
+			t.Errorf("LookupOne(%d) = %d, %v", k, rid, ok)
+		}
+	}
+	checkHealthy(t, tr)
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New()
+	// Simulate a foreign-key index: each order key has 1–7 lineitems.
+	for rid := 0; rid < 300; rid++ {
+		tr.Insert(int64(rid/3), rid)
+	}
+	rids, ok := tr.Lookup(10)
+	if !ok || len(rids) != 3 {
+		t.Fatalf("Lookup(10) = %v, %v", rids, ok)
+	}
+	// Insertion order must be preserved.
+	if rids[0] != 30 || rids[1] != 31 || rids[2] != 32 {
+		t.Errorf("duplicate rids out of insertion order: %v", rids)
+	}
+	checkHealthy(t, tr)
+}
+
+func TestSeekAndScan(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(int64(i*2), i) // even keys 0..198
+	}
+	c := tr.SeekGE(51) // between 50 and 52
+	k, rid, ok := c.Next()
+	if !ok || k != 52 || rid != 26 {
+		t.Fatalf("Seek(51).Next() = %d, %d, %v", k, rid, ok)
+	}
+	// Scan to the end and count.
+	n := 1
+	prev := k
+	for {
+		k, _, ok := c.Next()
+		if !ok {
+			break
+		}
+		if k <= prev {
+			t.Fatalf("scan regressed: %d after %d", k, prev)
+		}
+		prev = k
+		n++
+	}
+	if n != 74 { // keys 52..198
+		t.Errorf("scanned %d entries, want 74", n)
+	}
+	// Seek beyond the maximum key.
+	if _, _, ok := tr.SeekGE(10_000).Next(); ok {
+		t.Error("Seek past end yielded an entry")
+	}
+}
+
+func TestMinScanIsSorted(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(42))
+	const n = 3000
+	want := make([]int64, n)
+	for i := range want {
+		k := int64(rng.Intn(500)) // plenty of duplicates
+		want[i] = k
+		tr.Insert(k, i)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	c := tr.Min()
+	for i := 0; i < n; i++ {
+		k, _, ok := c.Next()
+		if !ok {
+			t.Fatalf("cursor exhausted at %d of %d", i, n)
+		}
+		if k != want[i] {
+			t.Fatalf("entry %d: key %d, want %d", i, k, want[i])
+		}
+	}
+	if _, _, ok := c.Next(); ok {
+		t.Error("cursor yielded beyond Len entries")
+	}
+}
+
+// Property: for any multiset of int16 keys, every inserted key is found with
+// the right multiplicity and the invariant checker stays quiet.
+func TestTreeMatchesReferenceProperty(t *testing.T) {
+	f := func(keys []int16) bool {
+		tr := New()
+		ref := make(map[int64][]int)
+		for rid, k16 := range keys {
+			k := int64(k16)
+			tr.Insert(k, rid)
+			ref[k] = append(ref[k], rid)
+		}
+		if tr.Len() != len(keys) {
+			return false
+		}
+		for k, wantRids := range ref {
+			got, ok := tr.Lookup(k)
+			if !ok || len(got) != len(wantRids) {
+				return false
+			}
+			for i := range got {
+				if got[i] != wantRids[i] {
+					return false
+				}
+			}
+		}
+		return len(tr.CheckInvariants()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i), i)
+	}
+}
+
+func BenchmarkLookupOne(b *testing.B) {
+	tr := New()
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		tr.Insert(int64(i), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.LookupOne(int64(i % n)); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}

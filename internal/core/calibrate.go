@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/cpusim"
+	"bufferdb/internal/exec"
+	"bufferdb/internal/expr"
+	"bufferdb/internal/storage"
+)
+
+// CalPoint is one cardinality sample of the calibration experiment: the
+// simulated elapsed time of the original and the buffered plan.
+type CalPoint struct {
+	Cardinality int
+	OriginalSec float64
+	BufferedSec float64
+}
+
+// CalibrationResult is the outcome of the §7.3 experiment: the per-
+// cardinality curve (the paper's Figure 11) and the derived threshold.
+type CalibrationResult struct {
+	Points []CalPoint
+	// Threshold is the output cardinality above which buffered plans beat
+	// original plans — the refinement algorithm's cardinality cutoff.
+	Threshold float64
+}
+
+// CalibrateThreshold runs the paper's calibration experiment (§6, §7.3):
+// a Query 1 template — an aggregation whose combined footprint with the
+// scan exceeds the L1 instruction cache — executed at a sweep of child
+// output cardinalities, once as the original plan and once with a buffer
+// operator between scan and aggregation. The threshold is the cardinality
+// at which the buffered plan starts winning. The paper notes the threshold
+// is not very sensitive to the choice of operator, so calibrating once on
+// this template serves the whole system.
+//
+// tableRows is the calibration table size (the scan always reads all of
+// it; the predicate selects the first `cardinality` rows). bufferSize 0
+// selects the default.
+func CalibrateThreshold(cm *codemodel.Catalog, cfg cpusim.Config, tableRows int, cards []int, bufferSize int) (*CalibrationResult, error) {
+	if tableRows <= 0 {
+		return nil, fmt.Errorf("core: calibration table must be non-empty")
+	}
+	table := calibrationTable(tableRows)
+	cat := storage.NewCatalog()
+	cat.MustAdd(table)
+
+	scanMod := cm.MustModule("SeqScanPred")
+	aggMod, err := cm.AggModule([]string{"sum", "avg", "count"})
+	if err != nil {
+		return nil, err
+	}
+	bufMod := cm.MustModule("Buffer")
+
+	res := &CalibrationResult{}
+	for _, card := range cards {
+		if card < 0 || card > tableRows {
+			return nil, fmt.Errorf("core: cardinality %d outside [0, %d]", card, tableRows)
+		}
+		point := CalPoint{Cardinality: card}
+		for _, buffered := range []bool{false, true} {
+			cpu, err := cpusim.New(cfg, cm.TextSegmentBytes())
+			if err != nil {
+				return nil, err
+			}
+			exec.PlaceCatalog(cpu, cat)
+			plan, err := calibrationPlan(table, card, buffered, bufferSize, scanMod, aggMod, bufMod)
+			if err != nil {
+				return nil, err
+			}
+			ctx := &exec.Context{Catalog: cat, CPU: cpu}
+			rows, err := exec.Run(ctx, plan)
+			if err != nil {
+				return nil, err
+			}
+			if len(rows) != 1 || rows[0][2].I != int64(card) {
+				return nil, fmt.Errorf("core: calibration plan returned %v, want count %d", rows, card)
+			}
+			if buffered {
+				point.BufferedSec = cpu.ElapsedSeconds()
+			} else {
+				point.OriginalSec = cpu.ElapsedSeconds()
+			}
+		}
+		res.Points = append(res.Points, point)
+	}
+
+	// The threshold is the cardinality of the last crossing: beyond it the
+	// buffered plan stays ahead.
+	res.Threshold = float64(tableRows + 1) // pessimistic default: never buffer
+	for i := len(res.Points) - 1; i >= 0; i-- {
+		p := res.Points[i]
+		if p.BufferedSec >= p.OriginalSec {
+			break
+		}
+		res.Threshold = float64(p.Cardinality)
+	}
+	return res, nil
+}
+
+// calibrationTable builds a table whose predicate "k < c" selects exactly c
+// rows, giving the sweep precise control of output cardinality.
+func calibrationTable(rows int) *storage.Table {
+	t := storage.NewTable("calibration", storage.Schema{
+		{Table: "calibration", Name: "k", Type: storage.TypeInt64},
+		{Table: "calibration", Name: "v", Type: storage.TypeFloat64},
+	})
+	for i := 0; i < rows; i++ {
+		t.MustAppend(storage.Row{
+			storage.NewInt(int64(i)),
+			storage.NewFloat(float64(i%97) / 7),
+		})
+	}
+	return t
+}
+
+// calibrationPlan builds Agg(SUM, AVG, COUNT) over ScanPred(k < card),
+// optionally with a buffer between them — the paper's Query 1 shape.
+func calibrationPlan(table *storage.Table, card int, buffered bool, bufferSize int,
+	scanMod, aggMod, bufMod *codemodel.Module) (exec.Operator, error) {
+
+	k := expr.NewColRef(0, "k", storage.TypeInt64)
+	v := expr.NewColRef(1, "v", storage.TypeFloat64)
+	filter := expr.MustBinary(expr.OpLt, k, expr.NewConst(storage.NewInt(int64(card))))
+	var child exec.Operator = exec.NewSeqScan(table, filter, scanMod)
+	if buffered {
+		child = NewBuffer(child, bufferSize, bufMod)
+	}
+	return exec.NewAggregate(child, nil, []expr.AggSpec{
+		{Func: expr.AggSum, Arg: v},
+		{Func: expr.AggAvg, Arg: v},
+		{Func: expr.AggCountStar},
+	}, aggMod)
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bufferdb/internal/btree"
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/cpusim"
+	"bufferdb/internal/exec"
+	"bufferdb/internal/expr"
+	"bufferdb/internal/storage"
+)
+
+// CallGraphRecorder reproduces the paper's §7.1 footprint-measurement
+// methodology: instead of reading footprints off the code model, it runs a
+// small calibration query set on the simulated CPU, observes every
+// instruction fetch (via the CPU's FetchHook), maps fetched lines back to
+// functions, and sums the binary sizes of the functions each module
+// actually invoked — the dynamic call graph. Rare-case (cold) code that the
+// static call graph reaches but execution never touches is thereby
+// excluded, which is the paper's argument for dynamic analysis.
+type CallGraphRecorder struct {
+	cm *codemodel.Catalog
+	// touched maps module → set of functions observed executing.
+	touched map[*codemodel.Module]map[*codemodel.Function]struct{}
+}
+
+// NewCallGraphRecorder creates a recorder over the given code model.
+func NewCallGraphRecorder(cm *codemodel.Catalog) *CallGraphRecorder {
+	return &CallGraphRecorder{
+		cm:      cm,
+		touched: make(map[*codemodel.Module]map[*codemodel.Function]struct{}),
+	}
+}
+
+// Hook returns the fetch callback to install on a CPU.
+func (r *CallGraphRecorder) Hook() func(*codemodel.Module, uint64) {
+	return func(m *codemodel.Module, line uint64) {
+		f := r.cm.FunctionAt(line)
+		if f == nil {
+			return
+		}
+		set := r.touched[m]
+		if set == nil {
+			set = make(map[*codemodel.Function]struct{})
+			r.touched[m] = set
+		}
+		set[f] = struct{}{}
+	}
+}
+
+// MeasuredFootprint returns the observed dynamic-call-graph footprint of a
+// module: the summed binary sizes of the functions it was seen executing.
+// ok is false when the module never ran under this recorder.
+func (r *CallGraphRecorder) MeasuredFootprint(m *codemodel.Module) (bytes int, ok bool) {
+	set, ok := r.touched[m]
+	if !ok {
+		return 0, false
+	}
+	for f := range set {
+		bytes += f.Size
+	}
+	return bytes, true
+}
+
+// Modules lists the modules observed, in name order.
+func (r *CallGraphRecorder) Modules() []*codemodel.Module {
+	out := make([]*codemodel.Module, 0, len(r.touched))
+	for m := range r.touched {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// MeasureFootprints runs the paper's calibration query set — simple queries
+// that "scan tables, select aggregate values, perform index lookups or join
+// two tables" (§7.1) — over a small synthetic database, recording dynamic
+// call graphs, and returns the measured footprint per module name.
+func MeasureFootprints(cm *codemodel.Catalog, cfg cpusim.Config) (map[string]int, error) {
+	cat, table, idx := calibrationDB()
+	rec := NewCallGraphRecorder(cm)
+
+	run := func(build func() (exec.Operator, error)) error {
+		cpu, err := cpusim.New(cfg, cm.TextSegmentBytes())
+		if err != nil {
+			return err
+		}
+		cpu.FetchHook = rec.Hook()
+		exec.PlaceCatalog(cpu, cat)
+		op, err := build()
+		if err != nil {
+			return err
+		}
+		_, err = exec.Run(&exec.Context{Catalog: cat, CPU: cpu}, op)
+		return err
+	}
+
+	k := expr.NewColRef(0, "k", storage.TypeInt64)
+	v := expr.NewColRef(1, "v", storage.TypeFloat64)
+	pred := expr.MustBinary(expr.OpLt, k, expr.NewConst(storage.NewInt(512)))
+
+	queries := []func() (exec.Operator, error){
+		// Plain scan.
+		func() (exec.Operator, error) {
+			return exec.NewSeqScan(table, nil, cm.MustModule("SeqScan")), nil
+		},
+		// Predicated scan under every aggregate (covers the agg modules).
+		func() (exec.Operator, error) {
+			agg, err := cm.AggModule([]string{"count", "min", "max", "sum", "avg"})
+			if err != nil {
+				return nil, err
+			}
+			return exec.NewAggregate(
+				exec.NewSeqScan(table, pred, cm.MustModule("SeqScanPred")),
+				nil,
+				[]expr.AggSpec{
+					{Func: expr.AggCountStar},
+					{Func: expr.AggMin, Arg: v},
+					{Func: expr.AggMax, Arg: v},
+					{Func: expr.AggSum, Arg: v},
+					{Func: expr.AggAvg, Arg: v},
+				}, agg)
+		},
+		// Sort.
+		func() (exec.Operator, error) {
+			return exec.NewSort(exec.NewSeqScan(table, nil, cm.MustModule("SeqScan")),
+				[]exec.SortKey{{Expr: k}}, cm.MustModule("Sort")), nil
+		},
+		// Index nested-loop self-join.
+		func() (exec.Operator, error) {
+			lookup, err := exec.NewIndexLookup(table, idx, cm.MustModule("IndexScan"))
+			if err != nil {
+				return nil, err
+			}
+			return exec.NewNestLoopJoin(
+				exec.NewSeqScan(table, nil, cm.MustModule("SeqScan")),
+				lookup, k, nil, cm.MustModule("NestLoop")), nil
+		},
+		// Hash self-join (build + probe modules).
+		func() (exec.Operator, error) {
+			return exec.NewHashJoin(
+				exec.NewSeqScan(table, nil, cm.MustModule("SeqScan")),
+				exec.NewSeqScan(table, nil, cm.MustModule("SeqScan")),
+				k, k,
+				cm.MustModule("HashBuild"), cm.MustModule("HashProbe")), nil
+		},
+		// Merge self-join over ordered index scans.
+		func() (exec.Operator, error) {
+			left, err := exec.NewIndexFullScan(table, idx, nil, cm.MustModule("IndexScan"))
+			if err != nil {
+				return nil, err
+			}
+			right, err := exec.NewIndexFullScan(table, idx, nil, cm.MustModule("IndexScan"))
+			if err != nil {
+				return nil, err
+			}
+			return exec.NewMergeJoin(left, right, k, k, cm.MustModule("MergeJoin")), nil
+		},
+		// Buffered scan (the buffer module itself).
+		func() (exec.Operator, error) {
+			return NewBuffer(exec.NewSeqScan(table, nil, cm.MustModule("SeqScan")),
+				64, cm.MustModule("Buffer")), nil
+		},
+	}
+	for i, q := range queries {
+		if err := run(q); err != nil {
+			return nil, fmt.Errorf("core: calibration query %d: %w", i, err)
+		}
+	}
+
+	out := make(map[string]int)
+	for _, m := range rec.Modules() {
+		if bytes, ok := rec.MeasuredFootprint(m); ok {
+			out[m.Name] = bytes
+		}
+	}
+	return out, nil
+}
+
+// newCalibrationIndex builds a unique B+-tree over the calibration table's
+// key column.
+func newCalibrationIndex(table *storage.Table) *btree.Tree {
+	tree := btree.New()
+	for rid, row := range table.Rows() {
+		tree.Insert(row[0].I, rid)
+	}
+	return tree
+}
+
+// calibrationDB builds the tiny single-table database the calibration
+// queries run over, with a unique index for the index-scan modules.
+func calibrationDB() (*storage.Catalog, *storage.Table, *storage.IndexMeta) {
+	cat := storage.NewCatalog()
+	table := calibrationTable(2048)
+	cat.MustAdd(table)
+	tree := newCalibrationIndex(table)
+	meta := &storage.IndexMeta{Name: "calibration_k_idx", Column: "k", Unique: true, Search: tree}
+	if err := table.AddIndex(meta); err != nil {
+		panic(err)
+	}
+	return cat, table, meta
+}

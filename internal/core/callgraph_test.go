@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/cpusim"
+)
+
+// TestMeasuredFootprintsMatchModel is the §7.1 loop closed: footprints
+// derived by *observing* the calibration queries must equal the dynamic
+// call sets the code model declares — and must exclude the cold error-path
+// code that inflates the naive static estimate.
+func TestMeasuredFootprintsMatchModel(t *testing.T) {
+	cm := codemodel.NewCatalog()
+	measured, err := MeasureFootprints(cm, cpusim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantModules := []string{
+		"SeqScan", "SeqScanPred", "IndexScan", "Sort",
+		"NestLoop", "MergeJoin", "HashBuild", "HashProbe", "Buffer",
+	}
+	for _, name := range wantModules {
+		m := cm.MustModule(name)
+		got, ok := measured[name]
+		if !ok {
+			t.Errorf("calibration never exercised %s", name)
+			continue
+		}
+		if got != m.FootprintBytes() {
+			t.Errorf("%s measured %d B, model says %d B", name, got, m.FootprintBytes())
+		}
+		// Modules with error-path (cold) code must measure strictly below
+		// the static estimate; the Buffer module has none.
+		if name != "Buffer" && got >= m.StaticFootprintBytes() {
+			t.Errorf("%s measured %d B not below static %d B — cold code leaked into the dynamic call graph",
+				name, got, m.StaticFootprintBytes())
+		}
+	}
+	// The full-aggregate module was exercised too.
+	agg, err := cm.AggModule([]string{"count", "min", "max", "sum", "avg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := measured[agg.Name]; got != agg.FootprintBytes() {
+		t.Errorf("aggregation measured %d B, model says %d B", got, agg.FootprintBytes())
+	}
+}
+
+func TestCallGraphRecorderBasics(t *testing.T) {
+	cm := codemodel.NewCatalog()
+	rec := NewCallGraphRecorder(cm)
+	if _, ok := rec.MeasuredFootprint(cm.MustModule("Sort")); ok {
+		t.Error("unexecuted module has a measurement")
+	}
+	hook := rec.Hook()
+	m := cm.MustModule("Buffer")
+	for _, line := range m.Lines() {
+		hook(m, line)
+	}
+	got, ok := rec.MeasuredFootprint(m)
+	if !ok || got != m.FootprintBytes() {
+		t.Errorf("recorded footprint = %d, %v; want %d", got, ok, m.FootprintBytes())
+	}
+	if len(rec.Modules()) != 1 {
+		t.Errorf("modules = %d", len(rec.Modules()))
+	}
+	// A fetch into padding is ignored.
+	hook(m, 1) // below any function
+	if got2, _ := rec.MeasuredFootprint(m); got2 != got {
+		t.Error("padding fetch changed the measurement")
+	}
+}
+
+func TestFunctionAt(t *testing.T) {
+	cm := codemodel.NewCatalog()
+	m := cm.MustModule("SeqScan")
+	f := m.Funcs[0]
+	if got := cm.FunctionAt(f.Addr); got != f {
+		t.Errorf("FunctionAt(start) = %v", got)
+	}
+	if got := cm.FunctionAt(f.Addr + uint64(f.Size) - 1); got != f {
+		t.Errorf("FunctionAt(end) = %v", got)
+	}
+	if got := cm.FunctionAt(f.Addr + uint64(f.Size)); got == f {
+		t.Error("FunctionAt(one past end) returned the same function")
+	}
+	if cm.FunctionAt(0) != nil {
+		t.Error("FunctionAt(0) found a function below the text segment")
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/cpusim"
+)
+
+// refineFixture builds the NodeInfo trees of the paper's experimental plans
+// from the shared code model.
+type refineFixture struct {
+	cm  *codemodel.Catalog
+	cfg RefineConfig
+	t   *testing.T
+}
+
+func newFixture(t *testing.T) *refineFixture {
+	t.Helper()
+	cm := codemodel.NewCatalog()
+	return &refineFixture{
+		cm: cm,
+		t:  t,
+		cfg: RefineConfig{
+			L1IBytes:             16 * 1024,
+			BufferModule:         cm.MustModule("Buffer"),
+			CardinalityThreshold: 100,
+		},
+	}
+}
+
+func (f *refineFixture) mod(name string) *codemodel.Module {
+	return f.cm.MustModule(name)
+}
+
+func (f *refineFixture) aggMod(funcs ...string) *codemodel.Module {
+	m, err := f.cm.AggModule(funcs)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return m
+}
+
+func (f *refineFixture) refine(root *NodeInfo) *Result {
+	f.t.Helper()
+	res, err := Refine(root, f.cfg)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return res
+}
+
+// bufferedNames returns the names of nodes that get buffers.
+func bufferedNames(res *Result) []string {
+	var out []string
+	for _, n := range res.BufferAbove {
+		out = append(out, n.Name)
+	}
+	return out
+}
+
+func TestRefineQuery1AddsOneBuffer(t *testing.T) {
+	// Paper Fig. 5: Agg(SUM,AVG,COUNT) over ScanPred — combined footprint
+	// ≈ 21–23 KB > 16 KB ⇒ two groups, buffer between them.
+	f := newFixture(t)
+	scan := &NodeInfo{Name: "scan", Modules: []*codemodel.Module{f.mod("SeqScanPred")}, EstRows: 60_000}
+	agg := &NodeInfo{Name: "agg", Modules: []*codemodel.Module{f.aggMod("sum", "avg", "count")},
+		EstRows: 1, Children: []*NodeInfo{scan}}
+	res := f.refine(agg)
+
+	if got := bufferedNames(res); len(got) != 1 || got[0] != "scan" {
+		t.Fatalf("buffers above %v, want [scan]\n%s", got, res)
+	}
+	if len(res.Groups) != 2 {
+		t.Errorf("groups = %d, want 2\n%s", len(res.Groups), res)
+	}
+	// The top group is the unbuffered root.
+	top := res.Groups[len(res.Groups)-1]
+	if top.Buffered || top.SkipReason != "root" {
+		t.Errorf("root group mishandled: %+v", top)
+	}
+}
+
+func TestRefineQuery2NoBuffer(t *testing.T) {
+	// Paper Fig. 9: COUNT-only aggregation — combined ≈ 15 KB fits ⇒ one
+	// group, no buffers.
+	f := newFixture(t)
+	scan := &NodeInfo{Name: "scan", Modules: []*codemodel.Module{f.mod("SeqScanPred")}, EstRows: 60_000}
+	agg := &NodeInfo{Name: "agg", Modules: []*codemodel.Module{f.aggMod("count")},
+		EstRows: 1, Children: []*NodeInfo{scan}}
+	res := f.refine(agg)
+
+	if got := bufferedNames(res); len(got) != 0 {
+		t.Fatalf("buffers above %v, want none\n%s", got, res)
+	}
+	if len(res.Groups) != 1 || len(res.Groups[0].Members) != 2 {
+		t.Errorf("want one group of two members\n%s", res)
+	}
+}
+
+func TestRefineNestLoopPlan(t *testing.T) {
+	// Paper Fig. 15: Agg over NL(ScanPred(lineitem), IndexLookup(orders)).
+	// The inner index lookup produces ≤ 1 row per rescan ⇒ below the
+	// threshold ⇒ no buffer above it, despite its 14 KB footprint. Scan
+	// and NL group together; one buffer between NL and Agg.
+	f := newFixture(t)
+	scan := &NodeInfo{Name: "scan", Modules: []*codemodel.Module{f.mod("SeqScanPred")}, EstRows: 60_000}
+	inner := &NodeInfo{Name: "idxlookup", Modules: []*codemodel.Module{f.mod("IndexScan")}, EstRows: 1}
+	nl := &NodeInfo{Name: "nestloop", Modules: []*codemodel.Module{f.mod("NestLoop")},
+		EstRows: 60_000, Children: []*NodeInfo{scan, inner}}
+	agg := &NodeInfo{Name: "agg", Modules: []*codemodel.Module{f.aggMod("sum", "avg", "count")},
+		EstRows: 1, Children: []*NodeInfo{nl}}
+	res := f.refine(agg)
+
+	if got := bufferedNames(res); len(got) != 1 || got[0] != "nestloop" {
+		t.Fatalf("buffers above %v, want [nestloop]\n%s", got, res)
+	}
+	// scan+nestloop must share a group ("two execution groups" with agg).
+	var scanGroup *Group
+	for _, g := range res.Groups {
+		for _, m := range g.Members {
+			if m.Name == "scan" {
+				scanGroup = g
+			}
+		}
+	}
+	if scanGroup == nil || len(scanGroup.Members) != 2 {
+		t.Errorf("scan not grouped with nestloop\n%s", res)
+	}
+	// The inner group exists but is unbuffered for cardinality reasons.
+	for _, g := range res.Groups {
+		if g.Top().Name == "idxlookup" {
+			if g.Buffered || g.SkipReason != "cardinality" {
+				t.Errorf("inner index lookup mishandled: %+v", g)
+			}
+		}
+	}
+}
+
+func TestRefineHashJoinPlan(t *testing.T) {
+	// Paper Fig. 16: both scans get buffers (scan + either hash phase
+	// exceeds L1I); the blocking build is outside every group.
+	f := newFixture(t)
+	scanLI := &NodeInfo{Name: "scan(lineitem)", Modules: []*codemodel.Module{f.mod("SeqScanPred")}, EstRows: 60_000}
+	scanO := &NodeInfo{Name: "scan(orders)", Modules: []*codemodel.Module{f.mod("SeqScan")}, EstRows: 30_000}
+	build := &NodeInfo{Name: "hashbuild", Modules: []*codemodel.Module{f.mod("HashBuild")},
+		Blocking: true, EstRows: 30_000, Children: []*NodeInfo{scanO}}
+	probe := &NodeInfo{Name: "hashprobe", Modules: []*codemodel.Module{f.mod("HashProbe")},
+		EstRows: 60_000, Children: []*NodeInfo{scanLI, build}}
+	agg := &NodeInfo{Name: "agg", Modules: []*codemodel.Module{f.aggMod("sum", "avg", "count")},
+		EstRows: 1, Children: []*NodeInfo{probe}}
+	res := f.refine(agg)
+
+	got := strings.Join(bufferedNames(res), ",")
+	for _, want := range []string{"scan(lineitem)", "scan(orders)", "hashprobe"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("no buffer above %s (got %s)\n%s", want, got, res)
+		}
+	}
+	// The build node must not be a member of any group.
+	for _, g := range res.Groups {
+		for _, m := range g.Members {
+			if m.Name == "hashbuild" {
+				t.Errorf("blocking build inside a group\n%s", res)
+			}
+		}
+	}
+}
+
+func TestRefineMergeJoinPlan(t *testing.T) {
+	// Paper Fig. 17: Sort is blocking — no buffer above it; the ordered
+	// IndexScan of orders does get a buffer (unlike the NL plan, its
+	// full-scan cardinality is large).
+	f := newFixture(t)
+	scanLI := &NodeInfo{Name: "scan(lineitem)", Modules: []*codemodel.Module{f.mod("SeqScanPred")}, EstRows: 60_000}
+	sortN := &NodeInfo{Name: "sort", Modules: []*codemodel.Module{f.mod("Sort")},
+		Blocking: true, EstRows: 60_000, Children: []*NodeInfo{scanLI}}
+	idx := &NodeInfo{Name: "idxscan(orders)", Modules: []*codemodel.Module{f.mod("IndexScan")}, EstRows: 30_000}
+	mj := &NodeInfo{Name: "mergejoin", Modules: []*codemodel.Module{f.mod("MergeJoin")},
+		EstRows: 60_000, Children: []*NodeInfo{sortN, idx}}
+	agg := &NodeInfo{Name: "agg", Modules: []*codemodel.Module{f.aggMod("sum", "avg", "count")},
+		EstRows: 1, Children: []*NodeInfo{mj}}
+	res := f.refine(agg)
+
+	got := strings.Join(bufferedNames(res), ",")
+	for _, want := range []string{"idxscan(orders)", "scan(lineitem)", "mergejoin"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("no buffer above %s (got %s)\n%s", want, got, res)
+		}
+	}
+	for _, n := range res.BufferAbove {
+		if n.Name == "sort" {
+			t.Error("buffer above the blocking sort")
+		}
+	}
+}
+
+func TestRefineSmallOperatorsShareGroup(t *testing.T) {
+	// Two tiny adjacent operators always fit one group.
+	f := newFixture(t)
+	a := &NodeInfo{Name: "a", Modules: []*codemodel.Module{f.mod("SeqScan")}, EstRows: 10_000}
+	b := &NodeInfo{Name: "b", Modules: []*codemodel.Module{f.mod("Material")},
+		EstRows: 10_000, Children: []*NodeInfo{a}}
+	res := f.refine(b)
+	if len(res.Groups) != 1 || len(res.BufferAbove) != 0 {
+		t.Errorf("tiny pipeline split: %s", res)
+	}
+}
+
+func TestRefineCardinalitySkip(t *testing.T) {
+	// A group whose top yields few rows is never buffered, no matter the
+	// footprint.
+	f := newFixture(t)
+	scan := &NodeInfo{Name: "scan", Modules: []*codemodel.Module{f.mod("SeqScanPred")}, EstRows: 5}
+	agg := &NodeInfo{Name: "agg", Modules: []*codemodel.Module{f.aggMod("sum", "avg", "count")},
+		EstRows: 1, Children: []*NodeInfo{scan}}
+	res := f.refine(agg)
+	if len(res.BufferAbove) != 0 {
+		t.Errorf("buffered a 5-row group: %s", res)
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	f := newFixture(t)
+	if _, err := Refine(nil, f.cfg); err == nil {
+		t.Error("nil plan accepted")
+	}
+	bad := f.cfg
+	bad.L1IBytes = 0
+	if _, err := Refine(&NodeInfo{Name: "x"}, bad); err == nil {
+		t.Error("zero L1I accepted")
+	}
+}
+
+func TestRefineReportString(t *testing.T) {
+	f := newFixture(t)
+	scan := &NodeInfo{Name: "scan", Modules: []*codemodel.Module{f.mod("SeqScanPred")}, EstRows: 60_000}
+	agg := &NodeInfo{Name: "agg", Modules: []*codemodel.Module{f.aggMod("sum", "avg", "count")},
+		EstRows: 1, Children: []*NodeInfo{scan}}
+	res := f.refine(agg)
+	s := res.String()
+	if !strings.Contains(s, "+buffer") || !strings.Contains(s, "no buffer: root") {
+		t.Errorf("report = %q", s)
+	}
+}
+
+func TestCalibrateThreshold(t *testing.T) {
+	cm := codemodel.NewCatalog()
+	cfg := cpusim.DefaultConfig()
+	res, err := CalibrateThreshold(cm, cfg, 20_000, []int{0, 10, 100, 1_000, 5_000, 20_000}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// At zero output cardinality buffering is pure overhead.
+	p0 := res.Points[0]
+	if p0.BufferedSec < p0.OriginalSec {
+		t.Errorf("buffered faster at cardinality 0: %v < %v", p0.BufferedSec, p0.OriginalSec)
+	}
+	// At full cardinality it must win decisively.
+	pN := res.Points[len(res.Points)-1]
+	if pN.BufferedSec >= pN.OriginalSec {
+		t.Errorf("buffered not faster at cardinality 20000: %v vs %v", pN.BufferedSec, pN.OriginalSec)
+	}
+	// Threshold must be finite and in range.
+	if res.Threshold <= 0 || res.Threshold > 20_000 {
+		t.Errorf("threshold = %v", res.Threshold)
+	}
+	// Errors.
+	if _, err := CalibrateThreshold(cm, cfg, 0, []int{1}, 0); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := CalibrateThreshold(cm, cfg, 100, []int{200}, 0); err == nil {
+		t.Error("out-of-range cardinality accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package cpusim
+
+// BranchPredictor is a gshare-style direction predictor: a table of two-bit
+// saturating counters indexed by the branch PC xor-folded with a short
+// global history register. The paper attributes part of buffering's win to
+// branch behavior — interleaved operators mix outcome patterns at shared
+// branch sites, while buffered execution produces long single-operator runs
+// the counters can track. That effect emerges here mechanically.
+type BranchPredictor struct {
+	counters    []uint8
+	indexMask   uint64
+	history     uint64
+	historyMask uint64
+
+	branches    uint64
+	mispredicts uint64
+}
+
+// NewBranchPredictor builds a predictor with 2^tableBits counters and
+// historyBits bits of global history. Counters start weakly not-taken.
+func NewBranchPredictor(tableBits, historyBits int) *BranchPredictor {
+	size := 1 << tableBits
+	return &BranchPredictor{
+		counters:    make([]uint8, size),
+		indexMask:   uint64(size - 1),
+		historyMask: (1 << historyBits) - 1,
+	}
+}
+
+// Branch records the execution of a conditional branch at pc with the given
+// outcome, returning whether the prediction was correct.
+func (p *BranchPredictor) Branch(pc uint64, taken bool) bool {
+	idx := ((pc >> 2) ^ p.history) & p.indexMask
+	ctr := p.counters[idx]
+	predictedTaken := ctr >= 2
+
+	// Update the saturating counter and history.
+	if taken {
+		if ctr < 3 {
+			p.counters[idx] = ctr + 1
+		}
+	} else if ctr > 0 {
+		p.counters[idx] = ctr - 1
+	}
+	p.history = ((p.history << 1) | b2u(taken)) & p.historyMask
+
+	p.branches++
+	correct := predictedTaken == taken
+	if !correct {
+		p.mispredicts++
+	}
+	return correct
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Branches returns the number of executed branches.
+func (p *BranchPredictor) Branches() uint64 { return p.branches }
+
+// Mispredicts returns the number of mispredicted branches.
+func (p *BranchPredictor) Mispredicts() uint64 { return p.mispredicts }
+
+// Reset clears table, history and counters.
+func (p *BranchPredictor) Reset() {
+	for i := range p.counters {
+		p.counters[i] = 0
+	}
+	p.history, p.branches, p.mispredicts = 0, 0, 0
+}

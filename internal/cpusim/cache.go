@@ -1,0 +1,138 @@
+// Package cpusim is a cycle-approximate simulator of the memory system and
+// branch unit of the paper's experimental machine (a Pentium 4, Table 1).
+//
+// The paper measures instruction-cache thrashing with hardware counters on
+// real silicon. A Go reproduction cannot do that: the Go runtime (GC,
+// scheduler, its own multi-megabyte text segment) would dominate any native
+// i-cache measurement. Instead, the query engine drives this simulator —
+// every operator invocation replays its synthetic instruction footprint
+// (internal/codemodel) through a simulated L1I/ITLB, its branch sites
+// through a simulated predictor, and its tuple traffic through a simulated
+// L1D/L2 with a sequential-stream prefetcher. Counters are exact, and the
+// cycle model turns them into the paper's execution-time breakdowns.
+package cpusim
+
+import "fmt"
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Ways      int
+}
+
+// Validate checks structural sanity.
+func (c CacheConfig) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cpusim: cache %s: non-positive geometry", c.Name)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cpusim: cache %s: size %d not divisible by line*ways", c.Name, c.SizeBytes)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cpusim: cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	default:
+		nSets := c.SizeBytes / (c.LineBytes * c.Ways)
+		if nSets&(nSets-1) != 0 {
+			return fmt.Errorf("cpusim: cache %s: set count %d not a power of two", c.Name, nSets)
+		}
+		return nil
+	}
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      CacheConfig
+	nSets    int
+	lineBits uint
+	setMask  uint64
+
+	// tags[set*ways+way]; valid bit folded into tag via +1 offset (tag 0
+	// means empty).
+	tags []uint64
+	// lastUse[set*ways+way] is the LRU timestamp.
+	lastUse []uint64
+	clock   uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewCache builds a cache from a validated config.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	return &Cache{
+		cfg:      cfg,
+		nSets:    nSets,
+		lineBits: lineBits,
+		setMask:  uint64(nSets - 1),
+		tags:     make([]uint64, nSets*cfg.Ways),
+		lastUse:  make([]uint64, nSets*cfg.Ways),
+	}, nil
+}
+
+// Access looks up the line containing addr, inserting it on a miss and
+// evicting the set's LRU way. It returns true on a hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := line + 1 // +1 so that tag 0 means "empty way"
+	base := set * c.cfg.Ways
+	c.clock++
+
+	lruWay, lruUse := base, c.lastUse[base]
+	for w := base; w < base+c.cfg.Ways; w++ {
+		if c.tags[w] == tag {
+			c.lastUse[w] = c.clock
+			c.hits++
+			return true
+		}
+		if c.lastUse[w] < lruUse {
+			lruWay, lruUse = w, c.lastUse[w]
+		}
+	}
+	c.tags[lruWay] = tag
+	c.lastUse[lruWay] = c.clock
+	c.misses++
+	return false
+}
+
+// Contains reports whether the line holding addr is resident, without
+// touching LRU state or counters. Tests use it to assert residency.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := line + 1
+	base := set * c.cfg.Ways
+	for w := base; w < base+c.cfg.Ways; w++ {
+		if c.tags[w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns the hit count.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lastUse[i] = 0
+	}
+	c.clock, c.hits, c.misses = 0, 0, 0
+}
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }

@@ -1,0 +1,256 @@
+package cpusim
+
+import (
+	"testing"
+
+	"bufferdb/internal/codemodel"
+)
+
+func newTestCPU(t *testing.T, cat *codemodel.Catalog) *CPU {
+	t.Helper()
+	cpu, err := New(DefaultConfig(), cat.TextSegmentBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cpu
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, cc := range []CacheConfig{cfg.L1I, cfg.L1D, cfg.L2} {
+		if err := cc.Validate(); err != nil {
+			t.Errorf("%s: %v", cc.Name, err)
+		}
+	}
+	if cfg.ClockHz != 2.4e9 {
+		t.Errorf("clock = %v", cfg.ClockHz)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.L1I.SizeBytes = 1000 // indivisible
+	if _, err := New(cfg, 0); err == nil {
+		t.Error("bad L1I accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.ITLBEntries = 0
+	if _, err := New(cfg, 0); err == nil {
+		t.Error("zero ITLB accepted")
+	}
+}
+
+func TestAllocData(t *testing.T) {
+	cat := codemodel.NewCatalog()
+	cpu := newTestCPU(t, cat)
+	a := cpu.AllocData(100)
+	b := cpu.AllocData(100)
+	if a%64 != 0 || b%64 != 0 {
+		t.Error("allocations not line-aligned")
+	}
+	if b < a+100 {
+		t.Error("allocations overlap")
+	}
+	if a <= cat.TextSegmentBytes() {
+		t.Error("heap overlaps text segment")
+	}
+}
+
+func TestExecModuleWarmsCache(t *testing.T) {
+	cat := codemodel.NewCatalog()
+	cpu := newTestCPU(t, cat)
+	m := cat.MustModule("Buffer") // tiny module, fits trivially
+
+	cpu.ExecModule(m, 0)
+	cold := cpu.Counters().L1IMisses
+	if cold == 0 {
+		t.Fatal("no cold misses")
+	}
+	for i := 0; i < 10; i++ {
+		cpu.ExecModule(m, 0)
+	}
+	if got := cpu.Counters().L1IMisses; got != cold {
+		t.Errorf("warm executions missed: %d misses after warmup vs %d cold", got, cold)
+	}
+	if cpu.Counters().Uops == 0 || cpu.Counters().Branches == 0 {
+		t.Error("uops/branches not counted")
+	}
+}
+
+// TestInterleavingThrashes is the core mechanism check (paper Fig. 1):
+// alternating two modules whose combined hot set exceeds the L1I must incur
+// far more instruction misses per invocation than running each in long
+// batches — and batching must get close to zero steady-state misses.
+func TestInterleavingThrashes(t *testing.T) {
+	cat := codemodel.NewCatalog()
+	scan := cat.MustModule("SeqScanPred")
+	agg, err := cat.AggModule([]string{"sum", "avg", "count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 2000
+	// Interleaved: C P C P … (Fig. 1a).
+	inter := newTestCPU(t, cat)
+	for i := 0; i < rounds; i++ {
+		inter.ExecModule(scan, uint64(i&7))
+		inter.ExecModule(agg, uint64(i&3))
+	}
+	// Buffered with batch size 1000: C×1000 P×1000 … (Fig. 1b).
+	buf := newTestCPU(t, cat)
+	const batch = 1000
+	for done := 0; done < rounds; done += batch {
+		for i := 0; i < batch; i++ {
+			buf.ExecModule(scan, uint64(i&7))
+		}
+		for i := 0; i < batch; i++ {
+			buf.ExecModule(agg, uint64(i&3))
+		}
+	}
+
+	im, bm := inter.Counters().L1IMisses, buf.Counters().L1IMisses
+	if im == 0 {
+		t.Fatal("interleaved run had no L1I misses; working set too small")
+	}
+	reduction := 1 - float64(bm)/float64(im)
+	if reduction < 0.70 {
+		t.Errorf("buffering reduced L1I misses by %.0f%%, want ≥ 70%% (paper: up to 80%%)", reduction*100)
+	}
+
+	// ITLB misses must drop too (paper: ~86%).
+	it, bt := inter.Counters().ITLBMisses, buf.Counters().ITLBMisses
+	if it == 0 {
+		t.Fatal("no ITLB misses in interleaved run")
+	}
+	if tlbRed := 1 - float64(bt)/float64(it); tlbRed < 0.5 {
+		t.Errorf("buffering reduced ITLB misses by %.0f%%, want ≥ 50%%", tlbRed*100)
+	}
+
+	// Branch mispredictions must drop (paper: 10–45% depending on plan).
+	imiss, bmiss := inter.Counters().Mispredicts, buf.Counters().Mispredicts
+	if bmiss >= imiss {
+		t.Errorf("buffering did not reduce mispredictions: %d vs %d", bmiss, imiss)
+	}
+
+	// And therefore simulated time improves.
+	if buf.TotalCycles() >= inter.TotalCycles() {
+		t.Errorf("buffered cycles %.0f >= interleaved %.0f", buf.TotalCycles(), inter.TotalCycles())
+	}
+}
+
+// TestSmallGroupNoThrash mirrors the paper's Query 2: when the combined hot
+// set fits in L1I, interleaving is already fine and batching buys little.
+func TestSmallGroupNoThrash(t *testing.T) {
+	cat := codemodel.NewCatalog()
+	scan := cat.MustModule("SeqScanPred")
+	agg, err := cat.AggModule([]string{"count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := newTestCPU(t, cat)
+	const rounds = 2000
+	for i := 0; i < rounds; i++ {
+		cpu.ExecModule(scan, uint64(i&7))
+		cpu.ExecModule(agg, uint64(i&3))
+	}
+	missesPerRound := float64(cpu.Counters().L1IMisses) / rounds
+	// Steady state must be near zero; allow the cold warmup amortized.
+	if missesPerRound > 2 {
+		t.Errorf("fitting working set still misses %.2f lines/round", missesPerRound)
+	}
+}
+
+func TestDataAccessAndPrefetch(t *testing.T) {
+	cat := codemodel.NewCatalog()
+	cpu := newTestCPU(t, cat)
+
+	// Sequential scan over 4 MB: far beyond L2, but the stream prefetcher
+	// must cover almost all memory misses.
+	base := cpu.AllocData(4 << 20)
+	for off := 0; off < 4<<20; off += 128 {
+		cpu.DataRead(base+uint64(off), 128)
+	}
+	ctr := cpu.Counters()
+	if ctr.L1DMisses == 0 {
+		t.Fatal("sequential scan produced no L1D misses")
+	}
+	covered := float64(ctr.L2MissesPrefetched) / float64(ctr.L2MissesPrefetched+ctr.L2Misses)
+	if covered < 0.95 {
+		t.Errorf("prefetch covered %.2f of sequential memory misses, want ≥ 0.95", covered)
+	}
+
+	// Random accesses over the same region: mostly uncovered.
+	cpu.Reset()
+	rng := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		off := (rng >> 16) % (4 << 20)
+		cpu.DataRead(base+off, 8)
+	}
+	ctr = cpu.Counters()
+	if ctr.L2Misses == 0 {
+		t.Fatal("random reads never missed to memory")
+	}
+	covered = float64(ctr.L2MissesPrefetched) / float64(ctr.L2MissesPrefetched+ctr.L2Misses)
+	if covered > 0.30 {
+		t.Errorf("prefetch claimed %.2f of random misses, want ≤ 0.30", covered)
+	}
+
+	// Zero-size access is a no-op.
+	before := cpu.Counters().L1DAccesses
+	cpu.DataRead(base, 0)
+	if cpu.Counters().L1DAccesses != before {
+		t.Error("zero-size read touched the cache")
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	cat := codemodel.NewCatalog()
+	cpu := newTestCPU(t, cat)
+	m := cat.MustModule("SeqScan")
+	cpu.ExecModule(m, 1)
+
+	cyc := cpu.CycleBreakdown()
+	if cyc.Base <= 0 || cyc.L1IMiss <= 0 {
+		t.Errorf("missing cycle components: %+v", cyc)
+	}
+	sum := cyc.Base + cyc.L1IMiss + cyc.ITLBMiss + cyc.L1DMiss + cyc.L2Miss + cyc.Mispredict
+	if got := cyc.Total(); got != sum {
+		t.Errorf("Total() = %v, components sum to %v", got, sum)
+	}
+	if cpu.TotalCycles() != cyc.Total() {
+		t.Error("TotalCycles troubles")
+	}
+	if sec := cpu.ElapsedSeconds(); sec <= 0 || sec > 1 {
+		t.Errorf("elapsed = %v s", sec)
+	}
+	if cpi := cpu.CPI(); cpi < 1 {
+		t.Errorf("CPI = %v, must be ≥ 1 (base cost alone is 1)", cpi)
+	}
+	cpu.Reset()
+	if cpu.TotalCycles() != 0 || cpu.Counters().Uops != 0 {
+		t.Error("Reset did not clear accounting")
+	}
+	if cpu.CPI() != 0 {
+		t.Error("CPI over zero uops must be 0")
+	}
+}
+
+func TestCallerOutcomeDiffersAcrossModules(t *testing.T) {
+	// Two modules disagree at roughly half the shared sites.
+	differ, total := 0, 0
+	for pc := uint64(0x400000); pc < 0x400000+64*1024; pc += 997 {
+		total++
+		if callerOutcome(pc, 1) != callerOutcome(pc, 2) {
+			differ++
+		}
+	}
+	frac := float64(differ) / float64(total)
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("modules disagree at %.2f of sites, want ≈ 0.5", frac)
+	}
+	// Deterministic.
+	if callerOutcome(0x1234, 7) != callerOutcome(0x1234, 7) {
+		t.Error("callerOutcome not deterministic")
+	}
+}

@@ -1,0 +1,98 @@
+package cpusim
+
+import "testing"
+
+func mustICache(t *testing.T, sizeBytes int) *ICache {
+	t.Helper()
+	c, err := NewICache(sizeBytes, 64, 0x1000, 0x1000+1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestICacheGeometryErrors(t *testing.T) {
+	if _, err := NewICache(0, 64, 0, 100); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := NewICache(1024, 48, 0, 100); err == nil {
+		t.Error("non-power-of-two line accepted")
+	}
+	if _, err := NewICache(1024, 64, 100, 100); err == nil {
+		t.Error("empty code range accepted")
+	}
+}
+
+func TestICacheHitMiss(t *testing.T) {
+	c := mustICache(t, 1024) // 16 lines
+	if c.Access(0x1000) {
+		t.Error("cold hit")
+	}
+	if !c.Access(0x1000) || !c.Access(0x103f) {
+		t.Error("warm miss")
+	}
+	if c.Hits() != 2 || c.Misses() != 1 || c.Resident() != 1 {
+		t.Errorf("hits=%d misses=%d resident=%d", c.Hits(), c.Misses(), c.Resident())
+	}
+	if c.Capacity() != 16 {
+		t.Errorf("capacity = %d", c.Capacity())
+	}
+}
+
+func TestICacheLRUEviction(t *testing.T) {
+	c := mustICache(t, 256) // 4 lines
+	for i := 0; i < 4; i++ {
+		c.Access(0x1000 + uint64(i*64))
+	}
+	c.Access(0x1000)        // line 0 becomes MRU
+	c.Access(0x1000 + 4*64) // evicts line 1 (the LRU)
+	if !c.Contains(0x1000) {
+		t.Error("MRU evicted")
+	}
+	if c.Contains(0x1000 + 64) {
+		t.Error("LRU survived")
+	}
+	if c.Resident() != 4 {
+		t.Errorf("resident = %d", c.Resident())
+	}
+}
+
+func TestICacheCyclicOverflowThrashes(t *testing.T) {
+	// The defining property for the thrashing study: a cyclic working set
+	// one line over capacity misses on every access under LRU.
+	c := mustICache(t, 256) // 4 lines
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 5; i++ {
+			c.Access(0x1000 + uint64(i*64))
+		}
+	}
+	if c.Hits() != 0 {
+		t.Errorf("cyclic overflow got %d hits, want 0", c.Hits())
+	}
+}
+
+func TestICacheOutOfRangePanics(t *testing.T) {
+	c := mustICache(t, 1024)
+	for _, addr := range []uint64{0xfff, 0x1000 + 2<<20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fetch at %#x did not panic", addr)
+				}
+			}()
+			c.Access(addr)
+		}()
+	}
+}
+
+func TestICacheReset(t *testing.T) {
+	c := mustICache(t, 1024)
+	c.Access(0x1000)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 || c.Resident() != 0 || c.Contains(0x1000) {
+		t.Error("Reset incomplete")
+	}
+	if c.Access(0x1000) {
+		t.Error("hit after Reset")
+	}
+}

@@ -1,0 +1,159 @@
+package cpusim
+
+import (
+	"math/rand"
+	"testing"
+
+	"bufferdb/internal/codemodel"
+)
+
+// refLRU is a brute-force fully-associative LRU cache used as the reference
+// model for ICache.
+type refLRU struct {
+	capacity int
+	order    []uint64 // MRU first
+}
+
+func (r *refLRU) access(line uint64) bool {
+	for i, l := range r.order {
+		if l == line {
+			copy(r.order[1:i+1], r.order[:i])
+			r.order[0] = line
+			return true
+		}
+	}
+	if len(r.order) == r.capacity {
+		r.order = r.order[:len(r.order)-1]
+	}
+	r.order = append([]uint64{line}, r.order...)
+	return false
+}
+
+// TestICacheMatchesReferenceModel drives ICache and a brute-force LRU with
+// the same random access stream and requires identical hit/miss behavior.
+func TestICacheMatchesReferenceModel(t *testing.T) {
+	const capacity = 32
+	c, err := NewICache(capacity*64, 64, 0x1000, 0x1000+1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := &refLRU{capacity: capacity}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50_000; i++ {
+		// Mix of cyclic and random accesses to stress both regimes.
+		var line uint64
+		if rng.Intn(2) == 0 {
+			line = uint64(i % 48) // cyclic overflow working set
+		} else {
+			line = uint64(rng.Intn(256))
+		}
+		addr := 0x1000 + line*64
+		got := c.Access(addr)
+		want := ref.access(line)
+		if got != want {
+			t.Fatalf("step %d (line %d): ICache hit=%v, reference hit=%v", i, line, got, want)
+		}
+	}
+	if int(c.Misses()+c.Hits()) != 50_000 {
+		t.Errorf("counter total = %d", c.Misses()+c.Hits())
+	}
+}
+
+// refSetAssoc is a brute-force set-associative LRU reference for Cache.
+type refSetAssoc struct {
+	nSets, ways int
+	sets        [][]uint64 // per-set MRU-first line lists
+}
+
+func (r *refSetAssoc) access(line uint64) bool {
+	set := int(line % uint64(r.nSets))
+	lst := r.sets[set]
+	for i, l := range lst {
+		if l == line {
+			copy(lst[1:i+1], lst[:i])
+			lst[0] = line
+			return true
+		}
+	}
+	if len(lst) == r.ways {
+		lst = lst[:len(lst)-1]
+	}
+	r.sets[set] = append([]uint64{line}, lst...)
+	return false
+}
+
+// TestCacheMatchesReferenceModel model-checks the set-associative Cache.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	const (
+		sizeBytes = 8192
+		lineBytes = 64
+		ways      = 4
+	)
+	c, err := NewCache(CacheConfig{Name: "m", SizeBytes: sizeBytes, LineBytes: lineBytes, Ways: ways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSets := sizeBytes / (lineBytes * ways)
+	ref := &refSetAssoc{nSets: nSets, ways: ways, sets: make([][]uint64, nSets)}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 50_000; i++ {
+		line := uint64(rng.Intn(4 * nSets * ways))
+		got := c.Access(line * lineBytes)
+		want := ref.access(line)
+		if got != want {
+			t.Fatalf("step %d (line %d): Cache hit=%v, reference hit=%v", i, line, got, want)
+		}
+	}
+}
+
+// TestTLBMatchesReferenceModel model-checks the fully-associative TLB.
+func TestTLBMatchesReferenceModel(t *testing.T) {
+	const entries = 16
+	tlb := NewTLB(entries, 4096)
+	ref := &refLRU{capacity: entries}
+	rng := rand.New(rand.NewSource(37))
+	for i := 0; i < 20_000; i++ {
+		page := uint64(rng.Intn(48))
+		got := tlb.Access(page * 4096)
+		want := ref.access(page)
+		if got != want {
+			t.Fatalf("step %d (page %d): TLB hit=%v, reference hit=%v", i, page, got, want)
+		}
+	}
+}
+
+// TestL1IPrefetchNextLines unit-tests the optional instruction prefetcher
+// on a thrashing two-module interleave: prefetching must install lines and
+// reduce misses, without changing executed work.
+func TestL1IPrefetchNextLines(t *testing.T) {
+	cat := codemodel.NewCatalog()
+	scan := cat.MustModule("SeqScanPred")
+	agg, err := cat.AggModule([]string{"sum", "avg", "count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.L1IPrefetchNextLines = 3
+	cpuPF := MustNew(cfg, cat.TextSegmentBytes())
+	cpuNo := MustNew(DefaultConfig(), cat.TextSegmentBytes())
+
+	for i := 0; i < 500; i++ {
+		cpuPF.ExecModule(scan, 0)
+		cpuPF.ExecModule(agg, 0)
+		cpuNo.ExecModule(scan, 0)
+		cpuNo.ExecModule(agg, 0)
+	}
+	pf, no := cpuPF.Counters(), cpuNo.Counters()
+	if pf.L1IPrefetches == 0 {
+		t.Fatal("prefetcher never installed a line")
+	}
+	if pf.L1IMisses >= no.L1IMisses {
+		t.Errorf("prefetch did not reduce misses: %d vs %d", pf.L1IMisses, no.L1IMisses)
+	}
+	if no.L1IPrefetches != 0 {
+		t.Error("prefetch counter moved while disabled")
+	}
+	if pf.Uops != no.Uops || pf.Branches != no.Branches {
+		t.Error("prefetching changed executed work")
+	}
+}

@@ -1,0 +1,68 @@
+package cpusim
+
+// TLB is a fully-associative translation lookaside buffer with LRU
+// replacement, used for the instruction TLB. Entry counts are small
+// (tens of entries), so the linear scan is cheap; callers additionally
+// short-circuit repeated accesses to the same page.
+type TLB struct {
+	pageBits uint
+	pages    []uint64 // +1 offset, 0 = empty
+	lastUse  []uint64
+	clock    uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewTLB builds a TLB with the given entry count and page size.
+func NewTLB(entries, pageBytes int) *TLB {
+	bits := uint(0)
+	for 1<<bits < pageBytes {
+		bits++
+	}
+	return &TLB{
+		pageBits: bits,
+		pages:    make([]uint64, entries),
+		lastUse:  make([]uint64, entries),
+	}
+}
+
+// Access translates addr, returning true on a TLB hit. Misses install the
+// page, evicting the LRU entry.
+func (t *TLB) Access(addr uint64) bool {
+	page := (addr >> t.pageBits) + 1
+	t.clock++
+	lru, lruUse := 0, t.lastUse[0]
+	for i, p := range t.pages {
+		if p == page {
+			t.lastUse[i] = t.clock
+			t.hits++
+			return true
+		}
+		if t.lastUse[i] < lruUse {
+			lru, lruUse = i, t.lastUse[i]
+		}
+	}
+	t.pages[lru] = page
+	t.lastUse[lru] = t.clock
+	t.misses++
+	return false
+}
+
+// PageOf returns the page number containing addr.
+func (t *TLB) PageOf(addr uint64) uint64 { return addr >> t.pageBits }
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Reset clears contents and counters.
+func (t *TLB) Reset() {
+	for i := range t.pages {
+		t.pages[i] = 0
+		t.lastUse[i] = 0
+	}
+	t.clock, t.hits, t.misses = 0, 0, 0
+}

@@ -1,0 +1,266 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/expr"
+	"bufferdb/internal/storage"
+)
+
+// Aggregate implements grouped and ungrouped aggregation with hashed
+// grouping. With no GROUP BY expressions it produces exactly one row (the
+// paper's Query 1 and Query 2 shape); with grouping it produces one row per
+// group, emitted in group-key order for deterministic results.
+//
+// The aggregation module's instruction footprint depends on which aggregate
+// functions the query uses — the paper's Table 2 lists the base plus
+// per-function increments — so the planner requests the module from
+// codemodel.AggModule with the query's function list.
+type Aggregate struct {
+	Child   Operator
+	GroupBy []expr.Expr
+	Aggs    []expr.AggSpec
+
+	module *codemodel.Module
+	label  byte
+	schema storage.Schema
+
+	groups       map[string]*aggGroup
+	order        []string
+	pos          int
+	done         bool
+	opened       bool
+	tableRegion  uint64
+	tableBuckets uint64
+}
+
+type aggGroup struct {
+	keyVals storage.Row
+	accs    []expr.Accumulator
+}
+
+// NewAggregate constructs the operator, deriving the output schema.
+// module may be nil.
+func NewAggregate(child Operator, groupBy []expr.Expr, aggs []expr.AggSpec, module *codemodel.Module) (*Aggregate, error) {
+	a := &Aggregate{
+		Child:   child,
+		GroupBy: groupBy,
+		Aggs:    aggs,
+		module:  module,
+		label:   'A',
+	}
+	for i, g := range groupBy {
+		name := fmt.Sprintf("group%d", i)
+		if cr, ok := g.(*expr.ColRef); ok {
+			name = cr.Name
+		}
+		a.schema = append(a.schema, storage.Column{Name: name, Type: g.Type()})
+	}
+	for _, spec := range aggs {
+		ty, err := spec.ResultType()
+		if err != nil {
+			return nil, err
+		}
+		a.schema = append(a.schema, storage.Column{Name: spec.OutputName(), Type: ty})
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("exec: Aggregate needs at least one aggregate")
+	}
+	return a, nil
+}
+
+// SetTraceLabel sets the trace label.
+func (a *Aggregate) SetTraceLabel(b byte) { a.label = b }
+
+// Open implements Operator.
+func (a *Aggregate) Open(ctx *Context) error {
+	if err := a.Child.Open(ctx); err != nil {
+		return err
+	}
+	a.groups = make(map[string]*aggGroup)
+	a.order = nil
+	a.pos, a.done = 0, false
+	if ctx.CPU != nil && a.tableRegion == 0 {
+		a.tableBuckets = 1 << 12
+		a.tableRegion = ctx.CPU.AllocData(int(a.tableBuckets) * 64)
+	}
+	a.opened = true
+	return nil
+}
+
+// groupAddr maps a group key to its simulated accumulator address.
+func (a *Aggregate) groupAddr(key string) uint64 {
+	if a.tableRegion == 0 {
+		return 0
+	}
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return a.tableRegion + (h%a.tableBuckets)*64
+}
+
+// consume drains the child, folding every row into its group.
+func (a *Aggregate) consume(ctx *Context) error {
+	for {
+		row, err := a.Child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keyVals := make(storage.Row, len(a.GroupBy))
+		for i, g := range a.GroupBy {
+			v, err := g.Eval(row)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+		}
+		key := keyVals.String()
+		grp, ok := a.groups[key]
+		if !ok {
+			grp = &aggGroup{keyVals: keyVals, accs: make([]expr.Accumulator, len(a.Aggs))}
+			for i, spec := range a.Aggs {
+				acc, err := expr.NewAccumulator(spec)
+				if err != nil {
+					return err
+				}
+				grp.accs[i] = acc
+			}
+			a.groups[key] = grp
+			a.order = append(a.order, key)
+		}
+		for _, acc := range grp.accs {
+			if err := acc.Add(row); err != nil {
+				return err
+			}
+		}
+		// The transition functions touch the group's accumulator state.
+		addr := a.groupAddr(key)
+		ctx.Read(addr, 64)
+		ctx.Write(addr, 64)
+		ctx.ExecModule(a.module, ctx.DataBits(!ok))
+	}
+	// Deterministic output order: sort groups by key values.
+	sort.Slice(a.order, func(i, j int) bool {
+		gi, gj := a.groups[a.order[i]], a.groups[a.order[j]]
+		for k := range gi.keyVals {
+			if c := storage.Compare(gi.keyVals[k], gj.keyVals[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	a.done = true
+	return nil
+}
+
+// Next implements Operator.
+func (a *Aggregate) Next(ctx *Context) (storage.Row, error) {
+	if !a.opened {
+		return nil, errNotOpen(a.Name())
+	}
+	if ctx.Trace != nil {
+		ctx.Trace.Record(a.label, a.Name())
+	}
+	if !a.done {
+		if err := a.consume(ctx); err != nil {
+			return nil, err
+		}
+	}
+	// Ungrouped aggregation over zero rows still yields one row
+	// (COUNT(*) = 0, SUM = NULL, …).
+	if len(a.GroupBy) == 0 && len(a.order) == 0 && a.pos == 0 {
+		a.pos++
+		out := make(storage.Row, 0, len(a.Aggs))
+		for _, spec := range a.Aggs {
+			acc, err := expr.NewAccumulator(spec)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, acc.Result())
+		}
+		ctx.ExecModule(a.module, ctx.DataBits(true))
+		return out, nil
+	}
+	if a.pos >= len(a.order) {
+		return nil, nil
+	}
+	grp := a.groups[a.order[a.pos]]
+	a.pos++
+	out := make(storage.Row, 0, len(a.GroupBy)+len(a.Aggs))
+	out = append(out, grp.keyVals...)
+	for _, acc := range grp.accs {
+		out = append(out, acc.Result())
+	}
+	ctx.ExecModule(a.module, ctx.DataBits(true))
+	return out, nil
+}
+
+// Close implements Operator.
+func (a *Aggregate) Close(ctx *Context) error {
+	a.opened = false
+	a.groups = nil
+	a.order = nil
+	return a.Child.Close(ctx)
+}
+
+// Schema implements Operator.
+func (a *Aggregate) Schema() storage.Schema { return a.schema }
+
+// Children implements Operator.
+func (a *Aggregate) Children() []Operator { return []Operator{a.Child} }
+
+// Name implements Operator.
+func (a *Aggregate) Name() string {
+	aggs := make([]string, len(a.Aggs))
+	for i, s := range a.Aggs {
+		aggs[i] = s.String()
+	}
+	if len(a.GroupBy) == 0 {
+		return fmt.Sprintf("Aggregate(%s)", strings.Join(aggs, ", "))
+	}
+	groups := make([]string, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		groups[i] = g.String()
+	}
+	return fmt.Sprintf("Aggregate(%s GROUP BY %s)", strings.Join(aggs, ", "), strings.Join(groups, ", "))
+}
+
+// Module implements Operator.
+func (a *Aggregate) Module() *codemodel.Module { return a.module }
+
+// Blocking implements Operator. Although aggregation consumes its whole
+// input before emitting, its transition code runs once per input tuple,
+// interleaved with the child — which is exactly the thrashing pattern the
+// paper buffers against. The paper accordingly treats Aggregation as a
+// regular execution-group member (its Query 2 groups Scan and Aggregation
+// together; its Query 1 buffers between them), reserving the blocking
+// exclusion for sort and hash-table building. We follow that.
+func (a *Aggregate) Blocking() bool { return false }
+
+// AggFuncNames extracts the lower-case function-name list for
+// codemodel.AggModule from a spec list.
+func AggFuncNames(specs []expr.AggSpec) []string {
+	var out []string
+	for _, s := range specs {
+		switch s.Func {
+		case expr.AggCountStar, expr.AggCount:
+			out = append(out, "count")
+		case expr.AggSum:
+			out = append(out, "sum")
+		case expr.AggAvg:
+			out = append(out, "avg")
+		case expr.AggMin:
+			out = append(out, "min")
+		case expr.AggMax:
+			out = append(out, "max")
+		}
+	}
+	return out
+}

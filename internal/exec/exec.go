@@ -1,0 +1,240 @@
+// Package exec implements the demand-pull (Volcano-style) query execution
+// engine: open/next/close iterators for scans, joins, sorting and
+// aggregation, in the mold of the PostgreSQL executor the paper studies.
+//
+// Every operator is instrumented: each Next() invocation replays the
+// operator's synthetic instruction footprint (internal/codemodel) through
+// the simulated CPU (internal/cpusim) and models its tuple traffic through
+// the simulated data caches. Running a plan therefore produces both the real
+// query result and the hardware-counter profile the paper's figures are
+// built from. With a nil CPU the engine runs uninstrumented at full speed,
+// which is what the correctness tests and the wall-clock benchmarks use.
+package exec
+
+import (
+	"fmt"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/cpusim"
+	"bufferdb/internal/storage"
+)
+
+// Operator is the open-next-close iterator interface (paper §4). Next
+// returns (nil, nil) at end of stream. An operator may be reopened after
+// Close; Open must reset all state.
+type Operator interface {
+	Open(ctx *Context) error
+	Next(ctx *Context) (storage.Row, error)
+	Close(ctx *Context) error
+	// Schema describes the rows Next produces.
+	Schema() storage.Schema
+	// Children returns the input operators, outer first.
+	Children() []Operator
+	// Name is a short display name for EXPLAIN and traces.
+	Name() string
+	// Module is the operator's instruction-footprint module; nil means the
+	// operator has no modeled code (e.g. test fixtures).
+	Module() *codemodel.Module
+	// Blocking reports whether the operator must consume its entire input
+	// before producing output (sort, hash build). Blocking operators
+	// already batch execution below them, so the plan refinement algorithm
+	// never wraps them in buffers (paper §6).
+	Blocking() bool
+}
+
+// Rescannable is implemented by inner operators of a nested-loop join: the
+// join repositions them with a new key for every outer tuple.
+type Rescannable interface {
+	Operator
+	// Rescan resets the operator to produce the rows matching key.
+	Rescan(key storage.Value) error
+}
+
+// Context carries per-execution state: the catalog, the (optional) CPU
+// simulator and the (optional) invocation tracer.
+type Context struct {
+	Catalog *storage.Catalog
+	// CPU is the simulated processor; nil runs uninstrumented.
+	CPU *cpusim.CPU
+	// Trace, when non-nil, records the operator invocation sequence
+	// (paper Fig. 1).
+	Trace *Tracer
+
+	// bitsState seeds the pseudo-random data-branch outcome stream.
+	bitsState uint64
+}
+
+// ExecModule replays one invocation of m on the simulated CPU; no-op when
+// uninstrumented or for module-less operators.
+func (c *Context) ExecModule(m *codemodel.Module, dataBits uint64) {
+	if c.CPU != nil && m != nil {
+		c.CPU.ExecModule(m, dataBits)
+	}
+}
+
+// Read models a data load.
+func (c *Context) Read(addr uint64, size int) {
+	if c.CPU != nil && addr != 0 {
+		c.CPU.DataRead(addr, size)
+	}
+}
+
+// Write models a data store.
+func (c *Context) Write(addr uint64, size int) {
+	if c.CPU != nil && addr != 0 {
+		c.CPU.DataWrite(addr, size)
+	}
+}
+
+// DataBits combines a meaningful outcome bit (bit 0: predicate result, join
+// match, …) with pseudo-random noise bits for the remaining data-dependent
+// branch sites of a module.
+func (c *Context) DataBits(outcome bool) uint64 {
+	c.bitsState += 0x9e3779b97f4a7c15
+	z := c.bitsState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	bits := z &^ 1
+	if outcome {
+		bits |= 1
+	}
+	return bits
+}
+
+// PlaceCatalog assigns simulated memory addresses to every table in the
+// catalog so scans generate data-cache traffic. Call once per CPU.
+func PlaceCatalog(cpu *cpusim.CPU, cat *storage.Catalog) {
+	for _, t := range cat.Tables() {
+		rowBytes := t.AvgRowBytes()
+		base := cpu.AllocData(rowBytes * (t.NumRows() + 1))
+		t.SetPlacement(base, rowBytes)
+	}
+}
+
+// Arena models an operator's memory context: intermediate tuples are
+// written sequentially into a fixed region, wrapping at the end. A consumer
+// that reads a tuple immediately (one-tuple-at-a-time pipelining) hits the
+// data cache; a consumer that reads it after a large batch of later
+// allocations (a buffered plan) pays data-cache misses — sequential ones,
+// which the hardware prefetcher mostly hides. This is precisely the L2
+// trade-off of paper §7.4.
+type Arena struct {
+	base uint64
+	size uint64
+	off  uint64
+}
+
+// arenaBytes is large enough that even the biggest buffer-size sweep (64 K
+// tuples) never laps itself within one batch.
+const arenaBytes = 32 << 20
+
+// NewArena reserves an arena on the CPU's simulated heap; with a nil CPU it
+// returns an inert arena whose allocations are address 0 (unmodeled).
+func NewArena(cpu *cpusim.CPU) *Arena {
+	if cpu == nil {
+		return &Arena{}
+	}
+	return &Arena{base: cpu.AllocData(arenaBytes), size: arenaBytes}
+}
+
+// Alloc reserves size bytes and returns the simulated address (0 when
+// unmodeled).
+func (a *Arena) Alloc(size int) uint64 {
+	if a.base == 0 {
+		return 0
+	}
+	sz := uint64(size)
+	if sz > a.size {
+		sz = a.size
+	}
+	if a.off+sz > a.size {
+		a.off = 0
+	}
+	addr := a.base + a.off
+	a.off += (sz + 63) &^ 63
+	return addr
+}
+
+// Tracer records the operator execution sequence, reproducing the paper's
+// Figure 1 (PCPCPC… vs PCCCCCPPPPP…).
+type Tracer struct {
+	max    int
+	events []byte
+	labels map[byte]string
+}
+
+// NewTracer records up to max events.
+func NewTracer(max int) *Tracer {
+	return &Tracer{max: max, labels: make(map[byte]string)}
+}
+
+// Record appends one event tagged by a single-letter operator label.
+func (t *Tracer) Record(label byte, name string) {
+	if len(t.events) < t.max {
+		t.events = append(t.events, label)
+		if _, ok := t.labels[label]; !ok {
+			t.labels[label] = name
+		}
+	}
+}
+
+// String renders the recorded sequence, e.g. "PCPCPCPC".
+func (t *Tracer) String() string { return string(t.events) }
+
+// Legend maps labels to operator names.
+func (t *Tracer) Legend() map[byte]string { return t.labels }
+
+// Run drives a plan to completion and returns all result rows. It opens,
+// drains and closes the root operator.
+func Run(ctx *Context, root Operator) ([]storage.Row, error) {
+	if err := root.Open(ctx); err != nil {
+		return nil, err
+	}
+	var out []storage.Row
+	for {
+		row, err := root.Next(ctx)
+		if err != nil {
+			_ = root.Close(ctx)
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		out = append(out, row)
+	}
+	if err := root.Close(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Walk visits the operator tree in depth-first pre-order.
+func Walk(op Operator, visit func(Operator)) {
+	visit(op)
+	for _, c := range op.Children() {
+		Walk(c, visit)
+	}
+}
+
+// FormatPlan renders an operator tree as an indented EXPLAIN-style listing.
+func FormatPlan(op Operator) string {
+	var b []byte
+	var rec func(o Operator, depth int)
+	rec = func(o Operator, depth int) {
+		for i := 0; i < depth; i++ {
+			b = append(b, ' ', ' ')
+		}
+		b = append(b, o.Name()...)
+		b = append(b, '\n')
+		for _, c := range o.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(op, 0)
+	return string(b)
+}
+
+// errNotOpen is a shared guard error for operators driven before Open.
+func errNotOpen(name string) error {
+	return fmt.Errorf("exec: %s.Next called before Open", name)
+}

@@ -1,0 +1,533 @@
+package exec
+
+import (
+	"fmt"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/expr"
+	"bufferdb/internal/storage"
+)
+
+// keyEval evaluates a join key expression, enforcing the engine's rule that
+// equi-join keys are BIGINT-typed (all TPC-H keys are).
+func keyEval(e expr.Expr, row storage.Row) (int64, bool, error) {
+	v, err := e.Eval(row)
+	if err != nil {
+		return 0, false, err
+	}
+	if v.IsNull() {
+		return 0, false, nil
+	}
+	if v.Kind != storage.TypeInt64 {
+		return 0, false, fmt.Errorf("exec: join key must be BIGINT, got %v", v.Kind)
+	}
+	return v.I, true, nil
+}
+
+// NestLoopJoin is an (index) nested-loop join: for each outer tuple it
+// rescans the inner operator with the outer key and emits the
+// concatenation of outer and inner rows.
+type NestLoopJoin struct {
+	Outer    Operator
+	Inner    Rescannable
+	OuterKey expr.Expr
+	// Residual is an optional extra predicate over the concatenated row.
+	Residual expr.Expr
+
+	module *codemodel.Module
+	label  byte
+	arena  *Arena
+	schema storage.Schema
+
+	outerRow storage.Row
+	opened   bool
+}
+
+// NewNestLoopJoin constructs the join. module may be nil.
+func NewNestLoopJoin(outer Operator, inner Rescannable, outerKey expr.Expr, residual expr.Expr, module *codemodel.Module) *NestLoopJoin {
+	return &NestLoopJoin{
+		Outer:    outer,
+		Inner:    inner,
+		OuterKey: outerKey,
+		Residual: residual,
+		module:   module,
+		label:    'N',
+		schema:   outer.Schema().Concat(inner.Schema()),
+	}
+}
+
+// SetTraceLabel sets the trace label.
+func (j *NestLoopJoin) SetTraceLabel(b byte) { j.label = b }
+
+// Open implements Operator.
+func (j *NestLoopJoin) Open(ctx *Context) error {
+	if err := j.Outer.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Inner.Open(ctx); err != nil {
+		return err
+	}
+	j.arena = NewArena(ctx.CPU)
+	j.outerRow = nil
+	j.opened = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *NestLoopJoin) Next(ctx *Context) (storage.Row, error) {
+	if !j.opened {
+		return nil, errNotOpen(j.Name())
+	}
+	if ctx.Trace != nil {
+		ctx.Trace.Record(j.label, j.Name())
+	}
+	for {
+		if j.outerRow == nil {
+			row, err := j.Outer.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				return nil, nil
+			}
+			j.outerRow = row
+			key, ok, err := keyEval(j.OuterKey, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				// NULL key joins nothing.
+				j.outerRow = nil
+				continue
+			}
+			if err := j.Inner.Rescan(storage.NewInt(key)); err != nil {
+				return nil, err
+			}
+		}
+		inner, err := j.Inner.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if inner == nil {
+			j.outerRow = nil
+			ctx.ExecModule(j.module, ctx.DataBits(false))
+			continue
+		}
+		out := j.outerRow.Concat(inner)
+		if j.Residual != nil {
+			match, err := expr.EvalBool(j.Residual, out)
+			if err != nil {
+				return nil, err
+			}
+			if !match {
+				ctx.ExecModule(j.module, ctx.DataBits(false))
+				continue
+			}
+		}
+		ctx.ExecModule(j.module, ctx.DataBits(true))
+		ctx.Write(j.arena.Alloc(out.ByteSize()), out.ByteSize())
+		return out, nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestLoopJoin) Close(ctx *Context) error {
+	j.opened = false
+	err1 := j.Outer.Close(ctx)
+	err2 := j.Inner.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Operator.
+func (j *NestLoopJoin) Schema() storage.Schema { return j.schema }
+
+// Children implements Operator.
+func (j *NestLoopJoin) Children() []Operator { return []Operator{j.Outer, j.Inner} }
+
+// Name implements Operator.
+func (j *NestLoopJoin) Name() string {
+	return fmt.Sprintf("NestLoopJoin(key=%s)", j.OuterKey.String())
+}
+
+// Module implements Operator.
+func (j *NestLoopJoin) Module() *codemodel.Module { return j.module }
+
+// Blocking implements Operator.
+func (j *NestLoopJoin) Blocking() bool { return false }
+
+// HashJoin is an in-memory equi-hash-join. Open drains the build (inner)
+// side into a hash table — the blocking build phase, a separate module in
+// the paper's footprint analysis — and Next streams the probe (outer) side.
+type HashJoin struct {
+	Outer    Operator // probe side
+	Inner    Operator // build side
+	OuterKey expr.Expr
+	InnerKey expr.Expr
+
+	buildModule *codemodel.Module
+	probeModule *codemodel.Module
+	label       byte
+	arena       *Arena
+	schema      storage.Schema
+
+	table        map[int64][]storage.Row
+	bucketRegion uint64
+	bucketCount  uint64
+
+	current    []storage.Row
+	currentPos int
+	outerRow   storage.Row
+	opened     bool
+}
+
+// NewHashJoin constructs the join; modules may be nil.
+func NewHashJoin(outer, inner Operator, outerKey, innerKey expr.Expr, buildModule, probeModule *codemodel.Module) *HashJoin {
+	return &HashJoin{
+		Outer:       outer,
+		Inner:       inner,
+		OuterKey:    outerKey,
+		InnerKey:    innerKey,
+		buildModule: buildModule,
+		probeModule: probeModule,
+		label:       'H',
+		schema:      outer.Schema().Concat(inner.Schema()),
+	}
+}
+
+// SetTraceLabel sets the trace label.
+func (j *HashJoin) SetTraceLabel(b byte) { j.label = b }
+
+// bucketAddr maps a key to its simulated bucket address — a random-access
+// pattern the prefetcher cannot cover, as with a real hash table.
+func (j *HashJoin) bucketAddr(key int64) uint64 {
+	if j.bucketRegion == 0 {
+		return 0
+	}
+	x := uint64(key) * 0x9e3779b97f4a7c15
+	x ^= x >> 32
+	return j.bucketRegion + (x%j.bucketCount)*16
+}
+
+// Open implements Operator: it runs the build phase.
+func (j *HashJoin) Open(ctx *Context) error {
+	if err := j.Outer.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Inner.Open(ctx); err != nil {
+		return err
+	}
+	j.arena = NewArena(ctx.CPU)
+	j.table = make(map[int64][]storage.Row)
+	j.current, j.outerRow = nil, nil
+	j.currentPos = 0
+
+	// Size the simulated bucket array lazily from the first build; use a
+	// fixed generous region.
+	if ctx.CPU != nil {
+		j.bucketCount = 1 << 16
+		j.bucketRegion = ctx.CPU.AllocData(int(j.bucketCount) * 16)
+	}
+	buildArena := NewArena(ctx.CPU)
+	for {
+		row, err := j.Inner.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		key, ok, err := keyEval(j.InnerKey, row)
+		if err != nil {
+			return err
+		}
+		ctx.ExecModule(j.buildModule, ctx.DataBits(ok))
+		if !ok {
+			continue
+		}
+		j.table[key] = append(j.table[key], row)
+		// Copy the tuple into hash-table memory and link the bucket.
+		ctx.Write(buildArena.Alloc(row.ByteSize()), row.ByteSize())
+		ctx.Write(j.bucketAddr(key), 16)
+	}
+	j.opened = true
+	return nil
+}
+
+// Next implements Operator: the probe phase.
+func (j *HashJoin) Next(ctx *Context) (storage.Row, error) {
+	if !j.opened {
+		return nil, errNotOpen(j.Name())
+	}
+	if ctx.Trace != nil {
+		ctx.Trace.Record(j.label, j.Name())
+	}
+	for {
+		if j.currentPos < len(j.current) {
+			inner := j.current[j.currentPos]
+			j.currentPos++
+			out := j.outerRow.Concat(inner)
+			ctx.ExecModule(j.probeModule, ctx.DataBits(true))
+			ctx.Read(j.bucketAddr(0), 16) // bucket chain advance
+			ctx.Write(j.arena.Alloc(out.ByteSize()), out.ByteSize())
+			return out, nil
+		}
+		row, err := j.Outer.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return nil, nil
+		}
+		key, ok, err := keyEval(j.OuterKey, row)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			ctx.ExecModule(j.probeModule, ctx.DataBits(false))
+			continue
+		}
+		ctx.Read(j.bucketAddr(key), 16)
+		matches := j.table[key]
+		ctx.ExecModule(j.probeModule, ctx.DataBits(len(matches) > 0))
+		j.outerRow = row
+		j.current = matches
+		j.currentPos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close(ctx *Context) error {
+	j.opened = false
+	j.table = nil
+	err1 := j.Outer.Close(ctx)
+	err2 := j.Inner.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() storage.Schema { return j.schema }
+
+// Children implements Operator.
+func (j *HashJoin) Children() []Operator { return []Operator{j.Outer, j.Inner} }
+
+// Name implements Operator.
+func (j *HashJoin) Name() string {
+	return fmt.Sprintf("HashJoin(%s = %s)", j.OuterKey.String(), j.InnerKey.String())
+}
+
+// Module implements Operator: the probe module (the pipelined phase).
+// The build module is reported through BuildModule.
+func (j *HashJoin) Module() *codemodel.Module { return j.probeModule }
+
+// BuildModule returns the blocking build phase's module.
+func (j *HashJoin) BuildModule() *codemodel.Module { return j.buildModule }
+
+// Blocking implements Operator: the probe phase pipelines (the build phase
+// inside Open is the blocking part, which the planner models separately).
+func (j *HashJoin) Blocking() bool { return false }
+
+// MergeJoin joins two inputs sorted on their keys. Duplicate right-side key
+// groups are buffered so every left row of a key joins the full group.
+type MergeJoin struct {
+	Left     Operator
+	Right    Operator
+	LeftKey  expr.Expr
+	RightKey expr.Expr
+
+	module *codemodel.Module
+	label  byte
+	arena  *Arena
+	schema storage.Schema
+
+	leftRow   storage.Row
+	leftKey   int64
+	rightRow  storage.Row // lookahead
+	rightKey  int64
+	group     []storage.Row
+	groupKey  int64
+	groupPos  int
+	rightDone bool
+	opened    bool
+}
+
+// NewMergeJoin constructs the join; module may be nil.
+func NewMergeJoin(left, right Operator, leftKey, rightKey expr.Expr, module *codemodel.Module) *MergeJoin {
+	return &MergeJoin{
+		Left:     left,
+		Right:    right,
+		LeftKey:  leftKey,
+		RightKey: rightKey,
+		module:   module,
+		label:    'M',
+		schema:   left.Schema().Concat(right.Schema()),
+	}
+}
+
+// SetTraceLabel sets the trace label.
+func (j *MergeJoin) SetTraceLabel(b byte) { j.label = b }
+
+// Open implements Operator.
+func (j *MergeJoin) Open(ctx *Context) error {
+	if err := j.Left.Open(ctx); err != nil {
+		return err
+	}
+	if err := j.Right.Open(ctx); err != nil {
+		return err
+	}
+	j.arena = NewArena(ctx.CPU)
+	j.leftRow, j.rightRow, j.group = nil, nil, nil
+	j.groupPos, j.rightDone = 0, false
+	j.opened = true
+	return nil
+}
+
+// advanceLeft pulls the next left row and its key.
+func (j *MergeJoin) advanceLeft(ctx *Context) error {
+	for {
+		row, err := j.Left.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			j.leftRow = nil
+			return nil
+		}
+		key, ok, err := keyEval(j.LeftKey, row)
+		if err != nil {
+			return err
+		}
+		ctx.ExecModule(j.module, ctx.DataBits(ok))
+		if !ok {
+			continue // NULL keys join nothing
+		}
+		j.leftRow, j.leftKey = row, key
+		return nil
+	}
+}
+
+// advanceRight pulls the next right row into the lookahead slot.
+func (j *MergeJoin) advanceRight(ctx *Context) error {
+	for {
+		row, err := j.Right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			j.rightRow = nil
+			j.rightDone = true
+			return nil
+		}
+		key, ok, err := keyEval(j.RightKey, row)
+		if err != nil {
+			return err
+		}
+		ctx.ExecModule(j.module, ctx.DataBits(ok))
+		if !ok {
+			continue
+		}
+		j.rightRow, j.rightKey = row, key
+		return nil
+	}
+}
+
+// loadGroup collects all right rows equal to the lookahead key.
+func (j *MergeJoin) loadGroup(ctx *Context) error {
+	j.group = j.group[:0]
+	j.groupKey = j.rightKey
+	for j.rightRow != nil && j.rightKey == j.groupKey {
+		j.group = append(j.group, j.rightRow)
+		if err := j.advanceRight(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (j *MergeJoin) Next(ctx *Context) (storage.Row, error) {
+	if !j.opened {
+		return nil, errNotOpen(j.Name())
+	}
+	if ctx.Trace != nil {
+		ctx.Trace.Record(j.label, j.Name())
+	}
+	// Prime inputs on the first call.
+	if j.leftRow == nil && j.group == nil && !j.rightDone {
+		if err := j.advanceLeft(ctx); err != nil {
+			return nil, err
+		}
+		if err := j.advanceRight(ctx); err != nil {
+			return nil, err
+		}
+		if j.rightRow != nil {
+			if err := j.loadGroup(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for {
+		if j.leftRow == nil || (len(j.group) == 0 && j.rightDone) {
+			return nil, nil
+		}
+		switch {
+		case j.leftKey == j.groupKey && len(j.group) > 0:
+			if j.groupPos < len(j.group) {
+				out := j.leftRow.Concat(j.group[j.groupPos])
+				j.groupPos++
+				ctx.ExecModule(j.module, ctx.DataBits(true))
+				ctx.Write(j.arena.Alloc(out.ByteSize()), out.ByteSize())
+				return out, nil
+			}
+			j.groupPos = 0
+			if err := j.advanceLeft(ctx); err != nil {
+				return nil, err
+			}
+		case j.leftKey < j.groupKey || len(j.group) == 0:
+			if err := j.advanceLeft(ctx); err != nil {
+				return nil, err
+			}
+		default: // leftKey > groupKey
+			if j.rightRow == nil {
+				return nil, nil
+			}
+			if err := j.loadGroup(ctx); err != nil {
+				return nil, err
+			}
+			j.groupPos = 0
+		}
+	}
+}
+
+// Close implements Operator.
+func (j *MergeJoin) Close(ctx *Context) error {
+	j.opened = false
+	err1 := j.Left.Close(ctx)
+	err2 := j.Right.Close(ctx)
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Schema implements Operator.
+func (j *MergeJoin) Schema() storage.Schema { return j.schema }
+
+// Children implements Operator.
+func (j *MergeJoin) Children() []Operator { return []Operator{j.Left, j.Right} }
+
+// Name implements Operator.
+func (j *MergeJoin) Name() string {
+	return fmt.Sprintf("MergeJoin(%s = %s)", j.LeftKey.String(), j.RightKey.String())
+}
+
+// Module implements Operator.
+func (j *MergeJoin) Module() *codemodel.Module { return j.module }
+
+// Blocking implements Operator.
+func (j *MergeJoin) Blocking() bool { return false }

@@ -1,0 +1,85 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"bufferdb/internal/storage"
+)
+
+func mkCase(t *testing.T, whens []When, elseExpr Expr) *Case {
+	t.Helper()
+	c, err := NewCase(whens, elseExpr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCaseBasic(t *testing.T) {
+	v := NewColRef(0, "v", storage.TypeInt64)
+	c := mkCase(t, []When{
+		{Cond: MustBinary(OpLt, v, intc(10)), Then: strc("small")},
+		{Cond: MustBinary(OpLt, v, intc(100)), Then: strc("medium")},
+	}, strc("large"))
+	cases := map[int64]string{5: "small", 50: "medium", 500: "large"}
+	for in, want := range cases {
+		got := mustEval(t, c, storage.Row{storage.NewInt(in)})
+		if got.S != want {
+			t.Errorf("CASE(%d) = %q, want %q", in, got.S, want)
+		}
+	}
+	if c.Type() != storage.TypeString {
+		t.Errorf("type = %v", c.Type())
+	}
+	if !strings.Contains(c.String(), "WHEN") || !strings.Contains(c.String(), "ELSE") {
+		t.Errorf("render = %q", c.String())
+	}
+}
+
+func TestCaseNoElseYieldsNull(t *testing.T) {
+	c := mkCase(t, []When{{Cond: boolc(false), Then: intc(1)}}, nil)
+	if got := mustEval(t, c, nil); !got.IsNull() {
+		t.Errorf("CASE without match = %v, want NULL", got)
+	}
+}
+
+func TestCaseNullConditionFallsThrough(t *testing.T) {
+	c := mkCase(t, []When{
+		{Cond: nullc(), Then: intc(1)},
+		{Cond: boolc(true), Then: intc(2)},
+	}, nil)
+	if got := mustEval(t, c, nil); got.I != 2 {
+		t.Errorf("NULL condition selected an arm: %v", got)
+	}
+}
+
+func TestCaseNumericWidening(t *testing.T) {
+	v := NewColRef(0, "v", storage.TypeInt64)
+	c := mkCase(t, []When{
+		{Cond: MustBinary(OpLt, v, intc(10)), Then: intc(1)},
+	}, floatc(0.5))
+	if c.Type() != storage.TypeFloat64 {
+		t.Fatalf("mixed int/float CASE type = %v", c.Type())
+	}
+	got := mustEval(t, c, storage.Row{storage.NewInt(3)})
+	if got.Kind != storage.TypeFloat64 || got.F != 1 {
+		t.Errorf("widened THEN arm = %+v", got)
+	}
+	got = mustEval(t, c, storage.Row{storage.NewInt(30)})
+	if got.F != 0.5 {
+		t.Errorf("ELSE arm = %+v", got)
+	}
+}
+
+func TestCaseErrors(t *testing.T) {
+	if _, err := NewCase(nil, nil); err == nil {
+		t.Error("empty CASE accepted")
+	}
+	if _, err := NewCase([]When{{Cond: intc(1), Then: intc(2)}}, nil); err == nil {
+		t.Error("non-boolean condition accepted")
+	}
+	if _, err := NewCase([]When{{Cond: boolc(true), Then: strc("x")}}, intc(1)); err == nil {
+		t.Error("string/int arm mix accepted")
+	}
+}

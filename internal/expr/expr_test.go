@@ -1,0 +1,301 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bufferdb/internal/storage"
+)
+
+func intc(v int64) Expr      { return NewConst(storage.NewInt(v)) }
+func floatc(v float64) Expr  { return NewConst(storage.NewFloat(v)) }
+func strc(v string) Expr     { return NewConst(storage.NewString(v)) }
+func boolc(v bool) Expr      { return NewConst(storage.NewBool(v)) }
+func nullc() Expr            { return NewConst(storage.Null) }
+func datec(y, m, d int) Expr { return NewConst(storage.DateFromYMD(y, m, d)) }
+
+func mustEval(t *testing.T, e Expr, row storage.Row) storage.Value {
+	t.Helper()
+	v, err := e.Eval(row)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e.String(), err)
+	}
+	return v
+}
+
+func TestColRef(t *testing.T) {
+	row := storage.Row{storage.NewInt(7), storage.NewString("x")}
+	c := NewColRef(1, "t.b", storage.TypeString)
+	if got := mustEval(t, c, row); got.S != "x" {
+		t.Errorf("ColRef eval = %v", got)
+	}
+	if c.Type() != storage.TypeString || c.String() != "t.b" {
+		t.Errorf("ColRef meta: %v %q", c.Type(), c.String())
+	}
+	oob := NewColRef(5, "t.z", storage.TypeInt64)
+	if _, err := oob.Eval(row); err == nil {
+		t.Error("out-of-range ColRef did not error")
+	}
+}
+
+func TestConst(t *testing.T) {
+	c := NewConst(storage.NewFloat(2.5))
+	if got := mustEval(t, c, nil); got.F != 2.5 {
+		t.Errorf("const = %v", got)
+	}
+	if NewConst(storage.NewString("s")).String() != "'s'" {
+		t.Error("string const not quoted")
+	}
+	if intc(3).String() != "3" {
+		t.Error("int const quoted")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		op       BinOp
+		l, r     Expr
+		wantKind storage.Type
+		wantI    int64
+		wantF    float64
+	}{
+		{OpAdd, intc(2), intc(3), storage.TypeInt64, 5, 0},
+		{OpSub, intc(2), intc(3), storage.TypeInt64, -1, 0},
+		{OpMul, intc(4), intc(3), storage.TypeInt64, 12, 0},
+		{OpAdd, intc(2), floatc(0.5), storage.TypeFloat64, 0, 2.5},
+		{OpMul, floatc(1.5), floatc(2), storage.TypeFloat64, 0, 3},
+		{OpDiv, intc(7), intc(2), storage.TypeFloat64, 0, 3.5},
+		{OpSub, floatc(1), floatc(0.25), storage.TypeFloat64, 0, 0.75},
+	}
+	for _, c := range cases {
+		b := MustBinary(c.op, c.l, c.r)
+		if b.Type() != c.wantKind {
+			t.Errorf("%s type = %v, want %v", b, b.Type(), c.wantKind)
+		}
+		got := mustEval(t, b, nil)
+		if got.Kind != c.wantKind || got.I != c.wantI || got.F != c.wantF {
+			t.Errorf("%s = %+v", b, got)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	b := MustBinary(OpDiv, intc(1), intc(0))
+	if _, err := b.Eval(nil); err == nil {
+		t.Error("division by zero did not error")
+	}
+}
+
+func TestDateArithmetic(t *testing.T) {
+	plus := MustBinary(OpAdd, datec(1998, 8, 31), intc(2))
+	if got := mustEval(t, plus, nil); got.String() != "1998-09-02" {
+		t.Errorf("date + 2 = %v", got)
+	}
+	minus := MustBinary(OpSub, datec(1998, 9, 2), intc(2))
+	if got := mustEval(t, minus, nil); got.String() != "1998-08-31" {
+		t.Errorf("date - 2 = %v", got)
+	}
+	diff := MustBinary(OpSub, datec(1998, 9, 2), datec(1998, 8, 31))
+	if got := mustEval(t, diff, nil); got.Kind != storage.TypeInt64 || got.I != 2 {
+		t.Errorf("date - date = %v", got)
+	}
+	rplus := MustBinary(OpAdd, intc(2), datec(1998, 8, 31))
+	if got := mustEval(t, rplus, nil); got.String() != "1998-09-02" {
+		t.Errorf("2 + date = %v", got)
+	}
+	if _, err := NewBinary(OpMul, datec(1998, 1, 1), intc(2)); err == nil {
+		t.Error("date * int accepted")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		op   BinOp
+		l, r Expr
+		want bool
+	}{
+		{OpEq, intc(2), intc(2), true},
+		{OpNe, intc(2), intc(2), false},
+		{OpLt, intc(1), intc(2), true},
+		{OpLe, intc(2), intc(2), true},
+		{OpGt, intc(2), intc(1), true},
+		{OpGe, intc(1), intc(2), false},
+		{OpLt, strc("a"), strc("b"), true},
+		{OpLe, datec(1998, 9, 2), datec(1998, 9, 2), true},
+		{OpEq, intc(2), floatc(2.0), true},
+	}
+	for _, c := range cases {
+		b := MustBinary(c.op, c.l, c.r)
+		if got := mustEval(t, b, nil); got.Bool() != c.want {
+			t.Errorf("%s = %v, want %v", b, got.Bool(), c.want)
+		}
+	}
+	if _, err := NewBinary(OpLt, strc("a"), intc(1)); err == nil {
+		t.Error("string < int accepted")
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	null := nullc()
+	tru, fls := boolc(true), boolc(false)
+
+	// NULL propagation through comparison and arithmetic.
+	if got := mustEval(t, MustBinary(OpEq, null, intc(1)), nil); !got.IsNull() {
+		t.Error("NULL = 1 must be NULL")
+	}
+	if got := mustEval(t, MustBinary(OpAdd, null, intc(1)), nil); !got.IsNull() {
+		t.Error("NULL + 1 must be NULL")
+	}
+
+	// Kleene AND/OR.
+	logicCases := []struct {
+		op   BinOp
+		l, r Expr
+		want string // "t", "f", "n"
+	}{
+		{OpAnd, tru, tru, "t"},
+		{OpAnd, tru, fls, "f"},
+		{OpAnd, fls, null, "f"},
+		{OpAnd, null, fls, "f"},
+		{OpAnd, tru, null, "n"},
+		{OpAnd, null, null, "n"},
+		{OpOr, fls, fls, "f"},
+		{OpOr, tru, null, "t"},
+		{OpOr, null, tru, "t"},
+		{OpOr, fls, null, "n"},
+		{OpOr, null, null, "n"},
+	}
+	for _, c := range logicCases {
+		got := mustEval(t, MustBinary(c.op, c.l, c.r), nil)
+		var sym string
+		switch {
+		case got.IsNull():
+			sym = "n"
+		case got.Bool():
+			sym = "t"
+		default:
+			sym = "f"
+		}
+		if sym != c.want {
+			t.Errorf("%v(%s,%s) = %s, want %s", c.op, c.l, c.r, sym, c.want)
+		}
+	}
+	if _, err := NewBinary(OpAnd, intc(1), tru); err == nil {
+		t.Error("AND over int accepted")
+	}
+}
+
+func TestNotNegIsNull(t *testing.T) {
+	n, err := NewNot(boolc(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustEval(t, n, nil); got.Bool() {
+		t.Error("NOT true = true")
+	}
+	nn, _ := NewNot(nullc())
+	if got := mustEval(t, nn, nil); !got.IsNull() {
+		t.Error("NOT NULL must be NULL")
+	}
+	if _, err := NewNot(intc(1)); err == nil {
+		t.Error("NOT int accepted")
+	}
+
+	neg, err := NewNeg(intc(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mustEval(t, neg, nil); got.I != -5 {
+		t.Errorf("-5 = %v", got)
+	}
+	negf, _ := NewNeg(floatc(2.5))
+	if got := mustEval(t, negf, nil); got.F != -2.5 {
+		t.Errorf("-2.5 = %v", got)
+	}
+	if _, err := NewNeg(strc("x")); err == nil {
+		t.Error("negating string accepted")
+	}
+
+	isn := &IsNull{E: nullc()}
+	if got := mustEval(t, isn, nil); !got.Bool() {
+		t.Error("NULL IS NULL = false")
+	}
+	isnn := &IsNull{E: intc(1), Negate: true}
+	if got := mustEval(t, isnn, nil); !got.Bool() {
+		t.Error("1 IS NOT NULL = false")
+	}
+	if !strings.Contains(isnn.String(), "IS NOT NULL") {
+		t.Errorf("IsNull render: %q", isnn.String())
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	got, err := EvalBool(MustBinary(OpLt, intc(1), intc(2)), nil)
+	if err != nil || !got {
+		t.Errorf("EvalBool(1<2) = %v, %v", got, err)
+	}
+	got, err = EvalBool(nullc(), nil)
+	if err != nil || got {
+		t.Error("EvalBool(NULL) must be false")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	b := MustBinary(OpAdd, intc(1), MustBinary(OpMul, intc(2), intc(3)))
+	if got := b.String(); got != "(1 + (2 * 3))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: evaluating (a + b) - b over int columns returns a.
+func TestArithmeticRoundTripProperty(t *testing.T) {
+	ca := NewColRef(0, "a", storage.TypeInt64)
+	cb := NewColRef(1, "b", storage.TypeInt64)
+	e := MustBinary(OpSub, MustBinary(OpAdd, ca, cb), cb)
+	f := func(a, b int32) bool {
+		row := storage.Row{storage.NewInt(int64(a)), storage.NewInt(int64(b))}
+		v, err := e.Eval(row)
+		return err == nil && v.I == int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: x < y, x = y, x > y are mutually exclusive and exhaustive.
+func TestComparisonTrichotomyProperty(t *testing.T) {
+	cx := NewColRef(0, "x", storage.TypeInt64)
+	cy := NewColRef(1, "y", storage.TypeInt64)
+	lt := MustBinary(OpLt, cx, cy)
+	eq := MustBinary(OpEq, cx, cy)
+	gt := MustBinary(OpGt, cx, cy)
+	f := func(x, y int64) bool {
+		row := storage.Row{storage.NewInt(x), storage.NewInt(y)}
+		a, _ := EvalBool(lt, row)
+		b, _ := EvalBool(eq, row)
+		c, _ := EvalBool(gt, row)
+		n := 0
+		for _, v := range []bool{a, b, c} {
+			if v {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRound(t *testing.T) {
+	if got := Round(2.5, 0); got != 2 {
+		t.Errorf("Round(2.5, 0) = %v (banker's)", got)
+	}
+	if got := Round(3.5, 0); got != 4 {
+		t.Errorf("Round(3.5, 0) = %v", got)
+	}
+	if got := Round(2.125, 2); got != 2.12 {
+		t.Errorf("Round(2.125, 2) = %v", got)
+	}
+}

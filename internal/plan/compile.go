@@ -1,0 +1,169 @@
+package plan
+
+import (
+	"fmt"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/core"
+	"bufferdb/internal/exec"
+)
+
+// moduleFor resolves a plan node to its instruction-footprint module in the
+// code model. Limit is too small to model.
+func moduleFor(n *Node, cm *codemodel.Catalog) (*codemodel.Module, error) {
+	if cm == nil {
+		return nil, nil
+	}
+	switch n.Kind {
+	case KindSeqScan:
+		if n.Filter != nil {
+			return cm.Module("SeqScanPred")
+		}
+		return cm.Module("SeqScan")
+	case KindIndexLookup, KindIndexFullScan:
+		return cm.Module("IndexScan")
+	case KindNestLoopJoin:
+		return cm.Module("NestLoop")
+	case KindHashBuild:
+		return cm.Module("HashBuild")
+	case KindHashJoin:
+		return cm.Module("HashProbe")
+	case KindMergeJoin:
+		return cm.Module("MergeJoin")
+	case KindSort:
+		return cm.Module("Sort")
+	case KindAggregate:
+		return cm.AggModule(exec.AggFuncNames(n.Aggs))
+	case KindMaterial:
+		return cm.Module("Material")
+	case KindBuffer:
+		return cm.Module("Buffer")
+	case KindFilter:
+		return cm.Module("Filter")
+	case KindProject:
+		return cm.Module("Project")
+	case KindLimit:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("plan: no module mapping for %v", n.Kind)
+	}
+}
+
+// Build compiles a plan into an executable operator tree. cm may be nil for
+// uninstrumented execution.
+func Build(n *Node, cm *codemodel.Catalog) (exec.Operator, error) {
+	mod, err := moduleFor(n, cm)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Kind {
+	case KindSeqScan:
+		return exec.NewSeqScan(n.Table, n.Filter, mod), nil
+
+	case KindIndexLookup:
+		return exec.NewIndexLookup(n.Table, n.Index, mod)
+
+	case KindIndexFullScan:
+		return exec.NewIndexFullScan(n.Table, n.Index, n.Filter, mod)
+
+	case KindNestLoopJoin:
+		outer, err := Build(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		innerOp, err := Build(n.Children[1], cm)
+		if err != nil {
+			return nil, err
+		}
+		inner, ok := innerOp.(exec.Rescannable)
+		if !ok {
+			return nil, fmt.Errorf("plan: nest-loop inner %s is not rescannable", innerOp.Name())
+		}
+		return exec.NewNestLoopJoin(outer, inner, n.OuterKey, n.Residual, mod), nil
+
+	case KindHashJoin:
+		outer, err := Build(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		build := n.Children[1]
+		if build.Kind != KindHashBuild {
+			return nil, fmt.Errorf("plan: hash join inner must be a HashBuild node, got %v", build.Kind)
+		}
+		buildMod, err := moduleFor(build, cm)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := Build(build.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewHashJoin(outer, inner, n.OuterKey, build.InnerKey, buildMod, mod), nil
+
+	case KindHashBuild:
+		return nil, fmt.Errorf("plan: HashBuild must be the inner child of a HashJoin")
+
+	case KindMergeJoin:
+		left, err := Build(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Build(n.Children[1], cm)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewMergeJoin(left, right, n.OuterKey, n.InnerKey, mod), nil
+
+	case KindSort:
+		child, err := Build(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSort(child, n.SortKeys, mod), nil
+
+	case KindAggregate:
+		child, err := Build(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewAggregate(child, n.GroupBy, n.Aggs, mod)
+
+	case KindMaterial:
+		child, err := Build(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewMaterial(child, mod), nil
+
+	case KindLimit:
+		child, err := Build(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewLimit(child, n.LimitN), nil
+
+	case KindBuffer:
+		child, err := Build(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewBuffer(child, n.BufferSize, mod), nil
+
+	case KindFilter:
+		child, err := Build(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewFilter(child, n.Filter, mod), nil
+
+	case KindProject:
+		child, err := Build(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProject(child, n.Projections, n.ProjNames, mod)
+
+	default:
+		return nil, fmt.Errorf("plan: cannot compile %v", n.Kind)
+	}
+}

@@ -1,0 +1,174 @@
+package sql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bufferdb/internal/storage"
+)
+
+func TestCaseEndToEnd(t *testing.T) {
+	rows := runSQL(t, `
+		SELECT SUM(CASE WHEN l_quantity < 25 THEN 1 ELSE 0 END) AS small,
+		       SUM(CASE WHEN l_quantity < 25 THEN 0 ELSE 1 END) AS big
+		FROM lineitem`, Options{})
+	li, _ := testDB.Table("lineitem")
+	qty, _ := li.Schema().ColumnIndex("", "l_quantity")
+	var small, big int64
+	for _, r := range li.Rows() {
+		if r[qty].F < 25 {
+			small++
+		} else {
+			big++
+		}
+	}
+	if rows[0][0].I != small || rows[0][1].I != big {
+		t.Errorf("CASE counts = %v, want %d/%d", rows[0], small, big)
+	}
+}
+
+func TestInEndToEnd(t *testing.T) {
+	rows := runSQL(t, `
+		SELECT COUNT(*) FROM lineitem WHERE l_shipmode IN ('MAIL', 'SHIP')`, Options{})
+	li, _ := testDB.Table("lineitem")
+	mode, _ := li.Schema().ColumnIndex("", "l_shipmode")
+	want := int64(0)
+	for _, r := range li.Rows() {
+		if r[mode].S == "MAIL" || r[mode].S == "SHIP" {
+			want++
+		}
+	}
+	if rows[0][0].I != want {
+		t.Errorf("IN count = %d, want %d", rows[0][0].I, want)
+	}
+	notIn := runSQL(t, `
+		SELECT COUNT(*) FROM lineitem WHERE l_shipmode NOT IN ('MAIL', 'SHIP')`, Options{})
+	if notIn[0][0].I != int64(li.NumRows())-want {
+		t.Errorf("NOT IN count = %d, want %d", notIn[0][0].I, int64(li.NumRows())-want)
+	}
+}
+
+func TestCaseParserErrors(t *testing.T) {
+	bad := []string{
+		"SELECT CASE END FROM t",
+		"SELECT CASE WHEN a THEN 1 FROM t", // missing END
+		"SELECT CASE WHEN a 1 END FROM t",  // missing THEN
+		"SELECT a FROM t WHERE b IN ()",
+		"SELECT a FROM t WHERE b IN (1, 2",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) accepted", q)
+		}
+	}
+}
+
+// TestTPCHQ12Reference verifies the full Q12 against brute force.
+func TestTPCHQ12Reference(t *testing.T) {
+	const q12 = `
+		SELECT l_shipmode,
+		       SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+		                THEN 1 ELSE 0 END) AS high_line_count,
+		       SUM(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
+		                THEN 0 ELSE 1 END) AS low_line_count
+		FROM orders, lineitem
+		WHERE o_orderkey = l_orderkey
+		  AND l_shipmode IN ('MAIL', 'SHIP')
+		  AND l_commitdate < l_receiptdate
+		  AND l_shipdate < l_commitdate
+		  AND l_receiptdate >= DATE '1994-01-01'
+		  AND l_receiptdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+		GROUP BY l_shipmode
+		ORDER BY l_shipmode`
+	rows := runSQL(t, q12, Options{})
+
+	orders, _ := testDB.Table("orders")
+	li, _ := testDB.Table("lineitem")
+	sch := li.Schema()
+	mode, _ := sch.ColumnIndex("", "l_shipmode")
+	ship, _ := sch.ColumnIndex("", "l_shipdate")
+	commit, _ := sch.ColumnIndex("", "l_commitdate")
+	receipt, _ := sch.ColumnIndex("", "l_receiptdate")
+	lo := storage.DateFromYMD(1994, 1, 1).I
+	hi := lo + 365
+	type counts struct{ high, low int64 }
+	want := map[string]*counts{}
+	for _, r := range li.Rows() {
+		m := r[mode].S
+		if m != "MAIL" && m != "SHIP" {
+			continue
+		}
+		if !(r[commit].I < r[receipt].I && r[ship].I < r[commit].I) {
+			continue
+		}
+		if r[receipt].I < lo || r[receipt].I >= hi {
+			continue
+		}
+		prio := orders.Row(int(r[0].I) - 1)[5].S
+		c := want[m]
+		if c == nil {
+			c = &counts{}
+			want[m] = c
+		}
+		if prio == "1-URGENT" || prio == "2-HIGH" {
+			c.high++
+		} else {
+			c.low++
+		}
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("Q12 groups = %d, want %d", len(rows), len(want))
+	}
+	for _, r := range rows {
+		c := want[r[0].S]
+		if c == nil {
+			t.Fatalf("unexpected shipmode %q", r[0].S)
+		}
+		if r[1].I != c.high || r[2].I != c.low {
+			t.Errorf("%s: %d/%d, want %d/%d", r[0].S, r[1].I, r[2].I, c.high, c.low)
+		}
+	}
+}
+
+// TestTPCHQ14Reference verifies the full Q14 promo-revenue percentage.
+func TestTPCHQ14Reference(t *testing.T) {
+	const q14 = `
+		SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%'
+		                         THEN l_extendedprice * (1 - l_discount)
+		                         ELSE 0 END)
+		             / SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+		FROM lineitem, part
+		WHERE l_partkey = p_partkey
+		  AND l_shipdate >= DATE '1995-09-01'
+		  AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH`
+	rows := runSQL(t, q14, Options{})
+	if len(rows) != 1 {
+		t.Fatalf("Q14 rows = %d", len(rows))
+	}
+	li, _ := testDB.Table("lineitem")
+	part, _ := testDB.Table("part")
+	ship, _ := li.Schema().ColumnIndex("", "l_shipdate")
+	ptype, _ := part.Schema().ColumnIndex("", "p_type")
+	lo := storage.DateFromYMD(1995, 9, 1).I
+	hi := lo + 30
+	var promo, total float64
+	for _, r := range li.Rows() {
+		if r[ship].I < lo || r[ship].I >= hi {
+			continue
+		}
+		rev := r[5].F * (1 - r[6].F)
+		total += rev
+		if strings.HasPrefix(part.Row(int(r[1].I) - 1)[ptype].S, "PROMO") {
+			promo += rev
+		}
+	}
+	want := 100 * promo / total
+	if got := rows[0][0].F; math.Abs(got-want) > 1e-9 {
+		t.Errorf("promo_revenue = %v, want %v", got, want)
+	}
+	// Percentage should be a plausible share.
+	if rows[0][0].F <= 0 || rows[0][0].F >= 100 {
+		t.Errorf("promo share = %v%%", rows[0][0].F)
+	}
+}

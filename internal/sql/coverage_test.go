@@ -1,0 +1,206 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"bufferdb/internal/storage"
+)
+
+// TestPostAggregateArithmetic covers select-list expressions computed over
+// aggregate results (SUM(a)/SUM(b), constants, negation).
+func TestPostAggregateArithmetic(t *testing.T) {
+	rows := runSQL(t, `
+		SELECT SUM(l_extendedprice * l_discount) / SUM(l_extendedprice) AS eff_discount,
+		       100 * COUNT(*) AS hundredfold,
+		       -MIN(l_quantity) AS neg_min,
+		       MAX(l_quantity) - MIN(l_quantity) AS spread
+		FROM lineitem`, Options{})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r[0].F <= 0 || r[0].F >= 0.2 {
+		t.Errorf("effective discount = %v", r[0].F)
+	}
+	li, _ := testDB.Table("lineitem")
+	if r[1].I != int64(100*li.NumRows()) {
+		t.Errorf("hundredfold = %v", r[1])
+	}
+	if r[2].F != -1 { // min quantity is 1
+		t.Errorf("neg_min = %v", r[2])
+	}
+	if r[3].F != 49 { // quantities span 1..50
+		t.Errorf("spread = %v", r[3])
+	}
+}
+
+func TestGroupKeyInArithmetic(t *testing.T) {
+	// A group-by column used inside a select-list expression.
+	rows := runSQL(t, `
+		SELECT l_linenumber * 10 AS tens, COUNT(*) AS n
+		FROM lineitem
+		GROUP BY l_linenumber
+		ORDER BY tens`, Options{})
+	if len(rows) != 7 {
+		t.Fatalf("groups = %d, want 7 line numbers", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].I != int64((i+1)*10) {
+			t.Errorf("tens[%d] = %v", i, r[0])
+		}
+	}
+}
+
+func TestPostAggregateErrors(t *testing.T) {
+	bad := []string{
+		// Raw column inside an aggregate query, not grouped.
+		"SELECT SUM(l_quantity) + l_tax FROM lineitem",
+		// LIKE over aggregation output is unsupported.
+		"SELECT COUNT(*) FROM lineitem GROUP BY l_returnflag ORDER BY missing_col",
+	}
+	for _, q := range bad {
+		if _, err := PlanQuery(q, testDB, Options{}); err == nil {
+			t.Errorf("accepted %q", q)
+		}
+	}
+}
+
+func TestWhereConstructsEndToEnd(t *testing.T) {
+	li, _ := testDB.Table("lineitem")
+	sch := li.Schema()
+	qtyIdx, _ := sch.ColumnIndex("", "l_quantity")
+	modeIdx, _ := sch.ColumnIndex("", "l_shipmode")
+
+	count := func(pred func(storage.Row) bool) int64 {
+		n := int64(0)
+		for _, r := range li.Rows() {
+			if pred(r) {
+				n++
+			}
+		}
+		return n
+	}
+
+	cases := []struct {
+		query string
+		want  int64
+	}{
+		{
+			"SELECT COUNT(*) FROM lineitem WHERE l_quantity NOT BETWEEN 10 AND 40",
+			count(func(r storage.Row) bool { return r[qtyIdx].F < 10 || r[qtyIdx].F > 40 }),
+		},
+		{
+			"SELECT COUNT(*) FROM lineitem WHERE NOT (l_quantity < 25)",
+			count(func(r storage.Row) bool { return r[qtyIdx].F >= 25 }),
+		},
+		{
+			"SELECT COUNT(*) FROM lineitem WHERE l_shipmode = 'AIR' OR l_shipmode = 'RAIL'",
+			count(func(r storage.Row) bool { return r[modeIdx].S == "AIR" || r[modeIdx].S == "RAIL" }),
+		},
+		{
+			"SELECT COUNT(*) FROM lineitem WHERE l_comment IS NOT NULL",
+			int64(li.NumRows()),
+		},
+		{
+			"SELECT COUNT(*) FROM lineitem WHERE l_comment IS NULL",
+			0,
+		},
+		{
+			"SELECT COUNT(*) FROM lineitem WHERE l_shipmode NOT LIKE '%AIR%'",
+			count(func(r storage.Row) bool { return !strings.Contains(r[modeIdx].S, "AIR") }),
+		},
+		{
+			"SELECT COUNT(*) FROM lineitem WHERE -l_quantity < -49",
+			count(func(r storage.Row) bool { return r[qtyIdx].F > 49 }),
+		},
+		{
+			"SELECT COUNT(*) FROM lineitem WHERE l_quantity <> 1",
+			count(func(r storage.Row) bool { return r[qtyIdx].F != 1 }),
+		},
+		{
+			"SELECT COUNT(*) FROM lineitem WHERE TRUE",
+			int64(li.NumRows()),
+		},
+		{
+			"SELECT COUNT(*) FROM lineitem WHERE FALSE",
+			0,
+		},
+	}
+	for _, c := range cases {
+		rows := runSQL(t, c.query, Options{})
+		if rows[0][0].I != c.want {
+			t.Errorf("%q = %d, want %d", c.query, rows[0][0].I, c.want)
+		}
+	}
+}
+
+func TestAstStringCoverage(t *testing.T) {
+	// Render every AST node kind through a parsed statement.
+	stmt, err := Parse(`SELECT -SUM(a), COUNT(*) FROM t
+		WHERE a BETWEEN 1 AND 2 AND s LIKE 'x%' AND s IS NULL
+		  AND d < DATE '1995-01-01' - INTERVAL '7' DAY
+		  AND b = TRUE AND c = NULL AND q.z <> 1.5 AND NOT (a = 1)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := astString(stmt.Where) + astString(stmt.Items[0].Expr) + astString(stmt.Items[1].Expr)
+	for _, want := range []string{
+		"BETWEEN", "LIKE", "IS NULL", "date '1995-01-01'", "interval",
+		"true", "NULL", "q.z", "1.5", "NOT", "sum(a)", "count(*)", "-",
+	} {
+		if !strings.Contains(full, want) {
+			t.Errorf("astString output missing %q in %q", want, full)
+		}
+	}
+}
+
+func TestOrderByOrdinalAndAlias(t *testing.T) {
+	byOrdinal := runSQL(t, `
+		SELECT l_returnflag, COUNT(*) AS n FROM lineitem
+		GROUP BY l_returnflag ORDER BY 2 DESC`, Options{})
+	for i := 1; i < len(byOrdinal); i++ {
+		if byOrdinal[i-1][1].I < byOrdinal[i][1].I {
+			t.Fatal("ORDER BY ordinal DESC violated")
+		}
+	}
+	// Bad ordinal.
+	if _, err := PlanQuery("SELECT COUNT(*) FROM lineitem ORDER BY 5", testDB, Options{}); err == nil {
+		t.Error("out-of-range ordinal accepted")
+	}
+}
+
+func TestSelectStarWithJoinSchema(t *testing.T) {
+	rows := runSQL(t, `SELECT * FROM nation, region WHERE n_regionkey = r_regionkey`, Options{})
+	nation, _ := testDB.Table("nation")
+	region, _ := testDB.Table("region")
+	if len(rows) != nation.NumRows() {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if len(rows[0]) != len(nation.Schema())+len(region.Schema()) {
+		t.Errorf("star join width = %d", len(rows[0]))
+	}
+}
+
+func TestQualifiedAliases(t *testing.T) {
+	rows := runSQL(t, `
+		SELECT o.o_orderkey, COUNT(*) AS n
+		FROM orders AS o, lineitem l
+		WHERE o.o_orderkey = l.l_orderkey AND o.o_orderkey < 10
+		GROUP BY o.o_orderkey
+		ORDER BY o.o_orderkey`, Options{})
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].I != int64(i+1) {
+			t.Errorf("orderkey[%d] = %v", i, r[0])
+		}
+	}
+}
+
+func TestMixedStarAndExprRejected(t *testing.T) {
+	if _, err := PlanQuery("SELECT *, l_orderkey FROM lineitem", testDB, Options{}); err == nil {
+		t.Error("mixed star accepted")
+	}
+}

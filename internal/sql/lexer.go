@@ -1,0 +1,147 @@
+// Package sql is the SQL front end: a lexer, a recursive-descent parser and
+// an analyzer that turns the supported SELECT subset into physical plans
+// (internal/plan). The subset covers the paper's workload: single-table
+// aggregation queries (TPC-H Q1/Q6 style), multi-table equi-joins with
+// forced join methods (the paper's Query 3 variants), GROUP BY, ORDER BY
+// and LIMIT.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+// token is one lexical unit.
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; symbols canonical
+	pos  int    // byte offset, for error messages
+}
+
+// keywords recognized by the lexer. Identifiers matching these (case-
+// insensitively) become tokKeyword with upper-case text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true, "AS": true,
+	"AND": true, "OR": true, "NOT": true, "BETWEEN": true, "LIKE": true,
+	"IS": true, "NULL": true, "JOIN": true, "ON": true, "INNER": true,
+	"DATE": true, "INTERVAL": true, "DAY": true, "MONTH": true, "YEAR": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"TRUE": true, "FALSE": true, "HAVING": true, "DISTINCT": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"IN": true,
+}
+
+// lex tokenizes the input. Errors carry byte positions.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+
+		case unicode.IsDigit(rune(c)) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if unicode.IsDigit(rune(d)) {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot {
+					seenDot = true
+					i++
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				canon := two
+				if two == "!=" {
+					canon = "<>"
+				}
+				toks = append(toks, token{kind: tokSymbol, text: canon, pos: start})
+				i += 2
+			default:
+				switch c {
+				case '(', ')', ',', '.', ';', '*', '+', '-', '/', '=', '<', '>':
+					toks = append(toks, token{kind: tokSymbol, text: string(c), pos: start})
+					i++
+				default:
+					return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+				}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: "", pos: n})
+	return toks, nil
+}

@@ -1,0 +1,168 @@
+package sql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bufferdb/internal/storage"
+)
+
+// TPC-H Q5 and Q10 exercise 4–6-way joins with residual predicates; verify
+// them against brute-force computation over the generated data.
+
+const q5 = `
+SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM customer, orders, lineitem, supplier, nation, region
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND l_suppkey = s_suppkey
+  AND c_nationkey = s_nationkey
+  AND s_nationkey = n_nationkey
+  AND n_regionkey = r_regionkey
+  AND r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1994-01-01' + INTERVAL '1' YEAR
+GROUP BY n_name
+ORDER BY revenue DESC`
+
+func TestTPCHQ5Reference(t *testing.T) {
+	rows := runSQL(t, q5, Options{})
+
+	// Brute force.
+	get := func(name string) *storage.Table {
+		tb, err := testDB.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	region, nation := get("region"), get("nation")
+	customer, orders := get("customer"), get("orders")
+	lineitem, supplier := get("lineitem"), get("supplier")
+
+	asiaRegion := int64(-1)
+	for _, r := range region.Rows() {
+		if r[1].S == "ASIA" {
+			asiaRegion = r[0].I
+		}
+	}
+	nationName := map[int64]string{}
+	asiaNation := map[int64]bool{}
+	for _, r := range nation.Rows() {
+		nationName[r[0].I] = r[1].S
+		if r[2].I == asiaRegion {
+			asiaNation[r[0].I] = true
+		}
+	}
+	custNation := map[int64]int64{}
+	for _, r := range customer.Rows() {
+		custNation[r[0].I] = r[3].I
+	}
+	suppNation := map[int64]int64{}
+	for _, r := range supplier.Rows() {
+		suppNation[r[0].I] = r[3].I
+	}
+	lo := storage.DateFromYMD(1994, 1, 1).I
+	hi := lo + 365
+	orderCust := map[int64]int64{}
+	for _, r := range orders.Rows() {
+		if r[4].I >= lo && r[4].I < hi {
+			orderCust[r[0].I] = r[1].I
+		}
+	}
+	want := map[string]float64{}
+	for _, r := range lineitem.Rows() {
+		custkey, ok := orderCust[r[0].I]
+		if !ok {
+			continue
+		}
+		sn := suppNation[r[2].I]
+		if !asiaNation[sn] || custNation[custkey] != sn {
+			continue
+		}
+		want[nationName[sn]] += r[5].F * (1 - r[6].F)
+	}
+
+	if len(rows) != len(want) {
+		t.Fatalf("Q5 returned %d nations, want %d", len(rows), len(want))
+	}
+	prev := math.Inf(1)
+	for _, row := range rows {
+		name, rev := row[0].S, row[1].F
+		ref, ok := want[name]
+		if !ok {
+			t.Fatalf("unexpected nation %q", name)
+		}
+		if diff := rev - ref; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%s revenue = %v, want %v", name, rev, ref)
+		}
+		if rev > prev {
+			t.Errorf("ORDER BY revenue DESC violated at %s", name)
+		}
+		prev = rev
+	}
+}
+
+const q10 = `
+SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue, n_name
+FROM customer, orders, lineitem, nation
+WHERE c_custkey = o_custkey
+  AND l_orderkey = o_orderkey
+  AND o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1993-10-01' + INTERVAL '3' MONTH
+  AND l_returnflag = 'R'
+  AND c_nationkey = n_nationkey
+GROUP BY c_custkey, c_name, n_name
+ORDER BY revenue DESC
+LIMIT 20`
+
+func TestTPCHQ10Reference(t *testing.T) {
+	rows := runSQL(t, q10, Options{})
+	if len(rows) == 0 || len(rows) > 20 {
+		t.Fatalf("Q10 returned %d rows", len(rows))
+	}
+	// Brute-force top revenue.
+	get := func(name string) *storage.Table {
+		tb, err := testDB.Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	orders, lineitem := get("orders"), get("lineitem")
+	lo := storage.DateFromYMD(1993, 10, 1).I
+	hi := lo + 90
+	orderCust := map[int64]int64{}
+	for _, r := range orders.Rows() {
+		if r[4].I >= lo && r[4].I < hi {
+			orderCust[r[0].I] = r[1].I
+		}
+	}
+	revenue := map[int64]float64{}
+	for _, r := range lineitem.Rows() {
+		cust, ok := orderCust[r[0].I]
+		if !ok || r[8].S != "R" {
+			continue
+		}
+		revenue[cust] += r[5].F * (1 - r[6].F)
+	}
+	var best float64
+	for _, v := range revenue {
+		if v > best {
+			best = v
+		}
+	}
+	if got := rows[0][2].F; math.Abs(got-best) > 1e-6 {
+		t.Errorf("top revenue = %v, want %v", got, best)
+	}
+	// Descending order and name formatting.
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1][2].F < rows[i][2].F {
+			t.Errorf("ORDER BY violated at %d", i)
+		}
+	}
+	if !strings.HasPrefix(rows[0][1].S, "Customer#") {
+		t.Errorf("c_name = %q", rows[0][1].S)
+	}
+}

@@ -1,0 +1,231 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a memory-resident heap relation: a schema plus a slice of rows.
+// Row identifiers are positions in the heap; indexes map key values to row
+// identifiers.
+type Table struct {
+	name   string
+	schema Schema
+	rows   []Row
+
+	// baseAddr is the simulated memory address of the first row, assigned
+	// when the table is registered with a simulated CPU's data-address
+	// space. Zero means "not placed"; the executor then skips data-cache
+	// modeling for this table.
+	baseAddr uint64
+	// rowBytes is the average row width in bytes, cached for address math.
+	rowBytes int
+
+	indexes map[string]*IndexMeta
+}
+
+// IndexMeta records a secondary access path registered on a table. The
+// actual search structure lives in the btree package; the catalog only needs
+// enough metadata to answer "is there an index on column X" during planning.
+type IndexMeta struct {
+	Name   string
+	Column string // indexed column name
+	Col    int    // indexed column position
+	Unique bool
+	// Search is the opaque handle to the index structure. It is declared as
+	// an interface here to keep storage free of a dependency on btree.
+	Search any
+}
+
+// NewTable creates an empty heap relation with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{
+		name:    name,
+		schema:  schema,
+		indexes: make(map[string]*IndexMeta),
+	}
+}
+
+// Name returns the relation name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the relation schema. Callers must not mutate it.
+func (t *Table) Schema() Schema { return t.schema }
+
+// NumRows returns the heap cardinality.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Append adds a row to the heap and returns its row identifier.
+// The row must match the schema arity; type agreement is the loader's
+// responsibility (the TPC-H generator and the test fixtures are both typed
+// at the source).
+func (t *Table) Append(r Row) (int, error) {
+	if len(r) != len(t.schema) {
+		return 0, fmt.Errorf("storage: table %s: row arity %d does not match schema arity %d",
+			t.name, len(r), len(t.schema))
+	}
+	t.rows = append(t.rows, r)
+	return len(t.rows) - 1, nil
+}
+
+// MustAppend is Append for generated data, where arity is correct by
+// construction.
+func (t *Table) MustAppend(r Row) int {
+	id, err := t.Append(r)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Row returns the row with the given identifier.
+func (t *Table) Row(id int) Row { return t.rows[id] }
+
+// Rows returns the backing row slice for sequential scans.
+// Callers must treat it as read-only.
+func (t *Table) Rows() []Row { return t.rows }
+
+// SetPlacement records the simulated base address and mean row width used
+// for data-cache modeling. See Table.Placement.
+func (t *Table) SetPlacement(base uint64, rowBytes int) {
+	t.baseAddr = base
+	t.rowBytes = rowBytes
+}
+
+// Placement returns the simulated address of row id and the row width in
+// bytes, or ok=false when the table has not been placed in a simulated
+// address space.
+func (t *Table) Placement(id int) (addr uint64, size int, ok bool) {
+	if t.baseAddr == 0 {
+		return 0, 0, false
+	}
+	return t.baseAddr + uint64(id)*uint64(t.rowBytes), t.rowBytes, true
+}
+
+// AvgRowBytes returns the mean in-memory row width, computed over a sample
+// of the heap. It is used both for simulated placement and by the planner's
+// cost model.
+func (t *Table) AvgRowBytes() int {
+	if t.rowBytes > 0 {
+		return t.rowBytes
+	}
+	if len(t.rows) == 0 {
+		return 64
+	}
+	sample := len(t.rows)
+	if sample > 1024 {
+		sample = 1024
+	}
+	total := 0
+	for i := 0; i < sample; i++ {
+		total += t.rows[i].ByteSize()
+	}
+	t.rowBytes = total / sample
+	if t.rowBytes == 0 {
+		t.rowBytes = 16
+	}
+	return t.rowBytes
+}
+
+// AddIndex registers an index access path on the table.
+func (t *Table) AddIndex(meta *IndexMeta) error {
+	if meta.Name == "" {
+		return fmt.Errorf("storage: index on %s needs a name", t.name)
+	}
+	if _, dup := t.indexes[meta.Name]; dup {
+		return fmt.Errorf("storage: duplicate index %s on %s", meta.Name, t.name)
+	}
+	col, err := t.schema.ColumnIndex("", meta.Column)
+	if err != nil {
+		return err
+	}
+	if col < 0 {
+		return fmt.Errorf("storage: index %s: no column %s in %s", meta.Name, meta.Column, t.name)
+	}
+	meta.Col = col
+	t.indexes[meta.Name] = meta
+	return nil
+}
+
+// IndexOn returns index metadata for an index keyed on the named column,
+// or nil when no such index exists. Unique indexes are preferred.
+func (t *Table) IndexOn(column string) *IndexMeta {
+	var best *IndexMeta
+	for _, m := range t.indexes {
+		if strings.EqualFold(m.Column, column) {
+			if m.Unique {
+				return m
+			}
+			if best == nil {
+				best = m
+			}
+		}
+	}
+	return best
+}
+
+// Indexes returns all registered indexes in name order.
+func (t *Table) Indexes() []*IndexMeta {
+	names := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*IndexMeta, len(names))
+	for i, n := range names {
+		out[i] = t.indexes[n]
+	}
+	return out
+}
+
+// Catalog is a named collection of tables: the database.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table. Re-registering a name is an error: the benchmark
+// harness builds each database exactly once and shares it across runs.
+func (c *Catalog) Add(t *Table) error {
+	key := strings.ToLower(t.Name())
+	if _, dup := c.tables[key]; dup {
+		return fmt.Errorf("storage: table %s already exists", t.Name())
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// MustAdd is Add that panics on duplicates, for fixtures.
+func (c *Catalog) MustAdd(t *Table) {
+	if err := c.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table looks up a table by case-insensitive name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: no table named %q", name)
+	}
+	return t, nil
+}
+
+// Tables returns all tables in name order.
+func (c *Catalog) Tables() []*Table {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Table, len(names))
+	for i, n := range names {
+		out[i] = c.tables[n]
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package storage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeNull:    "NULL",
+		TypeBool:    "BOOLEAN",
+		TypeInt64:   "BIGINT",
+		TypeFloat64: "DOUBLE",
+		TypeString:  "VARCHAR",
+		TypeDate:    "DATE",
+	}
+	for ty, want := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("Type(%d).String() = %q, want %q", ty, got, want)
+		}
+	}
+	if got := Type(99).String(); got != "Type(99)" {
+		t.Errorf("unknown type rendered %q", got)
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !TypeInt64.Numeric() || !TypeFloat64.Numeric() {
+		t.Error("int64/float64 must be numeric")
+	}
+	if TypeString.Numeric() || TypeDate.Numeric() || TypeBool.Numeric() {
+		t.Error("string/date/bool must not be numeric")
+	}
+	if TypeNull.Comparable() {
+		t.Error("NULL is not comparable")
+	}
+	if !TypeDate.Comparable() {
+		t.Error("DATE must be comparable")
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := NewInt(42); v.Kind != TypeInt64 || v.I != 42 {
+		t.Errorf("NewInt: %+v", v)
+	}
+	if v := NewFloat(2.5); v.Kind != TypeFloat64 || v.F != 2.5 {
+		t.Errorf("NewFloat: %+v", v)
+	}
+	if v := NewString("x"); v.Kind != TypeString || v.S != "x" {
+		t.Errorf("NewString: %+v", v)
+	}
+	if v := NewBool(true); v.Kind != TypeBool || !v.Bool() {
+		t.Errorf("NewBool(true): %+v", v)
+	}
+	if v := NewBool(false); v.Bool() {
+		t.Errorf("NewBool(false): %+v", v)
+	}
+	if !Null.IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	if got := NewInt(7).AsFloat(); got != 7.0 {
+		t.Errorf("AsFloat(int 7) = %v", got)
+	}
+	if got := NewFloat(1.25).AsFloat(); got != 1.25 {
+		t.Errorf("AsFloat(float 1.25) = %v", got)
+	}
+}
+
+func TestDates(t *testing.T) {
+	d, err := ParseDate("1998-09-02")
+	if err != nil {
+		t.Fatalf("ParseDate: %v", err)
+	}
+	if d.Kind != TypeDate {
+		t.Fatalf("ParseDate kind = %v", d.Kind)
+	}
+	if got := d.String(); got != "1998-09-02" {
+		t.Errorf("date round trip = %q", got)
+	}
+	if got := DateFromYMD(1998, 9, 2); got != d {
+		t.Errorf("DateFromYMD = %v, ParseDate = %v", got, d)
+	}
+	if epoch := DateFromYMD(1970, 1, 1); epoch.I != 0 {
+		t.Errorf("epoch day = %d, want 0", epoch.I)
+	}
+	if next := DateFromYMD(1970, 1, 2); next.I != 1 {
+		t.Errorf("1970-01-02 day = %d, want 1", next.I)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Error("ParseDate accepted garbage")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewInt(-3), "-3"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("hi"), "hi"},
+		{DateFromYMD(1995, 12, 31), "1995-12-31"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(1), 1},
+		{NewInt(2), NewInt(2), 0},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{NewFloat(2), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("a"), 1},
+		{NewString("a"), NewString("a"), 0},
+		{DateFromYMD(1995, 1, 1), DateFromYMD(1996, 1, 1), -1},
+		{NewBool(false), NewBool(true), -1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestComparePanicsOnIncompatible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Compare(string, int) did not panic")
+		}
+	}()
+	Compare(NewString("x"), NewInt(1))
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(Null, Null) {
+		t.Error("NULL must group-equal NULL")
+	}
+	if Equal(Null, NewInt(0)) {
+		t.Error("NULL must not equal 0")
+	}
+	if !Equal(NewInt(3), NewFloat(3)) {
+		t.Error("3 must equal 3.0")
+	}
+	if Equal(NewInt(3), NewFloat(3.5)) {
+		t.Error("3 must not equal 3.5")
+	}
+}
+
+// Property: Compare is a total order on int values — antisymmetric and
+// transitive with respect to the underlying integers.
+func TestCompareIntProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		got := Compare(NewInt(a), NewInt(b))
+		switch {
+		case a < b:
+			return got == -1
+		case a > b:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare(a, b) == -Compare(b, a) for floats (excluding NaN, which
+// the engine never produces).
+func TestCompareFloatAntisymmetry(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return Compare(NewFloat(a), NewFloat(b)) == -Compare(NewFloat(b), NewFloat(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	if NewInt(1).ByteSize() != 16 {
+		t.Errorf("int size = %d", NewInt(1).ByteSize())
+	}
+	if got := NewString("abcd").ByteSize(); got != 20 {
+		t.Errorf("string size = %d, want 20", got)
+	}
+	r := Row{NewInt(1), NewString("ab")}
+	if got := r.ByteSize(); got != 16+18 {
+		t.Errorf("row size = %d", got)
+	}
+}

@@ -1,0 +1,356 @@
+package tpch
+
+import (
+	"fmt"
+
+	"bufferdb/internal/btree"
+	"bufferdb/internal/storage"
+)
+
+// Config controls data generation.
+type Config struct {
+	// ScaleFactor is the TPC-H SF. The paper evaluates at SF 0.2; the test
+	// suite uses much smaller factors and the benchmark harness defaults to
+	// 0.05 so runs stay laptop-scale. Must be > 0.
+	ScaleFactor float64
+	// Seed makes generation deterministic; 0 selects a fixed default.
+	Seed uint64
+	// SkipIndexes suppresses index construction (tests that only scan).
+	SkipIndexes bool
+}
+
+// Base cardinalities at SF 1, per the TPC-H specification.
+const (
+	baseSupplier = 10_000
+	baseCustomer = 150_000
+	basePart     = 200_000
+	baseOrders   = 1_500_000
+)
+
+// Date range of o_orderdate, per the specification: [1992-01-01, 1998-08-02].
+var (
+	startDate = storage.DateFromYMD(1992, 1, 1).I
+	endDate   = storage.DateFromYMD(1998, 8, 2).I
+)
+
+// CurrentDate is the TPC-H query horizon constant (used by validity checks
+// and some query predicates).
+var CurrentDate = storage.DateFromYMD(1995, 6, 17)
+
+var (
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	containers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP CASE", "JUMBO PKG"}
+	typeSyl1   = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2   = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3   = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	regions    = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations    = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+		"ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+		"IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+		"MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+		"SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+	}
+	// nationRegion maps each nation (by position) to its region key.
+	nationRegion = []int64{
+		0, 1, 1, 1, 4,
+		0, 3, 3, 2, 2,
+		4, 4, 2, 4, 0,
+		0, 0, 1, 2, 3,
+		4, 2, 3, 3, 1,
+	}
+)
+
+// Generate builds a memory-resident TPC-H database at the configured scale,
+// complete with primary-key indexes on region, nation, supplier, customer,
+// part and orders, plus a non-unique foreign-key index on
+// lineitem(l_orderkey) — the access paths the paper's join plans use.
+func Generate(cfg Config) (*storage.Catalog, error) {
+	if cfg.ScaleFactor <= 0 {
+		return nil, fmt.Errorf("tpch: scale factor must be positive, got %v", cfg.ScaleFactor)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x5d77a4c6b0f3219e
+	}
+
+	g := &generator{
+		cfg:       cfg,
+		cat:       storage.NewCatalog(),
+		nSupplier: scaled(baseSupplier, cfg.ScaleFactor),
+		nCustomer: scaled(baseCustomer, cfg.ScaleFactor),
+		nPart:     scaled(basePart, cfg.ScaleFactor),
+		nOrders:   scaled(baseOrders, cfg.ScaleFactor),
+	}
+
+	// Each table gets its own stream so that adding a column to one table
+	// never perturbs another table's data.
+	g.region(newRNG(seed ^ 0x01))
+	g.nation(newRNG(seed ^ 0x02))
+	g.supplier(newRNG(seed ^ 0x03))
+	g.customer(newRNG(seed ^ 0x04))
+	g.part(newRNG(seed ^ 0x05))
+	g.partsupp(newRNG(seed ^ 0x06))
+	if err := g.ordersAndLineitem(newRNG(seed ^ 0x07)); err != nil {
+		return nil, err
+	}
+	if !cfg.SkipIndexes {
+		if err := g.buildIndexes(); err != nil {
+			return nil, err
+		}
+	}
+	return g.cat, nil
+}
+
+// scaled returns max(1, round(base × sf)).
+func scaled(base int, sf float64) int {
+	n := int(float64(base)*sf + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+type generator struct {
+	cfg       Config
+	cat       *storage.Catalog
+	nSupplier int
+	nCustomer int
+	nPart     int
+	nOrders   int
+}
+
+func (g *generator) region(r *rng) {
+	t := storage.NewTable("region", regionSchema())
+	for i, name := range regions {
+		t.MustAppend(storage.Row{
+			storage.NewInt(int64(i)),
+			storage.NewString(name),
+			storage.NewString(r.words(3)),
+		})
+	}
+	g.cat.MustAdd(t)
+}
+
+func (g *generator) nation(r *rng) {
+	t := storage.NewTable("nation", nationSchema())
+	for i, name := range nations {
+		t.MustAppend(storage.Row{
+			storage.NewInt(int64(i)),
+			storage.NewString(name),
+			storage.NewInt(nationRegion[i]),
+			storage.NewString(r.words(3)),
+		})
+	}
+	g.cat.MustAdd(t)
+}
+
+func (g *generator) supplier(r *rng) {
+	t := storage.NewTable("supplier", supplierSchema())
+	for i := 1; i <= g.nSupplier; i++ {
+		t.MustAppend(storage.Row{
+			storage.NewInt(int64(i)),
+			storage.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			storage.NewString(r.words(2)),
+			storage.NewInt(int64(r.intn(len(nations)))),
+			storage.NewString(phone(r)),
+			storage.NewFloat(r.money(-999.99, 9999.99)),
+			storage.NewString(r.words(4)),
+		})
+	}
+	g.cat.MustAdd(t)
+}
+
+func (g *generator) customer(r *rng) {
+	t := storage.NewTable("customer", customerSchema())
+	for i := 1; i <= g.nCustomer; i++ {
+		t.MustAppend(storage.Row{
+			storage.NewInt(int64(i)),
+			storage.NewString(fmt.Sprintf("Customer#%09d", i)),
+			storage.NewString(r.words(2)),
+			storage.NewInt(int64(r.intn(len(nations)))),
+			storage.NewString(phone(r)),
+			storage.NewFloat(r.money(-999.99, 9999.99)),
+			storage.NewString(r.pick(segments)),
+			storage.NewString(r.words(4)),
+		})
+	}
+	g.cat.MustAdd(t)
+}
+
+func (g *generator) part(r *rng) {
+	t := storage.NewTable("part", partSchema())
+	for i := 1; i <= g.nPart; i++ {
+		mfgr := r.rangeInt(1, 5)
+		brand := mfgr*10 + r.rangeInt(1, 5)
+		t.MustAppend(storage.Row{
+			storage.NewInt(int64(i)),
+			storage.NewString(r.words(3)),
+			storage.NewString(fmt.Sprintf("Manufacturer#%d", mfgr)),
+			storage.NewString(fmt.Sprintf("Brand#%d", brand)),
+			storage.NewString(r.pick(typeSyl1) + " " + r.pick(typeSyl2) + " " + r.pick(typeSyl3)),
+			storage.NewInt(int64(r.rangeInt(1, 50))),
+			storage.NewString(r.pick(containers)),
+			storage.NewFloat(partPrice(i)),
+			storage.NewString(r.words(3)),
+		})
+	}
+	g.cat.MustAdd(t)
+}
+
+// partPrice follows the spec formula: 90000+((partkey/10)%20001)+100*(partkey%1000), cents.
+func partPrice(partkey int) float64 {
+	cents := 90_000 + (partkey/10)%20_001 + 100*(partkey%1_000)
+	return float64(cents) / 100
+}
+
+func (g *generator) partsupp(r *rng) {
+	t := storage.NewTable("partsupp", partsuppSchema())
+	// Four suppliers per part, per the spec.
+	for p := 1; p <= g.nPart; p++ {
+		for j := 0; j < 4; j++ {
+			s := (p+j*(g.nSupplier/4+1))%g.nSupplier + 1
+			t.MustAppend(storage.Row{
+				storage.NewInt(int64(p)),
+				storage.NewInt(int64(s)),
+				storage.NewInt(int64(r.rangeInt(1, 9999))),
+				storage.NewFloat(r.money(1.00, 1000.00)),
+				storage.NewString(r.words(4)),
+			})
+		}
+	}
+	g.cat.MustAdd(t)
+}
+
+func (g *generator) ordersAndLineitem(r *rng) error {
+	orders := storage.NewTable("orders", ordersSchema())
+	lineitem := storage.NewTable("lineitem", lineitemSchema())
+	cutoff := CurrentDate.I
+
+	for o := 1; o <= g.nOrders; o++ {
+		orderdate := startDate + int64(r.intn(int(endDate-startDate-151)))
+		custkey := int64(r.rangeInt(1, g.nCustomer))
+		nLines := r.rangeInt(1, 7)
+
+		var total float64
+		allShipped := true
+		for ln := 1; ln <= nLines; ln++ {
+			partkey := r.rangeInt(1, g.nPart)
+			suppkey := int64(r.rangeInt(1, g.nSupplier))
+			quantity := float64(r.rangeInt(1, 50))
+			extprice := quantity * partPrice(partkey)
+			discount := float64(r.rangeInt(0, 10)) / 100
+			tax := float64(r.rangeInt(0, 8)) / 100
+
+			shipdate := orderdate + int64(r.rangeInt(1, 121))
+			commitdate := orderdate + int64(r.rangeInt(30, 90))
+			receiptdate := shipdate + int64(r.rangeInt(1, 30))
+
+			returnflag := "N"
+			if receiptdate <= cutoff {
+				if r.intn(2) == 0 {
+					returnflag = "R"
+				} else {
+					returnflag = "A"
+				}
+			}
+			linestatus := "O"
+			if shipdate <= cutoff {
+				linestatus = "F"
+			} else {
+				allShipped = false
+			}
+
+			total += extprice * (1 + tax) * (1 - discount)
+			lineitem.MustAppend(storage.Row{
+				storage.NewInt(int64(o)),
+				storage.NewInt(int64(partkey)),
+				storage.NewInt(suppkey),
+				storage.NewInt(int64(ln)),
+				storage.NewFloat(quantity),
+				storage.NewFloat(extprice),
+				storage.NewFloat(discount),
+				storage.NewFloat(tax),
+				storage.NewString(returnflag),
+				storage.NewString(linestatus),
+				storage.NewDate(shipdate),
+				storage.NewDate(commitdate),
+				storage.NewDate(receiptdate),
+				storage.NewString(r.pick(instructs)),
+				storage.NewString(r.pick(shipmodes)),
+				storage.NewString(r.words(3)),
+			})
+		}
+
+		status := "O"
+		if allShipped {
+			status = "F"
+		} else if r.intn(4) == 0 {
+			status = "P"
+		}
+		orders.MustAppend(storage.Row{
+			storage.NewInt(int64(o)),
+			storage.NewInt(custkey),
+			storage.NewString(status),
+			storage.NewFloat(total),
+			storage.NewDate(orderdate),
+			storage.NewString(r.pick(priorities)),
+			storage.NewString(fmt.Sprintf("Clerk#%09d", r.rangeInt(1, 1000))),
+			storage.NewInt(0),
+			storage.NewString(r.words(4)),
+		})
+	}
+
+	g.cat.MustAdd(orders)
+	g.cat.MustAdd(lineitem)
+	return nil
+}
+
+// buildIndexes constructs the access paths the paper's plans rely on.
+func (g *generator) buildIndexes() error {
+	unique := []struct{ table, column string }{
+		{"region", "r_regionkey"},
+		{"nation", "n_nationkey"},
+		{"supplier", "s_suppkey"},
+		{"customer", "c_custkey"},
+		{"part", "p_partkey"},
+		{"orders", "o_orderkey"},
+	}
+	for _, u := range unique {
+		if err := g.index(u.table, u.column, true); err != nil {
+			return err
+		}
+	}
+	// Foreign-key index used by index-nested-loop joins from orders into
+	// lineitem and by merge joins over l_orderkey.
+	return g.index("lineitem", "l_orderkey", false)
+}
+
+func (g *generator) index(table, column string, uniq bool) error {
+	t, err := g.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	col, err := t.Schema().ColumnIndex("", column)
+	if err != nil || col < 0 {
+		return fmt.Errorf("tpch: cannot index %s.%s: %v", table, column, err)
+	}
+	tree := btree.New()
+	for rid, row := range t.Rows() {
+		tree.Insert(row[col].I, rid)
+	}
+	return t.AddIndex(&storage.IndexMeta{
+		Name:   table + "_" + column + "_idx",
+		Column: column,
+		Unique: uniq,
+		Search: tree,
+	})
+}
+
+func phone(r *rng) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d",
+		r.rangeInt(10, 34), r.rangeInt(100, 999), r.rangeInt(100, 999), r.rangeInt(1000, 9999))
+}

@@ -1,0 +1,274 @@
+package tpch
+
+import (
+	"testing"
+
+	"bufferdb/internal/btree"
+	"bufferdb/internal/storage"
+)
+
+// testDB generates a tiny database once and shares it across tests.
+var testDB = func() *storage.Catalog {
+	cat, err := Generate(Config{ScaleFactor: 0.002})
+	if err != nil {
+		panic(err)
+	}
+	return cat
+}()
+
+func table(t *testing.T, name string) *storage.Table {
+	t.Helper()
+	tbl, err := testDB.Table(name)
+	if err != nil {
+		t.Fatalf("table %s: %v", name, err)
+	}
+	return tbl
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	if _, err := Generate(Config{ScaleFactor: 0}); err == nil {
+		t.Error("SF 0 accepted")
+	}
+	if _, err := Generate(Config{ScaleFactor: -1}); err == nil {
+		t.Error("negative SF accepted")
+	}
+}
+
+func TestCardinalities(t *testing.T) {
+	cases := map[string]int{
+		"region":   5,
+		"nation":   25,
+		"supplier": 20,  // 10000 * 0.002
+		"customer": 300, // 150000 * 0.002
+		"part":     400, // 200000 * 0.002
+		"orders":   3000,
+	}
+	for name, want := range cases {
+		if got := table(t, name).NumRows(); got != want {
+			t.Errorf("%s rows = %d, want %d", name, got, want)
+		}
+	}
+	if got := table(t, "partsupp").NumRows(); got != 4*400 {
+		t.Errorf("partsupp rows = %d, want %d", got, 1600)
+	}
+	// Lineitems average 4 per order.
+	li := table(t, "lineitem").NumRows()
+	if li < 3000 || li > 7*3000 {
+		t.Errorf("lineitem rows = %d, out of [3000, 21000]", li)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(Config{ScaleFactor: 0.001, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{ScaleFactor: 0.001, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lineitem", "orders", "customer"} {
+		ta, _ := a.Table(name)
+		tb, _ := b.Table(name)
+		if ta.NumRows() != tb.NumRows() {
+			t.Fatalf("%s cardinality differs across identical seeds", name)
+		}
+		for i := 0; i < ta.NumRows(); i++ {
+			if ta.Row(i).String() != tb.Row(i).String() {
+				t.Fatalf("%s row %d differs: %s vs %s", name, i, ta.Row(i), tb.Row(i))
+			}
+		}
+	}
+	c, err := Generate(Config{ScaleFactor: 0.001, Seed: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, _ := c.Table("orders")
+	ta, _ := a.Table("orders")
+	same := true
+	for i := 0; i < ta.NumRows() && i < tc.NumRows(); i++ {
+		if ta.Row(i).String() != tc.Row(i).String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical orders")
+	}
+}
+
+func TestForeignKeys(t *testing.T) {
+	orders := table(t, "orders")
+	lineitem := table(t, "lineitem")
+	customer := table(t, "customer")
+
+	nOrders := int64(orders.NumRows())
+	nCust := int64(customer.NumRows())
+
+	// Every order's custkey must reference an existing customer, and
+	// o_orderkey must be dense 1..N.
+	for i, row := range orders.Rows() {
+		if row[0].I != int64(i+1) {
+			t.Fatalf("order %d has key %d, want dense keys", i, row[0].I)
+		}
+		if ck := row[1].I; ck < 1 || ck > nCust {
+			t.Fatalf("order %d references customer %d of %d", i, ck, nCust)
+		}
+	}
+	// Every lineitem must reference an existing order, with line numbers
+	// restarting at 1 per order.
+	prevOrder, prevLine := int64(0), int64(0)
+	for i, row := range lineitem.Rows() {
+		ok, ln := row[0].I, row[3].I
+		if ok < 1 || ok > nOrders {
+			t.Fatalf("lineitem %d references order %d of %d", i, ok, nOrders)
+		}
+		if ok == prevOrder {
+			if ln != prevLine+1 {
+				t.Fatalf("lineitem %d: line %d after %d within order %d", i, ln, prevLine, ok)
+			}
+		} else if ln != 1 {
+			t.Fatalf("lineitem %d: first line of order %d is %d", i, ok, ln)
+		}
+		prevOrder, prevLine = ok, ln
+	}
+}
+
+func TestDateInvariants(t *testing.T) {
+	lineitem := table(t, "lineitem")
+	orders := table(t, "orders")
+	sch := lineitem.Schema()
+	idxShip, _ := sch.ColumnIndex("", "l_shipdate")
+	idxReceipt, _ := sch.ColumnIndex("", "l_receiptdate")
+	idxOK, _ := sch.ColumnIndex("", "l_orderkey")
+	for i, row := range lineitem.Rows() {
+		odate := orders.Row(int(row[idxOK].I) - 1)[4].I
+		ship, receipt := row[idxShip].I, row[idxReceipt].I
+		if ship <= odate {
+			t.Fatalf("lineitem %d shipped on/before order date", i)
+		}
+		if receipt <= ship {
+			t.Fatalf("lineitem %d received on/before ship date", i)
+		}
+	}
+	// Order dates inside the spec range.
+	for i, row := range orders.Rows() {
+		d := row[4].I
+		if d < startDate || d > endDate {
+			t.Fatalf("order %d date %v out of range", i, storage.NewDate(d))
+		}
+	}
+}
+
+func TestValueRanges(t *testing.T) {
+	lineitem := table(t, "lineitem")
+	for i, row := range lineitem.Rows() {
+		q, disc, tax := row[4].F, row[6].F, row[7].F
+		if q < 1 || q > 50 {
+			t.Fatalf("lineitem %d quantity %v", i, q)
+		}
+		if disc < 0 || disc > 0.10 {
+			t.Fatalf("lineitem %d discount %v", i, disc)
+		}
+		if tax < 0 || tax > 0.08 {
+			t.Fatalf("lineitem %d tax %v", i, tax)
+		}
+		if rf := row[8].S; rf != "R" && rf != "A" && rf != "N" {
+			t.Fatalf("lineitem %d returnflag %q", i, rf)
+		}
+		if ls := row[9].S; ls != "O" && ls != "F" {
+			t.Fatalf("lineitem %d linestatus %q", i, ls)
+		}
+	}
+}
+
+func TestShipdateSelectivitySpread(t *testing.T) {
+	// The cardinality-sweep experiment (Fig. 11) varies predicate
+	// selectivity via shipdate cutoffs; that only works if shipdates are
+	// well spread. Check the 1995 midpoint splits the table non-trivially.
+	lineitem := table(t, "lineitem")
+	cutoff := storage.DateFromYMD(1995, 6, 17).I
+	before := 0
+	for _, row := range lineitem.Rows() {
+		if row[10].I <= cutoff {
+			before++
+		}
+	}
+	frac := float64(before) / float64(lineitem.NumRows())
+	if frac < 0.3 || frac > 0.7 {
+		t.Errorf("shipdate <= 1995-06-17 selects %.2f of lineitem, want a near-even split", frac)
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	orders := table(t, "orders")
+	meta := orders.IndexOn("o_orderkey")
+	if meta == nil || !meta.Unique {
+		t.Fatalf("orders pkey index missing: %+v", meta)
+	}
+	tree, ok := meta.Search.(*btree.Tree)
+	if !ok {
+		t.Fatalf("index search structure is %T", meta.Search)
+	}
+	rid, found := tree.LookupOne(100)
+	if !found || orders.Row(rid)[0].I != 100 {
+		t.Errorf("pkey lookup(100) → rid %d, found=%v", rid, found)
+	}
+
+	li := table(t, "lineitem")
+	fk := li.IndexOn("l_orderkey")
+	if fk == nil || fk.Unique {
+		t.Fatalf("lineitem fk index wrong: %+v", fk)
+	}
+	fkTree := fk.Search.(*btree.Tree)
+	rids, found := fkTree.Lookup(100)
+	if !found || len(rids) < 1 || len(rids) > 7 {
+		t.Fatalf("fk lookup(100) = %v, %v", rids, found)
+	}
+	for _, r := range rids {
+		if li.Row(r)[0].I != 100 {
+			t.Errorf("fk rid %d points at order %d", r, li.Row(r)[0].I)
+		}
+	}
+	if errs := fkTree.CheckInvariants(); len(errs) != 0 {
+		t.Errorf("fk tree invariants: %v", errs)
+	}
+
+	// SkipIndexes must skip.
+	bare, err := Generate(Config{ScaleFactor: 0.001, SkipIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, _ := bare.Table("orders")
+	if bo.IndexOn("o_orderkey") != nil {
+		t.Error("SkipIndexes still built indexes")
+	}
+}
+
+func TestOrderTotalsConsistent(t *testing.T) {
+	// o_totalprice must equal the sum over the order's lineitems of
+	// extendedprice * (1+tax) * (1-discount), within float tolerance.
+	orders := table(t, "orders")
+	lineitem := table(t, "lineitem")
+	sums := make([]float64, orders.NumRows()+1)
+	for _, row := range lineitem.Rows() {
+		ok := row[0].I
+		sums[ok] += row[5].F * (1 + row[7].F) * (1 - row[6].F)
+	}
+	for i, row := range orders.Rows() {
+		want := sums[i+1]
+		got := row[3].F
+		if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("order %d totalprice %v, lineitems sum to %v", i+1, got, want)
+		}
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	if scaled(10000, 0.002) != 20 {
+		t.Errorf("scaled(10000, 0.002) = %d", scaled(10000, 0.002))
+	}
+	if scaled(10, 0.0001) != 1 {
+		t.Error("scaled must floor at 1")
+	}
+}

@@ -1,0 +1,83 @@
+// Package tpch is a deterministic, in-process TPC-H data generator.
+//
+// It stands in for the dbgen tool the paper loaded into PostgreSQL (scale
+// factor 0.2). The substitution keeps everything the experiments depend on:
+// the schema, the foreign-key structure (each order has 1–7 lineitems, every
+// lineitem joins to exactly one order), the value distributions that drive
+// predicate selectivity (shipdate spread, discount/quantity ranges), and
+// deterministic content for reproducible results. It intentionally
+// simplifies what the experiments do not depend on: order keys are dense
+// rather than sparse, and text columns use a compact lexicon instead of
+// dbgen's grammar.
+package tpch
+
+// rng is a splitmix64 pseudo-random generator. The generator is hand-rolled
+// (rather than math/rand) so that generated databases are bit-identical
+// across Go releases — EXPERIMENTS.md quotes row counts and aggregates that
+// must stay stable.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed}
+}
+
+// next64 advances the generator (splitmix64).
+func (r *rng) next64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("tpch: intn needs n > 0")
+	}
+	return int(r.next64() % uint64(n))
+}
+
+// rangeInt returns a uniform integer in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int) int {
+	return lo + r.intn(hi-lo+1)
+}
+
+// float returns a uniform float in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next64()>>11) / (1 << 53)
+}
+
+// money returns a uniform amount in [lo, hi] with two decimal places.
+func (r *rng) money(lo, hi float64) float64 {
+	cents := int64(lo*100) + int64(r.next64()%uint64((hi-lo)*100+1))
+	return float64(cents) / 100
+}
+
+// pick returns a uniformly chosen element.
+func (r *rng) pick(options []string) string {
+	return options[r.intn(len(options))]
+}
+
+// words returns n space-joined lexicon words, used for comment columns.
+func (r *rng) words(n int) string {
+	out := make([]byte, 0, n*8)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, lexicon[r.intn(len(lexicon))]...)
+	}
+	return string(out)
+}
+
+// lexicon is the word list for generated text columns. Small on purpose:
+// the experiments never read comments, they only need realistic row widths.
+var lexicon = []string{
+	"furiously", "quickly", "carefully", "blithely", "slyly",
+	"regular", "special", "express", "final", "ironic",
+	"deposits", "requests", "accounts", "packages", "theodolites",
+	"sleep", "nag", "haggle", "wake", "cajole",
+}

@@ -1,0 +1,107 @@
+package tpch
+
+import "bufferdb/internal/storage"
+
+// Schemas for the eight TPC-H tables. Column order matches the TPC-H
+// specification so positional tests read naturally.
+
+func regionSchema() storage.Schema {
+	return storage.Schema{
+		{Table: "region", Name: "r_regionkey", Type: storage.TypeInt64},
+		{Table: "region", Name: "r_name", Type: storage.TypeString},
+		{Table: "region", Name: "r_comment", Type: storage.TypeString},
+	}
+}
+
+func nationSchema() storage.Schema {
+	return storage.Schema{
+		{Table: "nation", Name: "n_nationkey", Type: storage.TypeInt64},
+		{Table: "nation", Name: "n_name", Type: storage.TypeString},
+		{Table: "nation", Name: "n_regionkey", Type: storage.TypeInt64},
+		{Table: "nation", Name: "n_comment", Type: storage.TypeString},
+	}
+}
+
+func supplierSchema() storage.Schema {
+	return storage.Schema{
+		{Table: "supplier", Name: "s_suppkey", Type: storage.TypeInt64},
+		{Table: "supplier", Name: "s_name", Type: storage.TypeString},
+		{Table: "supplier", Name: "s_address", Type: storage.TypeString},
+		{Table: "supplier", Name: "s_nationkey", Type: storage.TypeInt64},
+		{Table: "supplier", Name: "s_phone", Type: storage.TypeString},
+		{Table: "supplier", Name: "s_acctbal", Type: storage.TypeFloat64},
+		{Table: "supplier", Name: "s_comment", Type: storage.TypeString},
+	}
+}
+
+func customerSchema() storage.Schema {
+	return storage.Schema{
+		{Table: "customer", Name: "c_custkey", Type: storage.TypeInt64},
+		{Table: "customer", Name: "c_name", Type: storage.TypeString},
+		{Table: "customer", Name: "c_address", Type: storage.TypeString},
+		{Table: "customer", Name: "c_nationkey", Type: storage.TypeInt64},
+		{Table: "customer", Name: "c_phone", Type: storage.TypeString},
+		{Table: "customer", Name: "c_acctbal", Type: storage.TypeFloat64},
+		{Table: "customer", Name: "c_mktsegment", Type: storage.TypeString},
+		{Table: "customer", Name: "c_comment", Type: storage.TypeString},
+	}
+}
+
+func partSchema() storage.Schema {
+	return storage.Schema{
+		{Table: "part", Name: "p_partkey", Type: storage.TypeInt64},
+		{Table: "part", Name: "p_name", Type: storage.TypeString},
+		{Table: "part", Name: "p_mfgr", Type: storage.TypeString},
+		{Table: "part", Name: "p_brand", Type: storage.TypeString},
+		{Table: "part", Name: "p_type", Type: storage.TypeString},
+		{Table: "part", Name: "p_size", Type: storage.TypeInt64},
+		{Table: "part", Name: "p_container", Type: storage.TypeString},
+		{Table: "part", Name: "p_retailprice", Type: storage.TypeFloat64},
+		{Table: "part", Name: "p_comment", Type: storage.TypeString},
+	}
+}
+
+func partsuppSchema() storage.Schema {
+	return storage.Schema{
+		{Table: "partsupp", Name: "ps_partkey", Type: storage.TypeInt64},
+		{Table: "partsupp", Name: "ps_suppkey", Type: storage.TypeInt64},
+		{Table: "partsupp", Name: "ps_availqty", Type: storage.TypeInt64},
+		{Table: "partsupp", Name: "ps_supplycost", Type: storage.TypeFloat64},
+		{Table: "partsupp", Name: "ps_comment", Type: storage.TypeString},
+	}
+}
+
+func ordersSchema() storage.Schema {
+	return storage.Schema{
+		{Table: "orders", Name: "o_orderkey", Type: storage.TypeInt64},
+		{Table: "orders", Name: "o_custkey", Type: storage.TypeInt64},
+		{Table: "orders", Name: "o_orderstatus", Type: storage.TypeString},
+		{Table: "orders", Name: "o_totalprice", Type: storage.TypeFloat64},
+		{Table: "orders", Name: "o_orderdate", Type: storage.TypeDate},
+		{Table: "orders", Name: "o_orderpriority", Type: storage.TypeString},
+		{Table: "orders", Name: "o_clerk", Type: storage.TypeString},
+		{Table: "orders", Name: "o_shippriority", Type: storage.TypeInt64},
+		{Table: "orders", Name: "o_comment", Type: storage.TypeString},
+	}
+}
+
+func lineitemSchema() storage.Schema {
+	return storage.Schema{
+		{Table: "lineitem", Name: "l_orderkey", Type: storage.TypeInt64},
+		{Table: "lineitem", Name: "l_partkey", Type: storage.TypeInt64},
+		{Table: "lineitem", Name: "l_suppkey", Type: storage.TypeInt64},
+		{Table: "lineitem", Name: "l_linenumber", Type: storage.TypeInt64},
+		{Table: "lineitem", Name: "l_quantity", Type: storage.TypeFloat64},
+		{Table: "lineitem", Name: "l_extendedprice", Type: storage.TypeFloat64},
+		{Table: "lineitem", Name: "l_discount", Type: storage.TypeFloat64},
+		{Table: "lineitem", Name: "l_tax", Type: storage.TypeFloat64},
+		{Table: "lineitem", Name: "l_returnflag", Type: storage.TypeString},
+		{Table: "lineitem", Name: "l_linestatus", Type: storage.TypeString},
+		{Table: "lineitem", Name: "l_shipdate", Type: storage.TypeDate},
+		{Table: "lineitem", Name: "l_commitdate", Type: storage.TypeDate},
+		{Table: "lineitem", Name: "l_receiptdate", Type: storage.TypeDate},
+		{Table: "lineitem", Name: "l_shipinstruct", Type: storage.TypeString},
+		{Table: "lineitem", Name: "l_shipmode", Type: storage.TypeString},
+		{Table: "lineitem", Name: "l_comment", Type: storage.TypeString},
+	}
+}
