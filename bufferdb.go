@@ -47,6 +47,20 @@ type Options struct {
 	DisableRefinement bool
 }
 
+// Engine names an execution model for WithEngine.
+type Engine string
+
+// Available engines.
+const (
+	// EngineVolcano is the default tuple-at-a-time iterator engine, with
+	// buffer operators inserted by plan refinement.
+	EngineVolcano Engine = "volcano"
+	// EngineVec is the block-oriented (vectorized) engine: operators with
+	// batch variants exchange 1024-tuple batches; the rest run as Volcano
+	// islands behind adapters.
+	EngineVec Engine = "vec"
+)
+
 // QueryOptions tune a single statement.
 type QueryOptions struct {
 	// ForceJoin selects the join algorithm: "hash", "nestloop", "merge".
@@ -61,13 +75,36 @@ type QueryOptions struct {
 // calibration. It is safe for sequential use; the engine executes queries
 // single-threaded, as the paper's executor does.
 type DB struct {
-	opts Options
+	opts   Options
+	engine Engine
 
 	cat *storage.Catalog
 	cm  *codemodel.Catalog
 
 	threshold  float64
 	calibrated bool
+}
+
+// WithEngine returns a view of the database that plans and executes queries
+// with the given engine. The view shares the catalog, code model and
+// refinement calibration with the receiver; an empty engine name selects
+// EngineVolcano.
+func (db *DB) WithEngine(e Engine) *DB {
+	cp := *db
+	cp.engine = e
+	return &cp
+}
+
+// planEngine maps the facade engine name to the compiler's engine switch.
+// Unknown names are rejected rather than silently running on Volcano.
+func (db *DB) planEngine() (plan.Engine, error) {
+	switch db.engine {
+	case EngineVec:
+		return plan.EngineVec, nil
+	case EngineVolcano, "":
+		return plan.EngineVolcano, nil
+	}
+	return 0, fmt.Errorf("bufferdb: unknown engine %q", db.engine)
 }
 
 // OpenTPCH generates a TPC-H database at the given scale factor (the paper
@@ -164,7 +201,11 @@ func (db *DB) QueryWithOptions(query string, qo QueryOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	op, err := plan.Build(p, nil)
+	engine, err := db.planEngine()
+	if err != nil {
+		return nil, err
+	}
+	op, err := plan.Compile(p, nil, engine)
 	if err != nil {
 		return nil, err
 	}

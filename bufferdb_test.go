@@ -52,6 +52,30 @@ func TestQuery(t *testing.T) {
 	}
 }
 
+func TestWithEngine(t *testing.T) {
+	q := `SELECT l_returnflag, COUNT(*) FROM lineitem
+	      WHERE l_shipdate <= DATE '1995-06-17'
+	      GROUP BY l_returnflag ORDER BY l_returnflag`
+	volcano, err := testDB.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec, err := testDB.WithEngine(EngineVec).Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(vec.Rows) != fmt.Sprint(volcano.Rows) {
+		t.Errorf("engines disagree:\n vec:     %v\n volcano: %v", vec.Rows, volcano.Rows)
+	}
+	// WithEngine returns a handle; the receiver keeps its engine.
+	if testDB.engine == EngineVec {
+		t.Error("WithEngine mutated the receiver")
+	}
+	if _, err := testDB.WithEngine(Engine("gpu")).Query(q); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
 func TestNativeValueTypes(t *testing.T) {
 	res, err := testDB.Query(`SELECT l_orderkey, l_quantity, l_returnflag, l_shipdate FROM lineitem LIMIT 1`)
 	if err != nil {

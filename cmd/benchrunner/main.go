@@ -5,6 +5,7 @@
 //	benchrunner -list
 //	benchrunner -exp fig10 -sf 0.02
 //	benchrunner -exp all -sf 0.02 -buffersize 1024
+//	benchrunner -exp all -short        # CI-grade: tiny SF, skip slow sweeps
 //
 // Each experiment prints the rows/series of the corresponding artifact of
 // Zhou & Ross (SIGMOD 2004); see EXPERIMENTS.md for paper-vs-measured notes.
@@ -27,6 +28,7 @@ func main() {
 		bufferSize = flag.Int("buffersize", 0, "buffer operator capacity (0 = 1024)")
 		threshold  = flag.Float64("threshold", 0, "cardinality threshold (0 = calibrate)")
 		seed       = flag.Uint64("seed", 0, "data generation seed (0 = default)")
+		short      = flag.Bool("short", false, "CI-grade run: clamp the scale factor and skip slow experiments with -exp all")
 	)
 	flag.Parse()
 
@@ -43,16 +45,22 @@ func main() {
 		Seed:                 *seed,
 		BufferSize:           *bufferSize,
 		CardinalityThreshold: *threshold,
+		Short:                *short,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("database: TPC-H SF %g, refinement threshold %.0f rows (setup %.1fs)\n\n",
-		*sf, runner.Threshold, time.Since(start).Seconds())
+		runner.Cfg.ScaleFactor, runner.Threshold, time.Since(start).Seconds())
 
 	var toRun []bench.Experiment
 	if *exp == "all" {
-		toRun = bench.Experiments()
+		for _, e := range bench.Experiments() {
+			if *short && e.Slow {
+				continue
+			}
+			toRun = append(toRun, e)
+		}
 	} else {
 		e, ok := bench.FindExperiment(*exp)
 		if !ok {

@@ -30,7 +30,13 @@ type Config struct {
 	// CardinalityThreshold for plan refinement; 0 runs the calibration
 	// experiment to derive it, mirroring the paper's §6 methodology.
 	CardinalityThreshold float64
+	// Short clamps the scale factor down for CI-grade runs; experiment
+	// drivers marked Slow are also skipped by `benchrunner -exp all -short`.
+	Short bool
 }
+
+// shortScaleFactor is the SF ceiling a Short config clamps to.
+const shortScaleFactor = 0.005
 
 // DefaultConfig returns the laptop-scale configuration.
 func DefaultConfig() Config {
@@ -53,6 +59,9 @@ type Runner struct {
 func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.ScaleFactor == 0 {
 		cfg.ScaleFactor = 0.02
+	}
+	if cfg.Short && cfg.ScaleFactor > shortScaleFactor {
+		cfg.ScaleFactor = shortScaleFactor
 	}
 	db, err := tpch.Generate(tpch.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
 	if err != nil {
@@ -89,12 +98,19 @@ type Measurement struct {
 
 // Measure executes a plan on a fresh simulated CPU and collects counters.
 func (r *Runner) Measure(label string, p *plan.Node) (*Measurement, error) {
+	return r.MeasureEngine(label, p, plan.EngineVolcano)
+}
+
+// MeasureEngine is Measure with an explicit execution engine, letting
+// experiments compare the Volcano (buffered or not) and block-oriented
+// compilations of the same plan on identical simulated machines.
+func (r *Runner) MeasureEngine(label string, p *plan.Node, engine plan.Engine) (*Measurement, error) {
 	cpu, err := cpusim.New(r.CPUCfg, r.CM.TextSegmentBytes())
 	if err != nil {
 		return nil, err
 	}
 	exec.PlaceCatalog(cpu, r.DB)
-	op, err := plan.Build(p, r.CM)
+	op, err := plan.Compile(p, r.CM, engine)
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +136,12 @@ func (r *Runner) Measure(label string, p *plan.Node) (*Measurement, error) {
 // MeasureWall executes a plan uninstrumented and returns real wall-clock
 // time — the "batching still pays in Go" secondary metric.
 func (r *Runner) MeasureWall(p *plan.Node) (time.Duration, int, error) {
-	op, err := plan.Build(p, nil)
+	return r.MeasureWallEngine(p, plan.EngineVolcano)
+}
+
+// MeasureWallEngine is MeasureWall with an explicit execution engine.
+func (r *Runner) MeasureWallEngine(p *plan.Node, engine plan.Engine) (time.Duration, int, error) {
+	op, err := plan.Compile(p, nil, engine)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -63,9 +63,20 @@ func TestMeasureWall(t *testing.T) {
 	}
 }
 
+// skipIfShort skips the simulator-heavy experiment drivers under -short.
+// The race-detector CI run relies on this to stay inside the package test
+// timeout (the simulator is ~15× slower under -race); the unguarded suite
+// still exercises every driver.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulator-heavy experiment; skipped with -short")
+	}
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
+	if len(exps) != 18 {
 		t.Errorf("registry lists %d experiments", len(exps))
 	}
 	ids := map[string]bool{}
@@ -164,6 +175,7 @@ func TestFig9NoBenefitWhenFitting(t *testing.T) {
 }
 
 func TestFig11Shape(t *testing.T) {
+	skipIfShort(t)
 	rep, err := ExperimentFig11(testRunner)
 	if err != nil {
 		t.Fatal(err)
@@ -183,6 +195,7 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig12Shape(t *testing.T) {
+	skipIfShort(t)
 	rep, err := ExperimentFig12(testRunner)
 	if err != nil {
 		t.Fatal(err)

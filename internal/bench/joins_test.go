@@ -9,6 +9,7 @@ import (
 )
 
 func TestJoinExperimentsShapes(t *testing.T) {
+	skipIfShort(t)
 	cases := []struct {
 		id     string
 		method sql.JoinMethod
@@ -101,6 +102,7 @@ func TestFig17NoBufferAboveSort(t *testing.T) {
 }
 
 func TestTable3AllPositive(t *testing.T) {
+	skipIfShort(t)
 	rows, err := table34Rows(testRunner)
 	if err != nil {
 		t.Fatal(err)
@@ -114,6 +116,7 @@ func TestTable3AllPositive(t *testing.T) {
 }
 
 func TestTable4CPIAndInstructionCounts(t *testing.T) {
+	skipIfShort(t)
 	rows, err := table34Rows(testRunner)
 	if err != nil {
 		t.Fatal(err)
@@ -132,6 +135,7 @@ func TestTable4CPIAndInstructionCounts(t *testing.T) {
 }
 
 func TestTable5RunsAndQ1Improves(t *testing.T) {
+	skipIfShort(t)
 	rep, err := ExperimentTable5(testRunner)
 	if err != nil {
 		t.Fatal(err)
@@ -191,6 +195,7 @@ func TestTable1Report(t *testing.T) {
 }
 
 func TestFig13Report(t *testing.T) {
+	skipIfShort(t)
 	rep, err := ExperimentFig13(testRunner)
 	if err != nil {
 		t.Fatal(err)

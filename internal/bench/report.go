@@ -38,33 +38,36 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Experiment is a named, runnable paper artifact.
+// Experiment is a named, runnable paper artifact. Slow marks the sweeps and
+// full-suite drivers that `benchrunner -exp all -short` skips.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   func(r *Runner) (*Report, error)
+	Slow  bool
 }
 
 // Experiments lists every regenerable table and figure, in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"fig1", "Operator execution sequence (buffer size 5)", ExperimentFig1},
-		{"table1", "Simulated system specification", ExperimentTable1},
-		{"fig4", "Query 1 execution time breakdown (unbuffered)", ExperimentFig4},
-		{"table2", "Instruction footprints by module", ExperimentTable2},
-		{"fig9", "Query 2: original vs buffered breakdown", ExperimentFig9},
-		{"fig10", "Query 1: original vs buffered breakdown", ExperimentFig10},
-		{"fig11", "Cardinality effects (calibration sweep)", ExperimentFig11},
-		{"fig12", "Buffer size sweep: elapsed time", ExperimentFig12},
-		{"fig13", "Buffer size sweep: breakdown", ExperimentFig13},
-		{"fig15", "Query 3 nested-loop join: plans and breakdown", ExperimentFig15},
-		{"fig16", "Query 3 hash join: plans and breakdown", ExperimentFig16},
-		{"fig17", "Query 3 merge join: plans and breakdown", ExperimentFig17},
-		{"table3", "Overall improvement per join method", ExperimentTable3},
-		{"table4", "CPI: original vs buffered plans", ExperimentTable4},
-		{"table5", "TPC-H queries: original vs refined", ExperimentTable5},
-		{"ext1", "Extension: instruction prefetching vs buffering", ExperimentExtPrefetch},
-		{"ext2", "Extension: code layout vs buffering", ExperimentExtLayout},
+		{ID: "fig1", Title: "Operator execution sequence (buffer size 5)", Run: ExperimentFig1},
+		{ID: "table1", Title: "Simulated system specification", Run: ExperimentTable1},
+		{ID: "fig4", Title: "Query 1 execution time breakdown (unbuffered)", Run: ExperimentFig4},
+		{ID: "table2", Title: "Instruction footprints by module", Run: ExperimentTable2},
+		{ID: "fig9", Title: "Query 2: original vs buffered breakdown", Run: ExperimentFig9},
+		{ID: "fig10", Title: "Query 1: original vs buffered breakdown", Run: ExperimentFig10},
+		{ID: "fig11", Title: "Cardinality effects (calibration sweep)", Run: ExperimentFig11, Slow: true},
+		{ID: "fig12", Title: "Buffer size sweep: elapsed time", Run: ExperimentFig12, Slow: true},
+		{ID: "fig13", Title: "Buffer size sweep: breakdown", Run: ExperimentFig13, Slow: true},
+		{ID: "fig15", Title: "Query 3 nested-loop join: plans and breakdown", Run: ExperimentFig15},
+		{ID: "fig16", Title: "Query 3 hash join: plans and breakdown", Run: ExperimentFig16},
+		{ID: "fig17", Title: "Query 3 merge join: plans and breakdown", Run: ExperimentFig17},
+		{ID: "table3", Title: "Overall improvement per join method", Run: ExperimentTable3, Slow: true},
+		{ID: "table4", Title: "CPI: original vs buffered plans", Run: ExperimentTable4, Slow: true},
+		{ID: "table5", Title: "TPC-H queries: original vs refined", Run: ExperimentTable5, Slow: true},
+		{ID: "ext1", Title: "Extension: instruction prefetching vs buffering", Run: ExperimentExtPrefetch},
+		{ID: "ext2", Title: "Extension: code layout vs buffering", Run: ExperimentExtLayout},
+		{ID: "ext3", Title: "Extension: block-oriented processing vs buffering", Run: ExperimentExt3},
 	}
 }
 

@@ -145,10 +145,13 @@ func (b *Buffer) Next(ctx *exec.Context) (storage.Row, error) {
 // serveUops is the execution cost of serving one tuple from the array.
 const serveUops = 12
 
-// Close implements exec.Operator.
+// Close implements exec.Operator. The pointer array is released, not just
+// truncated: a truncated slice keeps its backing array, and with it a
+// reference to every tuple of the last batch — a large buffer would pin
+// those tuples long after the query finished. Open re-makes the array.
 func (b *Buffer) Close(ctx *exec.Context) error {
 	b.opened = false
-	b.buf = b.buf[:0]
+	b.buf = nil
 	return b.Child.Close(ctx)
 }
 

@@ -284,3 +284,49 @@ func TestBufferedQuery1EndToEnd(t *testing.T) {
 		t.Errorf("buffered plan slower: %.4fs vs %.4fs", seconds[1], seconds[0])
 	}
 }
+
+// TestBufferCloseReleasesArray asserts Close drops the pointer array so a
+// large buffer does not pin the last batch's tuples after the query ends,
+// and that the buffer still works when reopened.
+func TestBufferCloseReleasesArray(t *testing.T) {
+	li := lineitem(t)
+	for _, b := range []*Buffer{
+		NewBuffer(exec.NewSeqScan(li, nil, nil), 64, nil),
+		&NewCopyBuffer(exec.NewSeqScan(li, nil, nil), 64, nil).Buffer,
+	} {
+		ctx := &exec.Context{Catalog: testDB}
+		if err := b.Open(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if len(b.buf) == 0 {
+			t.Fatalf("%s: no tuples buffered after Next", b.Name())
+		}
+		if err := b.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if b.buf != nil {
+			t.Errorf("%s: Close kept the pointer array (len %d, cap %d)", b.Name(), len(b.buf), cap(b.buf))
+		}
+		// Reopen must re-make the array and serve the full result.
+		want := li.NumRows()
+		got := len(runOp(t, b))
+		if got != want {
+			t.Errorf("%s: reopen after Close returned %d rows, want %d", b.Name(), got, want)
+		}
+	}
+}
+
+// TestBufferConformance runs the shared operator lifecycle harness over
+// both buffer variants.
+func TestBufferConformance(t *testing.T) {
+	li := lineitem(t)
+	exec.Conformance(t, "Buffer", func() exec.Operator {
+		return NewBuffer(exec.NewSeqScan(li, nil, nil), 64, nil)
+	})
+	exec.Conformance(t, "CopyBuffer", func() exec.Operator {
+		return NewCopyBuffer(exec.NewSeqScan(li, nil, nil), 64, nil)
+	})
+}

@@ -222,9 +222,35 @@ func (c *CPU) AllocData(size int) uint64 {
 // outcomes of the module's data-dependent branch sites (bit i → i-th data
 // site), which the executor derives from real tuple data.
 func (c *CPU) ExecModule(m *codemodel.Module, dataBits uint64) {
-	cfg := &c.Cfg
+	c.fetchModule(m)
+	c.AddUops(uint64(m.HotBytes() / c.Cfg.BytesPerUop))
+	c.execSites(m, dataBits)
+}
 
-	// Instruction fetch.
+// ExecModuleBatch simulates one block-oriented (vectorized) invocation of a
+// module over a batch of tuples: the module's instruction lines are fetched
+// once — the batch loop keeps the code resident while it runs — while
+// execution µops and branch sites are paid once per tuple, exactly as many
+// as the equivalent sequence of tuple-at-a-time invocations would execute.
+// dataBits carries one entry per input tuple; its length is the batch size.
+// This is the instrumentation contract of internal/vec, and what makes the
+// vectorized engine's counters directly comparable with the buffered
+// Volcano plans (same µop and branch totals, amortized instruction fetch).
+func (c *CPU) ExecModuleBatch(m *codemodel.Module, dataBits []uint64) {
+	if len(dataBits) == 0 {
+		return
+	}
+	c.fetchModule(m)
+	uops := uint64(m.HotBytes() / c.Cfg.BytesPerUop)
+	for _, bits := range dataBits {
+		c.AddUops(uops)
+		c.execSites(m, bits)
+	}
+}
+
+// fetchModule streams the module's hot lines through ITLB → L1I → L2.
+func (c *CPU) fetchModule(m *codemodel.Module) {
+	cfg := &c.Cfg
 	for _, line := range m.Lines() {
 		if c.FetchHook != nil {
 			c.FetchHook(m, line)
@@ -259,13 +285,11 @@ func (c *CPU) ExecModule(m *codemodel.Module, dataBits uint64) {
 			}
 		}
 	}
+}
 
-	// Execution.
-	uops := uint64(m.HotBytes() / cfg.BytesPerUop)
-	c.counters.Uops += uops
-	c.cycles.Base += float64(uops) * cfg.CyclesPerUop
-
-	// Branches.
+// execSites runs the module's branch sites through the predictor.
+func (c *CPU) execSites(m *codemodel.Module, dataBits uint64) {
+	cfg := &c.Cfg
 	dataIdx := 0
 	for _, site := range m.Sites() {
 		var taken bool

@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Conformance checks an operator against the open-next-close lifecycle
+// contract every engine component relies on:
+//
+//   - a drained operator returns the same row count after reopening
+//   - Open is idempotent (a second Open before draining resets cleanly)
+//   - Next after Close errors instead of producing stale rows
+//   - Close is idempotent
+//
+// mk must construct a fresh operator tree over the same input each call;
+// the harness drives each instance uninstrumented. It is exported (rather
+// than living in a _test file) so internal/core and internal/vec run the
+// same checks over buffers, batch operators and adapters.
+func Conformance(t testing.TB, name string, mk func() Operator) {
+	t.Helper()
+
+	baseline, err := drain(mk())
+	if err != nil {
+		t.Fatalf("%s: baseline run: %v", name, err)
+	}
+
+	// Open-twice: a second Open must reset, not corrupt, state.
+	op := mk()
+	ctx := &Context{}
+	if err := op.Open(ctx); err != nil {
+		t.Fatalf("%s: first Open: %v", name, err)
+	}
+	if err := op.Open(ctx); err != nil {
+		t.Fatalf("%s: second Open: %v", name, err)
+	}
+	n, err := drainOpened(ctx, op)
+	if err != nil {
+		t.Fatalf("%s: drain after double Open: %v", name, err)
+	}
+	if n != baseline {
+		t.Errorf("%s: double Open changed row count: %d, want %d", name, n, baseline)
+	}
+
+	// Next-after-Close must error.
+	op = mk()
+	ctx = &Context{}
+	if err := op.Open(ctx); err != nil {
+		t.Fatalf("%s: Open: %v", name, err)
+	}
+	if err := op.Close(ctx); err != nil {
+		t.Fatalf("%s: Close: %v", name, err)
+	}
+	if _, err := op.Next(ctx); err == nil {
+		t.Errorf("%s: Next after Close succeeded, want error", name)
+	}
+
+	// Close-idempotent.
+	if err := op.Close(ctx); err != nil {
+		t.Errorf("%s: second Close: %v", name, err)
+	}
+
+	// Reopen after Close must produce the full result again.
+	n, err = drainOpened(ctx, openFresh(ctx, op))
+	if err != nil {
+		t.Fatalf("%s: drain after reopen: %v", name, err)
+	}
+	if n != baseline {
+		t.Errorf("%s: reopen changed row count: %d, want %d", name, n, baseline)
+	}
+}
+
+// openFresh opens op, panicking on error (callers just checked Close).
+func openFresh(ctx *Context, op Operator) Operator {
+	if err := op.Open(ctx); err != nil {
+		panic(fmt.Sprintf("exec: conformance reopen: %v", err))
+	}
+	return op
+}
+
+// drain runs a fresh operator to completion and returns its row count.
+func drain(op Operator) (int, error) {
+	ctx := &Context{}
+	if err := op.Open(ctx); err != nil {
+		return 0, err
+	}
+	return drainOpened(ctx, op)
+}
+
+// drainOpened pulls an already-open operator dry and closes it.
+func drainOpened(ctx *Context, op Operator) (int, error) {
+	n := 0
+	for {
+		row, err := op.Next(ctx)
+		if err != nil {
+			_ = op.Close(ctx)
+			return 0, err
+		}
+		if row == nil {
+			break
+		}
+		n++
+	}
+	return n, op.Close(ctx)
+}

@@ -72,6 +72,17 @@ func (c *Context) ExecModule(m *codemodel.Module, dataBits uint64) {
 	}
 }
 
+// ExecModuleBatch replays one amortized block invocation of m covering
+// len(dataBits) input tuples: instruction fetch once, execution and branch
+// outcomes per tuple (see cpusim.ExecModuleBatch). It is the instrumentation
+// hook the block-oriented engine (internal/vec) drives; no-op when
+// uninstrumented or for module-less operators.
+func (c *Context) ExecModuleBatch(m *codemodel.Module, dataBits []uint64) {
+	if c.CPU != nil && m != nil && len(dataBits) > 0 {
+		c.CPU.ExecModuleBatch(m, dataBits)
+	}
+}
+
 // Read models a data load.
 func (c *Context) Read(addr uint64, size int) {
 	if c.CPU != nil && addr != 0 {

@@ -49,9 +49,18 @@ func moduleFor(n *Node, cm *codemodel.Catalog) (*codemodel.Module, error) {
 	}
 }
 
-// Build compiles a plan into an executable operator tree. cm may be nil for
-// uninstrumented execution.
+// Build compiles a plan into a pure-Volcano operator tree. cm may be nil
+// for uninstrumented execution.
 func Build(n *Node, cm *codemodel.Catalog) (exec.Operator, error) {
+	var rec func(*Node) (exec.Operator, error)
+	rec = func(c *Node) (exec.Operator, error) { return buildNode(c, cm, rec) }
+	return rec(n)
+}
+
+// buildNode compiles a single node into its Volcano operator, resolving
+// operand children through child — the hook the engine switch (Compile)
+// uses to splice batch subtrees in behind adapters.
+func buildNode(n *Node, cm *codemodel.Catalog, child func(*Node) (exec.Operator, error)) (exec.Operator, error) {
 	mod, err := moduleFor(n, cm)
 	if err != nil {
 		return nil, err
@@ -67,11 +76,11 @@ func Build(n *Node, cm *codemodel.Catalog) (exec.Operator, error) {
 		return exec.NewIndexFullScan(n.Table, n.Index, n.Filter, mod)
 
 	case KindNestLoopJoin:
-		outer, err := Build(n.Children[0], cm)
+		outer, err := child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		innerOp, err := Build(n.Children[1], cm)
+		innerOp, err := child(n.Children[1])
 		if err != nil {
 			return nil, err
 		}
@@ -82,7 +91,7 @@ func Build(n *Node, cm *codemodel.Catalog) (exec.Operator, error) {
 		return exec.NewNestLoopJoin(outer, inner, n.OuterKey, n.Residual, mod), nil
 
 	case KindHashJoin:
-		outer, err := Build(n.Children[0], cm)
+		outer, err := child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
@@ -94,7 +103,7 @@ func Build(n *Node, cm *codemodel.Catalog) (exec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		inner, err := Build(build.Children[0], cm)
+		inner, err := child(build.Children[0])
 		if err != nil {
 			return nil, err
 		}
@@ -104,64 +113,64 @@ func Build(n *Node, cm *codemodel.Catalog) (exec.Operator, error) {
 		return nil, fmt.Errorf("plan: HashBuild must be the inner child of a HashJoin")
 
 	case KindMergeJoin:
-		left, err := Build(n.Children[0], cm)
+		left, err := child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		right, err := Build(n.Children[1], cm)
+		right, err := child(n.Children[1])
 		if err != nil {
 			return nil, err
 		}
 		return exec.NewMergeJoin(left, right, n.OuterKey, n.InnerKey, mod), nil
 
 	case KindSort:
-		child, err := Build(n.Children[0], cm)
+		c, err := child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewSort(child, n.SortKeys, mod), nil
+		return exec.NewSort(c, n.SortKeys, mod), nil
 
 	case KindAggregate:
-		child, err := Build(n.Children[0], cm)
+		c, err := child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewAggregate(child, n.GroupBy, n.Aggs, mod)
+		return exec.NewAggregate(c, n.GroupBy, n.Aggs, mod)
 
 	case KindMaterial:
-		child, err := Build(n.Children[0], cm)
+		c, err := child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewMaterial(child, mod), nil
+		return exec.NewMaterial(c, mod), nil
 
 	case KindLimit:
-		child, err := Build(n.Children[0], cm)
+		c, err := child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewLimit(child, n.LimitN), nil
+		return exec.NewLimit(c, n.LimitN), nil
 
 	case KindBuffer:
-		child, err := Build(n.Children[0], cm)
+		c, err := child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return core.NewBuffer(child, n.BufferSize, mod), nil
+		return core.NewBuffer(c, n.BufferSize, mod), nil
 
 	case KindFilter:
-		child, err := Build(n.Children[0], cm)
+		c, err := child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewFilter(child, n.Filter, mod), nil
+		return exec.NewFilter(c, n.Filter, mod), nil
 
 	case KindProject:
-		child, err := Build(n.Children[0], cm)
+		c, err := child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewProject(child, n.Projections, n.ProjNames, mod)
+		return exec.NewProject(c, n.Projections, n.ProjNames, mod)
 
 	default:
 		return nil, fmt.Errorf("plan: cannot compile %v", n.Kind)

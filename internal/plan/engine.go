@@ -1,0 +1,162 @@
+package plan
+
+import (
+	"fmt"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/exec"
+	"bufferdb/internal/vec"
+)
+
+// Engine selects the execution model a plan compiles to.
+type Engine uint8
+
+const (
+	// EngineVolcano compiles to the tuple-at-a-time iterators of
+	// internal/exec (plus any Buffer nodes the refinement pass inserted) —
+	// the paper's side of the §2 trade-off.
+	EngineVolcano Engine = iota
+	// EngineVec compiles to the block-oriented operators of internal/vec
+	// where batch variants exist, falling back to Volcano operators behind
+	// FromVolcano/ToVolcano adapters everywhere else — the alternative the
+	// paper's §2 positions buffering against.
+	EngineVec
+)
+
+// String returns the engine's display name.
+func (e Engine) String() string {
+	switch e {
+	case EngineVolcano:
+		return "volcano"
+	case EngineVec:
+		return "vec"
+	default:
+		return fmt.Sprintf("Engine(%d)", uint8(e))
+	}
+}
+
+// Compile compiles a plan into an executable (Volcano-rooted) operator tree
+// for the selected engine. cm may be nil for uninstrumented execution.
+// With EngineVec the root is a ToVolcano adapter whenever the top of the
+// plan has a batch variant, so callers drive every compiled plan through
+// the same exec.Run loop.
+func Compile(n *Node, cm *codemodel.Catalog, engine Engine) (exec.Operator, error) {
+	switch engine {
+	case EngineVolcano:
+		return Build(n, cm)
+	case EngineVec:
+		return compileMixed(n, cm)
+	default:
+		return nil, fmt.Errorf("plan: unknown engine %v", engine)
+	}
+}
+
+// vecCapable reports whether a node has a block-oriented variant. A Buffer
+// node is transparent: batching is the vec engine's native mode, so the
+// refinement pass's buffers dissolve into the batch operator below them.
+func vecCapable(n *Node) bool {
+	switch n.Kind {
+	case KindSeqScan, KindProject, KindAggregate, KindLimit:
+		return true
+	case KindHashJoin:
+		return len(n.Children) == 2 && n.Children[1].Kind == KindHashBuild
+	case KindBuffer:
+		return vecCapable(n.Children[0])
+	default:
+		return false
+	}
+}
+
+// compileVec compiles a vec-capable node into its batch operator, adapting
+// non-capable children behind FromVolcano.
+func compileVec(n *Node, cm *codemodel.Catalog) (vec.Operator, error) {
+	mod, err := moduleFor(n, cm)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Kind {
+	case KindBuffer:
+		return compileVec(n.Children[0], cm)
+
+	case KindSeqScan:
+		return vec.NewSeqScan(n.Table, n.Filter, mod, 0), nil
+
+	case KindProject:
+		child, err := vecChild(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return vec.NewProject(child, n.Projections, n.ProjNames, mod)
+
+	case KindAggregate:
+		child, err := vecChild(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return vec.NewHashAggregate(child, n.GroupBy, n.Aggs, mod, 0)
+
+	case KindLimit:
+		child, err := vecChild(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return vec.NewLimit(child, n.LimitN), nil
+
+	case KindHashJoin:
+		build := n.Children[1]
+		if build.Kind != KindHashBuild {
+			return nil, fmt.Errorf("plan: hash join inner must be a HashBuild node, got %v", build.Kind)
+		}
+		buildMod, err := moduleFor(build, cm)
+		if err != nil {
+			return nil, err
+		}
+		outer, err := vecChild(n.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := vecChild(build.Children[0], cm)
+		if err != nil {
+			return nil, err
+		}
+		return vec.NewHashJoin(outer, inner, n.OuterKey, build.InnerKey, buildMod, mod, 0), nil
+
+	default:
+		return nil, fmt.Errorf("plan: %v has no batch variant", n.Kind)
+	}
+}
+
+// vecChild compiles a child for a batch operator: natively when capable,
+// otherwise the Volcano subtree behind a FromVolcano adapter (modeled with
+// the buffer module — the adapter is a buffer refill loop).
+func vecChild(n *Node, cm *codemodel.Catalog) (vec.Operator, error) {
+	if vecCapable(n) {
+		return compileVec(n, cm)
+	}
+	op, err := compileMixed(n, cm)
+	if err != nil {
+		return nil, err
+	}
+	bufMod, err := moduleFor(&Node{Kind: KindBuffer}, cm)
+	if err != nil {
+		return nil, err
+	}
+	return vec.NewFromVolcano(op, 0, bufMod), nil
+}
+
+// compileMixed compiles a node for the vec engine from the Volcano side:
+// capable subtrees become batch operators behind a ToVolcano adapter,
+// everything else builds its Volcano operator with children compiled the
+// same way.
+func compileMixed(n *Node, cm *codemodel.Catalog) (exec.Operator, error) {
+	if vecCapable(n) {
+		op, err := compileVec(n, cm)
+		if err != nil {
+			return nil, err
+		}
+		return vec.NewToVolcano(op), nil
+	}
+	return buildNode(n, cm, func(c *Node) (exec.Operator, error) {
+		return compileMixed(c, cm)
+	})
+}

@@ -1,0 +1,244 @@
+package vec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/exec"
+	"bufferdb/internal/expr"
+	"bufferdb/internal/storage"
+)
+
+// HashAggregate is the block-oriented grouped/ungrouped aggregation. The
+// fold phase consumes whole input batches — one amortized module replay per
+// batch, transition µops and the group-lookup data traffic per tuple — and
+// the emit phase streams result rows out in batches, in group-key order for
+// deterministic results (matching exec.Aggregate).
+type HashAggregate struct {
+	Child   Operator
+	GroupBy []expr.Expr
+	Aggs    []expr.AggSpec
+
+	module *codemodel.Module
+	schema storage.Schema
+
+	groups       map[string]*aggGroup
+	order        []string
+	pos          int
+	done         bool
+	emittedEmpty bool
+	tableRegion  uint64
+	tableBuckets uint64
+
+	out    batchBuf
+	bits   []uint64
+	size   int
+	opened bool
+}
+
+type aggGroup struct {
+	keyVals storage.Row
+	accs    []expr.Accumulator
+}
+
+// NewHashAggregate constructs the operator, deriving the output schema.
+// module may be nil; size 0 selects DefaultBatchSize for output batches.
+func NewHashAggregate(child Operator, groupBy []expr.Expr, aggs []expr.AggSpec, module *codemodel.Module, size int) (*HashAggregate, error) {
+	a := &HashAggregate{
+		Child:   child,
+		GroupBy: groupBy,
+		Aggs:    aggs,
+		module:  module,
+		size:    size,
+	}
+	for i, g := range groupBy {
+		name := fmt.Sprintf("group%d", i)
+		if cr, ok := g.(*expr.ColRef); ok {
+			name = cr.Name
+		}
+		a.schema = append(a.schema, storage.Column{Name: name, Type: g.Type()})
+	}
+	for _, spec := range aggs {
+		ty, err := spec.ResultType()
+		if err != nil {
+			return nil, err
+		}
+		a.schema = append(a.schema, storage.Column{Name: spec.OutputName(), Type: ty})
+	}
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("vec: HashAggregate needs at least one aggregate")
+	}
+	return a, nil
+}
+
+// Open implements Operator.
+func (a *HashAggregate) Open(ctx *exec.Context) error {
+	if err := a.Child.Open(ctx); err != nil {
+		return err
+	}
+	a.groups = make(map[string]*aggGroup)
+	a.order = nil
+	a.pos, a.done, a.emittedEmpty = 0, false, false
+	a.out.open(ctx, a.size)
+	if ctx.CPU != nil && a.tableRegion == 0 {
+		a.tableBuckets = 1 << 12
+		a.tableRegion = ctx.CPU.AllocData(int(a.tableBuckets) * 64)
+	}
+	a.opened = true
+	return nil
+}
+
+// groupAddr maps a group key to its simulated accumulator address.
+func (a *HashAggregate) groupAddr(key string) uint64 {
+	if a.tableRegion == 0 {
+		return 0
+	}
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * 1099511628211
+	}
+	return a.tableRegion + (h%a.tableBuckets)*64
+}
+
+// consume drains the child batch by batch, folding every row into its group.
+func (a *HashAggregate) consume(ctx *exec.Context) error {
+	for {
+		in, err := a.Child.NextBatch(ctx)
+		if err != nil {
+			return err
+		}
+		if len(in) == 0 {
+			break
+		}
+		a.bits = a.bits[:0]
+		for _, row := range in {
+			keyVals := make(storage.Row, len(a.GroupBy))
+			for i, g := range a.GroupBy {
+				v, err := g.Eval(row)
+				if err != nil {
+					return err
+				}
+				keyVals[i] = v
+			}
+			key := keyVals.String()
+			grp, ok := a.groups[key]
+			if !ok {
+				grp = &aggGroup{keyVals: keyVals, accs: make([]expr.Accumulator, len(a.Aggs))}
+				for i, spec := range a.Aggs {
+					acc, err := expr.NewAccumulator(spec)
+					if err != nil {
+						return err
+					}
+					grp.accs[i] = acc
+				}
+				a.groups[key] = grp
+				a.order = append(a.order, key)
+			}
+			for _, acc := range grp.accs {
+				if err := acc.Add(row); err != nil {
+					return err
+				}
+			}
+			// The transition functions touch the group's accumulator state.
+			addr := a.groupAddr(key)
+			ctx.Read(addr, 64)
+			ctx.Write(addr, 64)
+			a.bits = append(a.bits, ctx.DataBits(!ok))
+		}
+		ctx.ExecModuleBatch(a.module, a.bits)
+	}
+	// Deterministic output order: sort groups by key values.
+	sort.Slice(a.order, func(i, j int) bool {
+		gi, gj := a.groups[a.order[i]], a.groups[a.order[j]]
+		for k := range gi.keyVals {
+			if c := storage.Compare(gi.keyVals[k], gj.keyVals[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	a.done = true
+	return nil
+}
+
+// NextBatch implements Operator.
+func (a *HashAggregate) NextBatch(ctx *exec.Context) (Batch, error) {
+	if !a.opened {
+		return nil, errNotOpen(a.Name())
+	}
+	if !a.done {
+		if err := a.consume(ctx); err != nil {
+			return nil, err
+		}
+	}
+	// Ungrouped aggregation over zero rows still yields one row
+	// (COUNT(*) = 0, SUM = NULL, …).
+	if len(a.GroupBy) == 0 && len(a.order) == 0 {
+		if a.emittedEmpty {
+			return nil, nil
+		}
+		a.emittedEmpty = true
+		out := make(storage.Row, 0, len(a.Aggs))
+		for _, spec := range a.Aggs {
+			acc, err := expr.NewAccumulator(spec)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, acc.Result())
+		}
+		a.out.reset()
+		a.out.append(ctx, out)
+		ctx.ExecModuleBatch(a.module, []uint64{ctx.DataBits(true)})
+		return a.out.take(), nil
+	}
+	if a.pos >= len(a.order) {
+		return nil, nil
+	}
+	a.out.reset()
+	a.bits = a.bits[:0]
+	for a.pos < len(a.order) && !a.out.full() {
+		grp := a.groups[a.order[a.pos]]
+		a.pos++
+		out := make(storage.Row, 0, len(a.GroupBy)+len(a.Aggs))
+		out = append(out, grp.keyVals...)
+		for _, acc := range grp.accs {
+			out = append(out, acc.Result())
+		}
+		a.bits = append(a.bits, ctx.DataBits(true))
+		a.out.append(ctx, out)
+	}
+	ctx.ExecModuleBatch(a.module, a.bits)
+	return a.out.take(), nil
+}
+
+// Close implements Operator.
+func (a *HashAggregate) Close(ctx *exec.Context) error {
+	a.opened = false
+	a.groups = nil
+	a.order = nil
+	return a.Child.Close(ctx)
+}
+
+// Schema implements Operator.
+func (a *HashAggregate) Schema() storage.Schema { return a.schema }
+
+// Children implements Operator.
+func (a *HashAggregate) Children() []Operator { return []Operator{a.Child} }
+
+// Name implements Operator.
+func (a *HashAggregate) Name() string {
+	aggs := make([]string, len(a.Aggs))
+	for i, s := range a.Aggs {
+		aggs[i] = s.String()
+	}
+	if len(a.GroupBy) == 0 {
+		return fmt.Sprintf("VecHashAggregate(%s)", strings.Join(aggs, ", "))
+	}
+	groups := make([]string, len(a.GroupBy))
+	for i, g := range a.GroupBy {
+		groups[i] = g.String()
+	}
+	return fmt.Sprintf("VecHashAggregate(%s GROUP BY %s)", strings.Join(aggs, ", "), strings.Join(groups, ", "))
+}

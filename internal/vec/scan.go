@@ -1,0 +1,95 @@
+package vec
+
+import (
+	"fmt"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/exec"
+	"bufferdb/internal/expr"
+	"bufferdb/internal/storage"
+)
+
+// SeqScan is the block-oriented heap scan. Each NextBatch runs the scan
+// loop until the output vector is full or the heap is exhausted — with a
+// selective predicate a batch therefore covers more than batch-size input
+// tuples, exactly like a buffer refill over a filtering child. The scan and
+// qualification µops are paid per input tuple; the scan code is fetched
+// once per batch.
+type SeqScan struct {
+	Table  *storage.Table
+	Filter expr.Expr // optional
+
+	module *codemodel.Module
+
+	out    batchBuf
+	bits   []uint64
+	size   int
+	pos    int
+	opened bool
+}
+
+// NewSeqScan constructs the scan. module may be nil (uninstrumented);
+// size 0 selects DefaultBatchSize.
+func NewSeqScan(table *storage.Table, filter expr.Expr, module *codemodel.Module, size int) *SeqScan {
+	return &SeqScan{Table: table, Filter: filter, module: module, size: size}
+}
+
+// Open implements Operator.
+func (s *SeqScan) Open(ctx *exec.Context) error {
+	s.out.open(ctx, s.size)
+	s.pos = 0
+	s.opened = true
+	return nil
+}
+
+// NextBatch implements Operator.
+func (s *SeqScan) NextBatch(ctx *exec.Context) (Batch, error) {
+	if !s.opened {
+		return nil, errNotOpen(s.Name())
+	}
+	s.out.reset()
+	s.bits = s.bits[:0]
+	n := s.Table.NumRows()
+	for s.pos < n && !s.out.full() {
+		rid := s.pos
+		s.pos++
+		row := s.Table.Row(rid)
+		if addr, size, ok := s.Table.Placement(rid); ok {
+			ctx.Read(addr, size)
+		}
+		match := true
+		if s.Filter != nil {
+			var err error
+			match, err = expr.EvalBool(s.Filter, row)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.bits = append(s.bits, ctx.DataBits(match))
+		if match {
+			s.out.append(ctx, row)
+		}
+	}
+	ctx.ExecModuleBatch(s.module, s.bits)
+	return s.out.take(), nil
+}
+
+// Close implements Operator.
+func (s *SeqScan) Close(*exec.Context) error {
+	s.opened = false
+	return nil
+}
+
+// Schema implements Operator.
+func (s *SeqScan) Schema() storage.Schema { return s.Table.Schema() }
+
+// Children implements Operator.
+func (s *SeqScan) Children() []Operator { return nil }
+
+// Name implements Operator.
+func (s *SeqScan) Name() string {
+	if s.Filter != nil {
+		return fmt.Sprintf("VecSeqScan(%s, filter=%s)", s.Table.Name(), s.Filter.String())
+	}
+	return fmt.Sprintf("VecSeqScan(%s)", s.Table.Name())
+}

@@ -1,0 +1,52 @@
+// Wall-clock head-to-head of the three execution strategies: tuple-at-a-time
+// Volcano, the paper's buffer operator, and the internal/vec block-oriented
+// engine. These run uninstrumented — real Go time, not simulated cycles — so
+// they measure the interpretation overhead each strategy actually pays on
+// the host, complementing the ext3 experiment's simulated cache counters.
+package bufferdb
+
+import (
+	"testing"
+
+	"bufferdb/internal/bench"
+	"bufferdb/internal/plan"
+	"bufferdb/internal/sql"
+)
+
+// benchVecCase measures one query under all three strategies as
+// sub-benchmarks, so `go test -bench VecVsBuffered` prints a comparable
+// ns/op triple per query.
+func benchVecCase(b *testing.B, query string, opt sql.Options) {
+	r := benchRunner(b)
+	p, err := r.Plan(query, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	refined, err := r.Refine(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, n *plan.Node, engine plan.Engine) {
+		b.ReportAllocs()
+		rows := 0
+		for i := 0; i < b.N; i++ {
+			_, n, err := r.MeasureWallEngine(n, engine)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = n
+		}
+		b.ReportMetric(float64(rows), "rows")
+	}
+	b.Run("original", func(b *testing.B) { run(b, p, plan.EngineVolcano) })
+	b.Run("buffered", func(b *testing.B) { run(b, refined, plan.EngineVolcano) })
+	b.Run("vectorized", func(b *testing.B) { run(b, p, plan.EngineVec) })
+}
+
+func BenchmarkVecVsBufferedQuery1(b *testing.B) {
+	benchVecCase(b, bench.Query1, sql.Options{})
+}
+
+func BenchmarkVecVsBufferedQuery3Hash(b *testing.B) {
+	benchVecCase(b, bench.Query3, sql.Options{ForceJoin: sql.JoinHash})
+}
