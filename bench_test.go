@@ -140,8 +140,8 @@ func BenchmarkAblationCopyBuffer(b *testing.B) {
 			buffered = core.NewBuffer(scan, 0, bufMod)
 		}
 		cpu := newCPU(b, r.CM)
-		exec.PlaceCatalog(cpu, r.DB)
-		if _, err := exec.Run(&exec.Context{Catalog: r.DB, CPU: cpu}, buffered); err != nil {
+		placements := exec.PlaceCatalog(cpu, r.DB)
+		if _, err := exec.Run(&exec.Context{Catalog: r.DB, CPU: cpu, Placements: placements}, buffered); err != nil {
 			b.Fatal(err)
 		}
 		return cpu.ElapsedSeconds()

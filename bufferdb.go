@@ -19,7 +19,9 @@
 package bufferdb
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"bufferdb/internal/codemodel"
@@ -45,6 +47,11 @@ type Options struct {
 	// DisableRefinement turns the post-optimizer buffer pass off, so
 	// Query always runs the conventional plan.
 	DisableRefinement bool
+	// Parallelism is the default worker fan-out for partitioned scan
+	// pipelines (values < 2 run sequentially). Eligible scan subtrees are
+	// wrapped in a gather (exchange) operator after plan refinement;
+	// results are byte-identical to the sequential plan for any value.
+	Parallelism int
 }
 
 // Engine names an execution model for WithEngine.
@@ -69,11 +76,18 @@ type QueryOptions struct {
 	DisableRefinement bool
 	// BufferSize overrides the per-database buffer capacity.
 	BufferSize int
+	// Parallelism overrides the per-database scan fan-out for this
+	// statement (0 keeps the database default, 1 forces sequential).
+	Parallelism int
 }
 
 // DB is one memory-resident database with its code model and refinement
-// calibration. It is safe for sequential use; the engine executes queries
-// single-threaded, as the paper's executor does.
+// calibration. A DB is safe for concurrent use: the catalog and code model
+// are read-only after load (the code model's lazy module assembly is
+// internally synchronized), the refinement threshold is calibrated at most
+// once behind a sync.Once, and every query executes on its own
+// exec.Context with private simulated-CPU state. Views returned by
+// WithEngine share all of that with the receiver.
 type DB struct {
 	opts   Options
 	engine Engine
@@ -81,8 +95,15 @@ type DB struct {
 	cat *storage.Catalog
 	cm  *codemodel.Catalog
 
-	threshold  float64
-	calibrated bool
+	cal *calibration
+}
+
+// calibration is the lazily-computed refinement threshold, shared by every
+// engine view of a DB so concurrent first queries calibrate exactly once.
+type calibration struct {
+	once      sync.Once
+	threshold float64
+	err       error
 }
 
 // WithEngine returns a view of the database that plans and executes queries
@@ -104,7 +125,7 @@ func (db *DB) planEngine() (plan.Engine, error) {
 	case EngineVolcano, "":
 		return plan.EngineVolcano, nil
 	}
-	return 0, fmt.Errorf("bufferdb: unknown engine %q", db.engine)
+	return 0, fmt.Errorf("bufferdb: %w %q", ErrUnknownEngine, db.engine)
 }
 
 // OpenTPCH generates a TPC-H database at the given scale factor (the paper
@@ -115,10 +136,10 @@ func OpenTPCH(scaleFactor float64, opts Options) (*DB, error) {
 		return nil, err
 	}
 	return &DB{
-		opts:      opts,
-		cat:       cat,
-		cm:        codemodel.NewCatalog(),
-		threshold: opts.CardinalityThreshold,
+		opts: opts,
+		cat:  cat,
+		cm:   codemodel.NewCatalog(),
+		cal:  &calibration{},
 	}, nil
 }
 
@@ -141,43 +162,60 @@ func (db *DB) RowCount(table string) (int, error) {
 }
 
 // Threshold returns the refinement cardinality threshold, calibrating it on
-// first use when the options left it at zero.
+// first use when the options left it at zero. Concurrent callers block on a
+// single calibration run and share its result.
 func (db *DB) Threshold() (float64, error) {
-	if db.threshold > 0 || db.calibrated {
-		return db.threshold, nil
-	}
-	res, err := core.CalibrateThreshold(db.cm, cpusim.DefaultConfig(), 4096,
-		[]int{0, 16, 64, 256, 1024, 4096}, db.opts.BufferSize)
-	if err != nil {
-		return 0, err
-	}
-	db.threshold = res.Threshold
-	db.calibrated = true
-	return db.threshold, nil
+	db.cal.once.Do(func() {
+		if db.opts.CardinalityThreshold > 0 {
+			db.cal.threshold = db.opts.CardinalityThreshold
+			return
+		}
+		res, err := core.CalibrateThreshold(db.cm, cpusim.DefaultConfig(), 4096,
+			[]int{0, 16, 64, 256, 1024, 4096}, db.opts.BufferSize)
+		if err != nil {
+			db.cal.err = err
+			return
+		}
+		db.cal.threshold = res.Threshold
+	})
+	return db.cal.threshold, db.cal.err
 }
 
-// plan builds the (optionally refined) physical plan for a statement.
+// parallelism resolves the effective scan fan-out for a statement.
+func (db *DB) parallelism(qo QueryOptions) int {
+	if qo.Parallelism != 0 {
+		return qo.Parallelism
+	}
+	return db.opts.Parallelism
+}
+
+// plan builds the (optionally refined, optionally parallelized) physical
+// plan for a statement. Refinement runs first — it reasons about the
+// sequential pipeline's instruction footprint — and parallelization then
+// wraps eligible pipelines, buffers included, below the gather.
 func (db *DB) plan(query string, qo QueryOptions) (*plan.Node, error) {
 	p, err := sql.PlanQuery(query, db.cat, sql.Options{ForceJoin: sql.JoinMethod(qo.ForceJoin)})
 	if err != nil {
 		return nil, err
 	}
-	if db.opts.DisableRefinement || qo.DisableRefinement {
-		return p, nil
+	if !db.opts.DisableRefinement && !qo.DisableRefinement {
+		threshold, err := db.Threshold()
+		if err != nil {
+			return nil, err
+		}
+		size := qo.BufferSize
+		if size == 0 {
+			size = db.opts.BufferSize
+		}
+		p, _, err = plan.Refine(p, db.cm, plan.RefineOptions{
+			CardinalityThreshold: threshold,
+			BufferSize:           size,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	threshold, err := db.Threshold()
-	if err != nil {
-		return nil, err
-	}
-	size := qo.BufferSize
-	if size == 0 {
-		size = db.opts.BufferSize
-	}
-	refined, _, err := plan.Refine(p, db.cm, plan.RefineOptions{
-		CardinalityThreshold: threshold,
-		BufferSize:           size,
-	})
-	return refined, err
+	return plan.Parallelize(p, db.parallelism(qo)), nil
 }
 
 // Result is a query result with native Go values.
@@ -190,39 +228,30 @@ type Result struct {
 }
 
 // Query plans (with refinement, unless disabled), executes, and returns the
-// result.
+// materialized result. It is a convenience wrapper over QueryContext; use
+// QueryContext to stream large results or to cancel mid-query.
 func (db *DB) Query(query string) (*Result, error) {
 	return db.QueryWithOptions(query, QueryOptions{})
 }
 
 // QueryWithOptions is Query with per-statement tuning.
 func (db *DB) QueryWithOptions(query string, qo QueryOptions) (*Result, error) {
-	p, err := db.plan(query, qo)
+	rows, err := db.QueryContext(context.Background(), query, qo)
 	if err != nil {
 		return nil, err
 	}
-	engine, err := db.planEngine()
-	if err != nil {
-		return nil, err
-	}
-	op, err := plan.Compile(p, nil, engine)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := exec.Run(&exec.Context{Catalog: db.cat}, op)
-	if err != nil {
-		return nil, err
-	}
-	res := &Result{}
-	for _, c := range p.Schema() {
-		res.Columns = append(res.Columns, c.Name)
-	}
-	for _, r := range rows {
+	defer rows.Close()
+	res := &Result{Columns: rows.Columns()}
+	for rows.Next() {
+		r := rows.row
 		out := make([]any, len(r))
 		for i, v := range r {
 			out[i] = nativeValue(v)
 		}
 		res.Rows = append(res.Rows, out)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -248,6 +277,8 @@ func nativeValue(v storage.Value) any {
 }
 
 // Explain returns the conventional and the refined plan for a statement.
+// With Parallelism in effect, the refined side additionally shows the
+// gather (exchange) operators the parallelization pass inserted.
 func (db *DB) Explain(query string, qo QueryOptions) (original, refined string, err error) {
 	p, err := sql.PlanQuery(query, db.cat, sql.Options{ForceJoin: sql.JoinMethod(qo.ForceJoin)})
 	if err != nil {
@@ -264,6 +295,7 @@ func (db *DB) Explain(query string, qo QueryOptions) (original, refined string, 
 	if err != nil {
 		return "", "", err
 	}
+	r = plan.Parallelize(r, db.parallelism(qo))
 	return plan.Explain(p), plan.Explain(r), nil
 }
 
@@ -314,25 +346,21 @@ func (db *DB) Profile(query string, qo QueryOptions) (*Profile, error) {
 		return nil, err
 	}
 
-	run := func(node *plan.Node) (RunStats, string, error) {
+	run := func(node *plan.Node) (RunStats, uint64, error) {
 		cpu, err := cpusim.New(cpusim.DefaultConfig(), db.cm.TextSegmentBytes())
 		if err != nil {
-			return RunStats{}, "", err
+			return RunStats{}, 0, err
 		}
-		exec.PlaceCatalog(cpu, db.cat)
+		placements := exec.PlaceCatalog(cpu, db.cat)
 		op, err := plan.Build(node, db.cm)
 		if err != nil {
-			return RunStats{}, "", err
+			return RunStats{}, 0, err
 		}
-		rows, err := exec.Run(&exec.Context{Catalog: db.cat, CPU: cpu}, op)
+		rows, err := exec.Run(&exec.Context{Catalog: db.cat, CPU: cpu, Placements: placements}, op)
 		if err != nil {
-			return RunStats{}, "", err
+			return RunStats{}, 0, err
 		}
 		ctr := cpu.Counters()
-		first := ""
-		if len(rows) > 0 {
-			first = rows[0].String()
-		}
 		return RunStats{
 			ElapsedSec:  cpu.ElapsedSeconds(),
 			CPI:         cpu.CPI(),
@@ -343,19 +371,19 @@ func (db *DB) Profile(query string, qo QueryOptions) (*Profile, error) {
 			ITLBMisses:  ctr.ITLBMisses,
 			Branches:    ctr.Branches,
 			Mispredicts: ctr.Mispredicts,
-		}, first, nil
+		}, exec.HashRows(rows), nil
 	}
 
-	orig, firstA, err := run(p)
+	orig, hashA, err := run(p)
 	if err != nil {
 		return nil, err
 	}
-	buf, firstB, err := run(refined)
+	buf, hashB, err := run(refined)
 	if err != nil {
 		return nil, err
 	}
-	if firstA != firstB {
-		return nil, fmt.Errorf("bufferdb: refined plan changed the result: %q vs %q", firstB, firstA)
+	if hashA != hashB {
+		return nil, fmt.Errorf("bufferdb: refined plan changed the result (hash %x vs %x)", hashB, hashA)
 	}
 	prof := &Profile{
 		Original:        orig,

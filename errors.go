@@ -1,0 +1,25 @@
+package bufferdb
+
+import (
+	"errors"
+
+	"bufferdb/internal/sql"
+	"bufferdb/internal/storage"
+)
+
+// Sentinel errors returned (wrapped) by the facade. Test with errors.Is;
+// the dynamic error carries the offending name alongside.
+var (
+	// ErrUnknownTable is wrapped by catalog lookups for a missing table
+	// (RowCount, or a query referencing one).
+	ErrUnknownTable = storage.ErrUnknownTable
+	// ErrUnknownEngine is wrapped when a WithEngine view names an engine
+	// that does not exist.
+	ErrUnknownEngine = errors.New("unknown engine")
+	// ErrBadJoinMethod is wrapped when QueryOptions.ForceJoin is not one of
+	// "", "hash", "nestloop", "merge". It is detected at plan time, before
+	// any execution starts.
+	ErrBadJoinMethod = sql.ErrBadJoinMethod
+	// ErrRowsClosed is returned by Rows.Scan after the cursor was closed.
+	ErrRowsClosed = errors.New("rows are closed")
+)

@@ -109,12 +109,12 @@ func (r *Runner) MeasureEngine(label string, p *plan.Node, engine plan.Engine) (
 	if err != nil {
 		return nil, err
 	}
-	exec.PlaceCatalog(cpu, r.DB)
+	placements := exec.PlaceCatalog(cpu, r.DB)
 	op, err := plan.Compile(p, r.CM, engine)
 	if err != nil {
 		return nil, err
 	}
-	ctx := &exec.Context{Catalog: r.DB, CPU: cpu}
+	ctx := &exec.Context{Catalog: r.DB, CPU: cpu, Placements: placements}
 	rows, err := exec.Run(ctx, op)
 	if err != nil {
 		return nil, err

@@ -19,12 +19,12 @@ func (r *Runner) measureWith(label string, p *plan.Node, cfg cpusim.Config, cm *
 	if err != nil {
 		return nil, err
 	}
-	exec.PlaceCatalog(cpu, r.DB)
+	placements := exec.PlaceCatalog(cpu, r.DB)
 	op, err := plan.Build(p, cm)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Run(&exec.Context{Catalog: r.DB, CPU: cpu}, op)
+	rows, err := exec.Run(&exec.Context{Catalog: r.DB, CPU: cpu, Placements: placements}, op)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"bufferdb/internal/exec"
+	"bufferdb/internal/plan"
+	"bufferdb/internal/sql"
+)
+
+// ParScanQuery is the intra-query parallelism workload: a streaming
+// scan-filter-project pipeline over lineitem with no blocking operator, so
+// the whole query is one partitionable chain under the gather.
+const ParScanQuery = `
+SELECT l_orderkey,
+       l_extendedprice * (1 - l_discount) * (1 + l_tax) AS charge
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'`
+
+// MeasureWallPar runs a plan uninstrumented with the given scan fan-out and
+// returns wall-clock time, row count, and the FNV hash of the full result —
+// the hash is what the equivalence check across worker counts and engines
+// keys on.
+func (r *Runner) MeasureWallPar(p *plan.Node, engine plan.Engine, workers int) (time.Duration, int, uint64, error) {
+	par := plan.Parallelize(p, workers)
+	op, err := plan.Compile(par, nil, engine)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	start := time.Now()
+	rows, err := exec.Run(&exec.Context{Catalog: r.DB}, op)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return time.Since(start), len(rows), exec.HashRows(rows), nil
+}
+
+// parCase is one workload of the parallel-scan experiment.
+type parCase struct {
+	name  string
+	query string
+}
+
+// parVariant is one engine/buffering combination measured per worker count.
+type parVariant struct {
+	name    string
+	engine  plan.Engine
+	refined bool
+}
+
+// ExperimentPar regenerates the parallel partitioned-scan comparison: each
+// workload runs under the Volcano engine (conventional and refined plans)
+// and the block-oriented engine at increasing worker counts. Every variant
+// must produce a byte-identical result (equal FNV hash) at every fan-out —
+// the ordered gather guarantees it — and the report shows the wall-clock
+// speedup relative to the same variant at one worker. Speedups depend on
+// the host's core count; the equivalence check is the hard invariant.
+func ExperimentPar(r *Runner) (*Report, error) {
+	rep := &Report{ID: "par", Title: "Parallel partitioned scans: equivalence and speedup"}
+
+	workerCounts := []int{1, 2, 4, 8}
+	reps := 3
+	if r.Cfg.Short {
+		workerCounts = []int{1, 2, 4}
+		reps = 1
+	}
+	cases := []parCase{
+		{name: "scan+project", query: ParScanQuery},
+		{name: "query1", query: Query1},
+	}
+	variants := []parVariant{
+		{name: "volcano", engine: plan.EngineVolcano, refined: false},
+		{name: "volcano+buf", engine: plan.EngineVolcano, refined: true},
+		{name: "vec", engine: plan.EngineVec, refined: false},
+	}
+
+	for _, c := range cases {
+		base, err := r.Plan(c.query, sql.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rep.Printf("%s:", c.name)
+		var wantHash uint64
+		var haveHash bool
+		for _, v := range variants {
+			p := base
+			if v.refined {
+				if p, err = r.Refine(base); err != nil {
+					return nil, err
+				}
+			}
+			var baseline time.Duration
+			for _, workers := range workerCounts {
+				best := time.Duration(0)
+				var rows int
+				var hash uint64
+				for i := 0; i < reps; i++ {
+					d, n, h, err := r.MeasureWallPar(p, v.engine, workers)
+					if err != nil {
+						return nil, fmt.Errorf("par %s/%s/w%d: %w", c.name, v.name, workers, err)
+					}
+					if i == 0 {
+						rows, hash = n, h
+					} else if h != hash {
+						return nil, fmt.Errorf("par %s/%s/w%d: result hash unstable across repetitions", c.name, v.name, workers)
+					}
+					if best == 0 || d < best {
+						best = d
+					}
+				}
+				if !haveHash {
+					wantHash, haveHash = hash, true
+				} else if hash != wantHash {
+					return nil, fmt.Errorf("par %s/%s: %d workers changed the result (hash %x, want %x)",
+						c.name, v.name, workers, hash, wantHash)
+				}
+				if workers == workerCounts[0] {
+					baseline = best
+				}
+				speedup := 0.0
+				if best > 0 {
+					speedup = float64(baseline) / float64(best)
+				}
+				rep.Printf("  %-12s workers=%d  rows=%-7d elapsed=%10v  speedup=%.2fx",
+					v.name, workers, rows, best.Round(time.Microsecond), speedup)
+				if v.name == "volcano" {
+					rep.Series = append(rep.Series, SeriesPoint{
+						X:        float64(workers),
+						Original: baseline.Seconds(),
+						Buffered: best.Seconds(),
+					})
+				}
+			}
+		}
+		rep.Printf("  result hash %016x identical across %d variants x %v workers",
+			wantHash, len(variants), workerCounts)
+	}
+	return rep, nil
+}

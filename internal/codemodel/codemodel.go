@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // HotFraction is the fraction of a called function's bytes actually executed
@@ -260,7 +261,12 @@ const (
 // Catalog owns the function layout and hands out modules. One catalog
 // corresponds to one simulated binary; the engine builds exactly one and
 // shares it across all plans so that shared libraries really are shared.
+// Module lookup assembles lazily on first use, so the catalog is internally
+// synchronized: concurrent query compilations may request modules at once.
 type Catalog struct {
+	// mu guards the lazily grown state: modules, nextID and sorted. The
+	// function layout itself (libs, nextAddr) is fixed at construction.
+	mu       sync.Mutex
 	libs     map[string][]*Function
 	modules  map[string]*Module
 	layout   Layout
@@ -442,6 +448,8 @@ var specs = map[string]moduleSpec{
 // are the keys of the spec table; aggregation modules are built with
 // AggModule instead because their call set depends on the aggregate list.
 func (c *Catalog) Module(name string) (*Module, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if m, ok := c.modules[name]; ok {
 		return m, nil
 	}
@@ -483,6 +491,8 @@ func (c *Catalog) AggModule(aggs []string) (*Module, error) {
 	}
 	sort.Strings(order)
 	name := "Agg[" + strings.Join(order, " ") + "]"
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if m, ok := c.modules[name]; ok {
 		return m, nil
 	}
@@ -519,7 +529,7 @@ func dedupStrings(in []string) []string {
 }
 
 // assemble builds a module from a spec, converts the requested number of
-// private biased sites into data sites, and registers it.
+// private biased sites into data sites, and registers it. Callers hold mu.
 func (c *Catalog) assemble(name string, spec moduleSpec) *Module {
 	m := &Module{Name: name, ID: c.nextID}
 	c.nextID++
@@ -566,6 +576,8 @@ func (m *Module) finalizeDataIdx() {
 
 // Modules returns all instantiated modules in name order.
 func (c *Catalog) Modules() []*Module {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	names := make([]string, 0, len(c.modules))
 	for n := range c.modules {
 		names = append(names, n)
@@ -586,11 +598,14 @@ func (c *Catalog) TextSegmentBytes() uint64 { return c.nextAddr }
 // addr falls into inter-function padding. It backs the dynamic call-graph
 // recorder, which maps observed instruction fetches back to functions.
 func (c *Catalog) FunctionAt(addr uint64) *Function {
+	c.mu.Lock()
 	c.ensureSorted()
-	lo, hi := 0, len(c.sorted)
+	sorted := c.sorted
+	c.mu.Unlock()
+	lo, hi := 0, len(sorted)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		f := c.sorted[mid]
+		f := sorted[mid]
 		switch {
 		case addr < f.Addr:
 			hi = mid

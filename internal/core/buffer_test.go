@@ -256,12 +256,12 @@ func TestBufferedQuery1EndToEnd(t *testing.T) {
 	var results [2]string
 	for i, buffered := range []bool{false, true} {
 		cpu := cpusim.MustNew(cpusim.DefaultConfig(), cm.TextSegmentBytes())
-		exec.PlaceCatalog(cpu, testDB)
+		placements := exec.PlaceCatalog(cpu, testDB)
 		plan, err := build(buffered)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rows, err := exec.Run(&exec.Context{Catalog: testDB, CPU: cpu}, plan)
+		rows, err := exec.Run(&exec.Context{Catalog: testDB, CPU: cpu, Placements: placements}, plan)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -65,12 +65,12 @@ func CalibrateThreshold(cm *codemodel.Catalog, cfg cpusim.Config, tableRows int,
 			if err != nil {
 				return nil, err
 			}
-			exec.PlaceCatalog(cpu, cat)
+			placements := exec.PlaceCatalog(cpu, cat)
 			plan, err := calibrationPlan(table, card, buffered, bufferSize, scanMod, aggMod, bufMod)
 			if err != nil {
 				return nil, err
 			}
-			ctx := &exec.Context{Catalog: cat, CPU: cpu}
+			ctx := &exec.Context{Catalog: cat, CPU: cpu, Placements: placements}
 			rows, err := exec.Run(ctx, plan)
 			if err != nil {
 				return nil, err

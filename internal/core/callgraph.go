@@ -88,12 +88,12 @@ func MeasureFootprints(cm *codemodel.Catalog, cfg cpusim.Config) (map[string]int
 			return err
 		}
 		cpu.FetchHook = rec.Hook()
-		exec.PlaceCatalog(cpu, cat)
+		placements := exec.PlaceCatalog(cpu, cat)
 		op, err := build()
 		if err != nil {
 			return err
 		}
-		_, err = exec.Run(&exec.Context{Catalog: cat, CPU: cpu}, op)
+		_, err = exec.Run(&exec.Context{Catalog: cat, CPU: cpu, Placements: placements}, op)
 		return err
 	}
 

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -12,6 +14,12 @@ import (
 //   - Open is idempotent (a second Open before draining resets cleanly)
 //   - Next after Close errors instead of producing stale rows
 //   - Close is idempotent
+//   - an early Close (mid-stream) is clean: the operator can be reopened
+//     and still produces the full result
+//   - cancellation mid-stream is bounded: once the execution context is
+//     canceled the operator either surfaces an error wrapping
+//     context.Canceled or finishes its remaining rows, but never exceeds
+//     its row count and never hangs
 //
 // mk must construct a fresh operator tree over the same input each call;
 // the harness drives each instance uninstrumented. It is exported (rather
@@ -67,6 +75,68 @@ func Conformance(t testing.TB, name string, mk func() Operator) {
 	}
 	if n != baseline {
 		t.Errorf("%s: reopen changed row count: %d, want %d", name, n, baseline)
+	}
+
+	// Early Close: abandoning a stream after one row must leave the
+	// operator reopenable with the full result intact — the contract the
+	// facade's Rows.Close relies on.
+	op = mk()
+	ctx = &Context{}
+	if err := op.Open(ctx); err != nil {
+		t.Fatalf("%s: Open before early Close: %v", name, err)
+	}
+	if baseline > 0 {
+		if _, err := op.Next(ctx); err != nil {
+			t.Fatalf("%s: Next before early Close: %v", name, err)
+		}
+	}
+	if err := op.Close(ctx); err != nil {
+		t.Fatalf("%s: early Close: %v", name, err)
+	}
+	n, err = drainOpened(ctx, openFresh(ctx, op))
+	if err != nil {
+		t.Fatalf("%s: drain after early Close: %v", name, err)
+	}
+	if n != baseline {
+		t.Errorf("%s: early Close lost rows on reopen: %d, want %d", name, n, baseline)
+	}
+
+	// Cancellation mid-stream. Blocking operators that already hold their
+	// result in memory may legitimately run to EOF; everything else must
+	// surface the context error. Either way the operator must terminate
+	// within its row count and an error, if any, must wrap the context's.
+	op = mk()
+	cctx, cancel := context.WithCancel(context.Background())
+	ctx = &Context{Ctx: cctx}
+	if err := op.Open(ctx); err != nil {
+		t.Fatalf("%s: Open with context: %v", name, err)
+	}
+	if baseline > 0 {
+		if _, err := op.Next(ctx); err != nil {
+			t.Fatalf("%s: Next before cancel: %v", name, err)
+		}
+	}
+	cancel()
+	served, errored := 0, false
+	for served <= baseline {
+		row, err := op.Next(ctx)
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("%s: post-cancel error %v does not wrap context.Canceled", name, err)
+			}
+			errored = true
+			break
+		}
+		if row == nil {
+			break
+		}
+		served++
+	}
+	if !errored && served > baseline {
+		t.Errorf("%s: produced more than %d rows after cancellation", name, baseline)
+	}
+	if err := op.Close(ctx); err != nil {
+		t.Errorf("%s: Close after cancellation: %v", name, err)
 	}
 }
 

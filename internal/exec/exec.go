@@ -12,7 +12,9 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"hash/fnv"
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/cpusim"
@@ -51,7 +53,12 @@ type Rescannable interface {
 }
 
 // Context carries per-execution state: the catalog, the (optional) CPU
-// simulator and the (optional) invocation tracer.
+// simulator, the (optional) invocation tracer, the (optional) cancellation
+// context and the simulated table placements of this run.
+//
+// A Context belongs to exactly one executing plan; concurrent queries each
+// build their own. Nothing a Context points to is mutated through it except
+// the CPU and tracer, which are also per-execution.
 type Context struct {
 	Catalog *storage.Catalog
 	// CPU is the simulated processor; nil runs uninstrumented.
@@ -59,9 +66,42 @@ type Context struct {
 	// Trace, when non-nil, records the operator invocation sequence
 	// (paper Fig. 1).
 	Trace *Tracer
+	// Ctx, when non-nil, cancels the execution: Run and the long-running
+	// leaf operators poll it and abort with its error.
+	Ctx context.Context
+	// Placements maps tables to their simulated addresses for this
+	// execution (see PlaceCatalog); nil skips data-cache modeling.
+	Placements Placements
 
 	// bitsState seeds the pseudo-random data-branch outcome stream.
 	bitsState uint64
+	// cancelTick counts cancellation polls so Ctx.Err is consulted only
+	// every cancelEvery calls on the hot path.
+	cancelTick uint
+}
+
+// cancelEvery is the polling interval (in Canceled calls) for cancellation
+// checks: frequent enough that a scan aborts within microseconds, sparse
+// enough to be invisible in per-tuple cost.
+const cancelEvery = 64
+
+// Canceled reports a pending cancellation. The first call after Context
+// creation checks immediately; later calls poll every cancelEvery-th
+// invocation. A non-nil result wraps the context's error, so callers can
+// test errors.Is(err, context.Canceled).
+func (c *Context) Canceled() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	tick := c.cancelTick
+	c.cancelTick++
+	if tick%cancelEvery != 0 {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return fmt.Errorf("exec: query canceled: %w", err)
+	}
+	return nil
 }
 
 // ExecModule replays one invocation of m on the simulated CPU; no-op when
@@ -112,14 +152,40 @@ func (c *Context) DataBits(outcome bool) uint64 {
 	return bits
 }
 
+// TablePlacement is one table's simulated base address and mean row width
+// in a CPU's data-address space.
+type TablePlacement struct {
+	Base     uint64
+	RowBytes int
+}
+
+// Placements maps tables to their simulated placement for one execution.
+// Placement used to live on storage.Table itself, but that made concurrent
+// instrumented runs overwrite each other's address spaces; it is per-CPU
+// state, so it rides on the Context now.
+type Placements map[*storage.Table]TablePlacement
+
+// Addr returns the simulated address of row id in table t, or ok=false
+// when t has not been placed in this execution's address space.
+func (p Placements) Addr(t *storage.Table, id int) (addr uint64, size int, ok bool) {
+	pl, ok := p[t]
+	if !ok {
+		return 0, 0, false
+	}
+	return pl.Base + uint64(id)*uint64(pl.RowBytes), pl.RowBytes, true
+}
+
 // PlaceCatalog assigns simulated memory addresses to every table in the
-// catalog so scans generate data-cache traffic. Call once per CPU.
-func PlaceCatalog(cpu *cpusim.CPU, cat *storage.Catalog) {
+// catalog so scans generate data-cache traffic. Call once per CPU and
+// attach the result to the execution's Context.
+func PlaceCatalog(cpu *cpusim.CPU, cat *storage.Catalog) Placements {
+	placements := make(Placements)
 	for _, t := range cat.Tables() {
 		rowBytes := t.AvgRowBytes()
 		base := cpu.AllocData(rowBytes * (t.NumRows() + 1))
-		t.SetPlacement(base, rowBytes)
+		placements[t] = TablePlacement{Base: base, RowBytes: rowBytes}
 	}
+	return placements
 }
 
 // Arena models an operator's memory context: intermediate tuples are
@@ -196,13 +262,19 @@ func (t *Tracer) String() string { return string(t.events) }
 func (t *Tracer) Legend() map[byte]string { return t.labels }
 
 // Run drives a plan to completion and returns all result rows. It opens,
-// drains and closes the root operator.
+// drains and closes the root operator. When ctx carries a cancellation
+// context, the pull loop polls it and aborts with an error wrapping the
+// context's, closing the plan on the way out.
 func Run(ctx *Context, root Operator) ([]storage.Row, error) {
 	if err := root.Open(ctx); err != nil {
 		return nil, err
 	}
 	var out []storage.Row
 	for {
+		if err := ctx.Canceled(); err != nil {
+			_ = root.Close(ctx)
+			return nil, err
+		}
 		row, err := root.Next(ctx)
 		if err != nil {
 			_ = root.Close(ctx)
@@ -217,6 +289,18 @@ func Run(ctx *Context, root Operator) ([]storage.Row, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// HashRows returns an FNV-1a hash over a result set's rendered rows,
+// including row order. Callers use it to assert two plan variants produced
+// identical results without retaining both result sets.
+func HashRows(rows []storage.Row) uint64 {
+	h := fnv.New64a()
+	for _, r := range rows {
+		h.Write([]byte(r.String()))
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
 }
 
 // Walk visits the operator tree in depth-first pre-order.

@@ -18,8 +18,8 @@ func instrumentedCtx(t *testing.T, cm *codemodel.Catalog) *Context {
 	if err != nil {
 		t.Fatal(err)
 	}
-	PlaceCatalog(cpu, testDB)
-	return &Context{Catalog: testDB, CPU: cpu}
+	placements := PlaceCatalog(cpu, testDB)
+	return &Context{Catalog: testDB, CPU: cpu, Placements: placements}
 }
 
 func TestInstrumentedSeqScanAgg(t *testing.T) {

@@ -13,15 +13,21 @@ import (
 // predicate per heap tuple and returns only satisfying rows; the scan and
 // qualification code runs once per *input* tuple, exactly like PostgreSQL's
 // ExecScan loop — which is why a selective predicate amortizes instruction
-// work per output tuple (paper §7.3).
+// work per output tuple (paper §7.3). A Span restricts the scan to a
+// contiguous row range, which is how an Exchange fans one table out over
+// partition workers.
 type SeqScan struct {
 	Table  *storage.Table
-	Filter expr.Expr // optional
+	Filter expr.Expr     // optional
+	Span   *storage.Span // optional: scan only [Start, End)
 
 	module *codemodel.Module
 	label  byte
 
 	pos    int
+	end    int
+	place  TablePlacement
+	placed bool
 	opened bool
 }
 
@@ -30,12 +36,24 @@ func NewSeqScan(table *storage.Table, filter expr.Expr, module *codemodel.Module
 	return &SeqScan{Table: table, Filter: filter, module: module, label: 'C'}
 }
 
+// NewSeqScanSpan constructs a scan over one heap partition. A nil span
+// scans the whole table.
+func NewSeqScanSpan(table *storage.Table, filter expr.Expr, module *codemodel.Module, span *storage.Span) *SeqScan {
+	s := NewSeqScan(table, filter, module)
+	s.Span = span
+	return s
+}
+
 // SetTraceLabel sets the single-letter label used in invocation traces.
 func (s *SeqScan) SetTraceLabel(b byte) { s.label = b }
 
 // Open implements Operator.
-func (s *SeqScan) Open(*Context) error {
-	s.pos = 0
+func (s *SeqScan) Open(ctx *Context) error {
+	s.pos, s.end = 0, s.Table.NumRows()
+	if s.Span != nil {
+		s.pos, s.end = s.Span.Start, s.Span.End
+	}
+	s.place, s.placed = ctx.Placements[s.Table]
 	s.opened = true
 	return nil
 }
@@ -48,13 +66,17 @@ func (s *SeqScan) Next(ctx *Context) (storage.Row, error) {
 	if ctx.Trace != nil {
 		ctx.Trace.Record(s.label, s.Name())
 	}
-	n := s.Table.NumRows()
-	for s.pos < n {
+	for s.pos < s.end {
+		// A selective filter can reject long stretches without returning;
+		// poll cancellation here so such scans abort promptly.
+		if err := ctx.Canceled(); err != nil {
+			return nil, err
+		}
 		rid := s.pos
 		s.pos++
 		row := s.Table.Row(rid)
-		if addr, size, ok := s.Table.Placement(rid); ok {
-			ctx.Read(addr, size)
+		if s.placed {
+			ctx.Read(s.place.Base+uint64(rid)*uint64(s.place.RowBytes), s.place.RowBytes)
 		}
 		if s.Filter == nil {
 			ctx.ExecModule(s.module, ctx.DataBits(true))
@@ -146,7 +168,7 @@ func (ia *indexAccess) descend(ctx *Context, key int64) {
 
 // readHeap models fetching the heap row for rid.
 func (ia *indexAccess) readHeap(ctx *Context, rid int) {
-	if addr, size, ok := ia.table.Placement(rid); ok {
+	if addr, size, ok := ctx.Placements.Addr(ia.table, rid); ok {
 		ctx.Read(addr, size)
 	}
 }
@@ -298,6 +320,9 @@ func (s *IndexFullScan) Next(ctx *Context) (storage.Row, error) {
 		ctx.Trace.Record(s.label, s.Name())
 	}
 	for {
+		if err := ctx.Canceled(); err != nil {
+			return nil, err
+		}
 		_, rid, ok := s.cursor.Next()
 		if !ok {
 			return nil, nil

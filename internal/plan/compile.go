@@ -42,7 +42,9 @@ func moduleFor(n *Node, cm *codemodel.Catalog) (*codemodel.Module, error) {
 		return cm.Module("Filter")
 	case KindProject:
 		return cm.Module("Project")
-	case KindLimit:
+	case KindLimit, KindExchange:
+		// Limit is too small to model; the gather's serve path is charged
+		// directly by the operator.
 		return nil, nil
 	default:
 		return nil, fmt.Errorf("plan: no module mapping for %v", n.Kind)
@@ -67,7 +69,7 @@ func buildNode(n *Node, cm *codemodel.Catalog, child func(*Node) (exec.Operator,
 	}
 	switch n.Kind {
 	case KindSeqScan:
-		return exec.NewSeqScan(n.Table, n.Filter, mod), nil
+		return exec.NewSeqScanSpan(n.Table, n.Filter, mod, n.ScanSpan), nil
 
 	case KindIndexLookup:
 		return exec.NewIndexLookup(n.Table, n.Index, mod)
@@ -171,6 +173,18 @@ func buildNode(n *Node, cm *codemodel.Catalog, child func(*Node) (exec.Operator,
 			return nil, err
 		}
 		return exec.NewProject(c, n.Projections, n.ProjNames, mod)
+
+	case KindExchange:
+		subtrees := PartitionSubtrees(n)
+		parts := make([]exec.Operator, len(subtrees))
+		for i, p := range subtrees {
+			op, err := child(p)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = op
+		}
+		return exec.NewExchange(parts)
 
 	default:
 		return nil, fmt.Errorf("plan: cannot compile %v", n.Kind)

@@ -60,7 +60,7 @@ func vecCapable(n *Node) bool {
 		return true
 	case KindHashJoin:
 		return len(n.Children) == 2 && n.Children[1].Kind == KindHashBuild
-	case KindBuffer:
+	case KindBuffer, KindExchange:
 		return vecCapable(n.Children[0])
 	default:
 		return false
@@ -79,7 +79,7 @@ func compileVec(n *Node, cm *codemodel.Catalog) (vec.Operator, error) {
 		return compileVec(n.Children[0], cm)
 
 	case KindSeqScan:
-		return vec.NewSeqScan(n.Table, n.Filter, mod, 0), nil
+		return vec.NewSeqScanSpan(n.Table, n.Filter, mod, 0, n.ScanSpan), nil
 
 	case KindProject:
 		child, err := vecChild(n.Children[0], cm)
@@ -120,6 +120,18 @@ func compileVec(n *Node, cm *codemodel.Catalog) (vec.Operator, error) {
 			return nil, err
 		}
 		return vec.NewHashJoin(outer, inner, n.OuterKey, build.InnerKey, buildMod, mod, 0), nil
+
+	case KindExchange:
+		subtrees := PartitionSubtrees(n)
+		parts := make([]vec.Operator, len(subtrees))
+		for i, p := range subtrees {
+			op, err := compileVec(p, cm)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = op
+		}
+		return vec.NewExchange(parts)
 
 	default:
 		return nil, fmt.Errorf("plan: %v has no batch variant", n.Kind)

@@ -1,0 +1,91 @@
+package plan
+
+// Parallelize is the post-refinement parallelization pass: it wraps every
+// eligible scan pipeline in an Exchange (gather) node with the given worker
+// fan-out. The input plan is not modified; with workers < 2 the plan is
+// returned unchanged.
+//
+// An eligible pipeline is a chain of per-tuple operators — Filter, Project,
+// Buffer — ending in a full-table SeqScan: exactly the subtrees that can be
+// split into contiguous heap partitions with each partition producing its
+// slice of the sequential output. Joins, sorts and aggregates stay above
+// the gather and consume the merged stream. Buffers deliberately stay
+// *below* the gather: the refinement pass sized them so each pipeline's
+// execution groups fit the L1 instruction cache, and that reasoning holds
+// per worker — every worker keeps its own instruction-cache-friendly run,
+// while a buffer above the gather would batch an already-merged stream.
+//
+// Parallelize runs after Refine: refinement reasons about instruction
+// footprints of the sequential pipeline, and the pipeline below the gather
+// is exactly that pipeline (per partition), so refinement decisions carry
+// over unchanged.
+func Parallelize(root *Node, workers int) *Node {
+	if workers < 2 {
+		return root
+	}
+	cloned := clone(root)
+	return parallelize(cloned, workers)
+}
+
+// parallelize rewrites n in place, wrapping maximal eligible subtrees.
+func parallelize(n *Node, workers int) *Node {
+	if eligible(n) {
+		return exchange(n, workers)
+	}
+	for i, c := range n.Children {
+		n.Children[i] = parallelize(c, workers)
+	}
+	return n
+}
+
+// eligible reports whether n roots a partitionable scan pipeline.
+func eligible(n *Node) bool {
+	switch n.Kind {
+	case KindSeqScan:
+		return n.ScanSpan == nil
+	case KindFilter, KindProject, KindBuffer:
+		return eligible(n.Children[0])
+	default:
+		return false
+	}
+}
+
+// exchange wraps an eligible pipeline in a gather node.
+func exchange(chain *Node, workers int) *Node {
+	return &Node{
+		Kind:     KindExchange,
+		Children: []*Node{chain},
+		Workers:  workers,
+		schema:   chain.schema,
+		EstRows:  chain.EstRows,
+	}
+}
+
+// PartitionSubtrees expands an Exchange node into its per-partition
+// pipelines: one clone of the child chain per contiguous heap span of the
+// scanned table, with the clone's SeqScan bounded to that span. Compile and
+// Build call this; the partition count is min(Workers, table rows).
+func PartitionSubtrees(n *Node) []*Node {
+	workers := n.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	chain := n.Children[0]
+	table := leafScan(chain).Table
+	spans := table.Partitions(workers)
+	parts := make([]*Node, len(spans))
+	for i := range spans {
+		part := clone(chain)
+		leafScan(part).ScanSpan = &spans[i]
+		parts[i] = part
+	}
+	return parts
+}
+
+// leafScan walks a single-child pipeline down to its SeqScan leaf.
+func leafScan(n *Node) *Node {
+	for n.Kind != KindSeqScan {
+		n = n.Children[0]
+	}
+	return n
+}

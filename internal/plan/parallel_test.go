@@ -1,0 +1,187 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"bufferdb/internal/exec"
+	"bufferdb/internal/expr"
+)
+
+// scanProjectPlan builds a Project over a filtered lineitem scan — a fully
+// partitionable pipeline.
+func scanProjectPlan(t *testing.T) *Node {
+	t.Helper()
+	li := tbl(t, "lineitem")
+	scan := SeqScan(li, shipdateBefore(t, li, "1995-06-17"))
+	proj, err := Project(scan,
+		[]expr.Expr{MustCol(scan, "l_orderkey"), MustCol(scan, "l_extendedprice")},
+		[]string{"l_orderkey", "l_extendedprice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proj
+}
+
+func TestParallelizeWrapsEligibleChain(t *testing.T) {
+	p := Parallelize(scanProjectPlan(t), 4)
+	if p.Kind != KindExchange {
+		t.Fatalf("root = %v, want Exchange", p.Kind)
+	}
+	if p.Workers != 4 {
+		t.Errorf("workers = %d", p.Workers)
+	}
+	if got := Explain(p); !strings.Contains(got, "Gather(workers=4)") {
+		t.Errorf("Explain missing gather:\n%s", got)
+	}
+}
+
+func TestParallelizeNoopBelowTwoWorkers(t *testing.T) {
+	orig := scanProjectPlan(t)
+	if p := Parallelize(orig, 1); p != orig {
+		t.Error("Parallelize(1) rewrote the plan")
+	}
+	if p := Parallelize(orig, 0); p != orig {
+		t.Error("Parallelize(0) rewrote the plan")
+	}
+}
+
+func TestParallelizeDoesNotMutateInput(t *testing.T) {
+	orig := scanProjectPlan(t)
+	_ = Parallelize(orig, 4)
+	if CountKind(orig, KindExchange) != 0 {
+		t.Error("input plan gained an Exchange node")
+	}
+}
+
+// TestParallelizeKeepsBuffersBelowGather is the refinement-aware placement
+// check: a buffered pipeline parallelizes with the buffer inside each
+// partition's subtree, not above the gather.
+func TestParallelizeKeepsBuffersBelowGather(t *testing.T) {
+	li := tbl(t, "lineitem")
+	buf := Buffer(SeqScan(li, shipdateBefore(t, li, "1995-06-17")), 0)
+	agg, err := Aggregate(buf, nil, []expr.AggSpec{{Func: expr.AggCountStar, As: "n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Parallelize(agg, 4)
+	ex := p.Children[0]
+	if ex.Kind != KindExchange {
+		t.Fatalf("aggregate child = %v, want Exchange", ex.Kind)
+	}
+	if ex.Children[0].Kind != KindBuffer {
+		t.Fatalf("gather child = %v, want Buffer below the gather", ex.Children[0].Kind)
+	}
+}
+
+func TestParallelizeSkipsIndexPipelines(t *testing.T) {
+	orders := tbl(t, "orders")
+	li := tbl(t, "lineitem")
+	scan := SeqScan(li, nil)
+	lookup, err := IndexLookup(orders, orders.IndexOn("o_orderkey"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	join, err := NestLoopJoin(scan, lookup, MustCol(scan, "l_orderkey"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Parallelize(join, 4)
+	if p.Kind != KindNestLoopJoin {
+		t.Fatalf("root = %v, want the join untouched at the root", p.Kind)
+	}
+	// The outer scan is eligible and gains a gather; the index lookup must
+	// stay sequential.
+	if p.Children[0].Kind != KindExchange {
+		t.Errorf("outer = %v, want Exchange", p.Children[0].Kind)
+	}
+	if p.Children[1].Kind != KindIndexLookup {
+		t.Errorf("inner = %v, want IndexLookup untouched", p.Children[1].Kind)
+	}
+}
+
+func TestPartitionSubtreesCoverTable(t *testing.T) {
+	li := tbl(t, "lineitem")
+	p := Parallelize(scanProjectPlan(t), 3)
+	parts := PartitionSubtrees(p)
+	if len(parts) != 3 {
+		t.Fatalf("got %d partitions, want 3", len(parts))
+	}
+	covered := 0
+	prevEnd := 0
+	for i, part := range parts {
+		leaf := part
+		for leaf.Kind != KindSeqScan {
+			leaf = leaf.Children[0]
+		}
+		if leaf.ScanSpan == nil {
+			t.Fatalf("partition %d has no span", i)
+		}
+		if leaf.ScanSpan.Start != prevEnd {
+			t.Errorf("partition %d starts at %d, want %d", i, leaf.ScanSpan.Start, prevEnd)
+		}
+		prevEnd = leaf.ScanSpan.End
+		covered += leaf.ScanSpan.Len()
+	}
+	if covered != li.NumRows() {
+		t.Errorf("spans cover %d rows, want %d", covered, li.NumRows())
+	}
+}
+
+// TestParallelCompiledEquivalence compiles the same parallelized plan at
+// several fan-outs on both engines and requires byte-identical results.
+func TestParallelCompiledEquivalence(t *testing.T) {
+	base := scanProjectPlan(t)
+	seq, err := Build(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Run(&exec.Context{Catalog: testDB}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash := exec.HashRows(want)
+	for _, engine := range []Engine{EngineVolcano, EngineVec} {
+		for _, workers := range []int{1, 2, 3, 4, 8} {
+			op, err := Compile(Parallelize(base, workers), nil, engine)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", engine, workers, err)
+			}
+			rows, err := exec.Run(&exec.Context{Catalog: testDB}, op)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", engine, workers, err)
+			}
+			if exec.HashRows(rows) != wantHash {
+				t.Errorf("%v workers=%d: result differs from sequential", engine, workers)
+			}
+		}
+	}
+}
+
+// TestParallelFilterChainVecEngine covers the mixed path: a Filter chain has
+// no batch variant, so the vec engine compiles the gather on the Volcano
+// side with adapted partitions.
+func TestParallelFilterChainVecEngine(t *testing.T) {
+	li := tbl(t, "lineitem")
+	scan := SeqScan(li, nil)
+	filt := Filter(scan, shipdateBefore(t, li, "1995-06-17"))
+	seq, err := Build(filt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := exec.Run(&exec.Context{Catalog: testDB}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := Compile(Parallelize(filt, 4), nil, EngineVec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Run(&exec.Context{Catalog: testDB}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.HashRows(rows) != exec.HashRows(want) {
+		t.Error("vec-engine filter chain differs from sequential")
+	}
+}

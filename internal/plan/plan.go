@@ -40,6 +40,7 @@ const (
 	KindBuffer
 	KindFilter
 	KindProject
+	KindExchange
 )
 
 // String returns the node kind's display name.
@@ -73,6 +74,8 @@ func (k Kind) String() string {
 		return "Filter"
 	case KindProject:
 		return "Project"
+	case KindExchange:
+		return "Exchange"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -109,6 +112,13 @@ type Node struct {
 
 	// BufferSize sets a Buffer node's capacity (0 = default).
 	BufferSize int
+
+	// Workers is an Exchange node's partition fan-out.
+	Workers int
+
+	// ScanSpan restricts a SeqScan to one heap partition (nil = whole
+	// table). Set by PartitionSubtrees when compiling an Exchange.
+	ScanSpan *storage.Span
 
 	// Projections/ProjNames configure a Project node.
 	Projections []expr.Expr
@@ -189,6 +199,8 @@ func (n *Node) Label() string {
 	case KindProject:
 		names := strings.Join(n.ProjNames, ", ")
 		return fmt.Sprintf("Project(%s)", names)
+	case KindExchange:
+		return fmt.Sprintf("Gather(workers=%d)", n.Workers)
 	default:
 		return n.Kind.String()
 	}

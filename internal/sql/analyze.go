@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -23,10 +24,24 @@ const (
 	JoinMerge    JoinMethod = "merge"
 )
 
+// ErrBadJoinMethod is wrapped by planning errors for an unrecognized
+// Options.ForceJoin value.
+var ErrBadJoinMethod = errors.New("unknown join method")
+
 // Options configures planning.
 type Options struct {
 	// ForceJoin selects the join algorithm for every join in the query.
 	ForceJoin JoinMethod
+}
+
+// validate rejects malformed options up front, before any parsing work.
+func (o Options) validate() error {
+	switch o.ForceJoin {
+	case JoinDefault, JoinHash, JoinNestLoop, JoinMerge:
+		return nil
+	default:
+		return fmt.Errorf("sql: %w %q", ErrBadJoinMethod, o.ForceJoin)
+	}
 }
 
 // PlanQuery parses and plans a SQL statement into a physical plan.
@@ -40,6 +55,9 @@ func PlanQuery(query string, cat *storage.Catalog, opt Options) (*plan.Node, err
 
 // Analyze turns a parsed statement into a physical plan.
 func Analyze(stmt *SelectStmt, cat *storage.Catalog, opt Options) (*plan.Node, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	a := &analyzer{cat: cat, opt: opt}
 	return a.plan(stmt)
 }
@@ -362,7 +380,7 @@ func (a *analyzer) join(outer *plan.Node, bt boundTable, outerKey, innerKey *exp
 		return plan.MergeJoin(sortedOuter, right, outerKey, innerKey), nil
 
 	default:
-		return nil, fmt.Errorf("sql: unknown join method %q", method)
+		return nil, fmt.Errorf("sql: %w %q", ErrBadJoinMethod, method)
 	}
 }
 

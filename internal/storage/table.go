@@ -1,25 +1,34 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// ErrUnknownTable is the sentinel wrapped by catalog lookups of names that
+// do not exist; callers test it with errors.Is through any number of
+// wrapping layers (SQL analysis, the bufferdb facade).
+var ErrUnknownTable = errors.New("unknown table")
 
 // Table is a memory-resident heap relation: a schema plus a slice of rows.
 // Row identifiers are positions in the heap; indexes map key values to row
 // identifiers.
+//
+// A table is built once by a loader (Append) and is immutable afterwards;
+// all read accessors are safe for concurrent use. Simulated memory
+// placement is per-execution state and lives in exec.Context, not here, so
+// concurrent instrumented runs cannot interfere with each other.
 type Table struct {
 	name   string
 	schema Schema
 	rows   []Row
 
-	// baseAddr is the simulated memory address of the first row, assigned
-	// when the table is registered with a simulated CPU's data-address
-	// space. Zero means "not placed"; the executor then skips data-cache
-	// modeling for this table.
-	baseAddr uint64
-	// rowBytes is the average row width in bytes, cached for address math.
+	// rowOnce guards the lazily computed average row width so concurrent
+	// readers (planner cost model, placement) agree on one value.
+	rowOnce  sync.Once
 	rowBytes int
 
 	indexes map[string]*IndexMeta
@@ -86,46 +95,70 @@ func (t *Table) Row(id int) Row { return t.rows[id] }
 // Callers must treat it as read-only.
 func (t *Table) Rows() []Row { return t.rows }
 
-// SetPlacement records the simulated base address and mean row width used
-// for data-cache modeling. See Table.Placement.
-func (t *Table) SetPlacement(base uint64, rowBytes int) {
-	t.baseAddr = base
-	t.rowBytes = rowBytes
-}
-
-// Placement returns the simulated address of row id and the row width in
-// bytes, or ok=false when the table has not been placed in a simulated
-// address space.
-func (t *Table) Placement(id int) (addr uint64, size int, ok bool) {
-	if t.baseAddr == 0 {
-		return 0, 0, false
-	}
-	return t.baseAddr + uint64(id)*uint64(t.rowBytes), t.rowBytes, true
-}
-
-// AvgRowBytes returns the mean in-memory row width, computed over a sample
-// of the heap. It is used both for simulated placement and by the planner's
-// cost model.
+// AvgRowBytes returns the mean in-memory row width, computed once over a
+// sample of the heap. It is used both for simulated placement and by the
+// planner's cost model, and is safe for concurrent callers.
 func (t *Table) AvgRowBytes() int {
-	if t.rowBytes > 0 {
-		return t.rowBytes
-	}
-	if len(t.rows) == 0 {
-		return 64
-	}
-	sample := len(t.rows)
-	if sample > 1024 {
-		sample = 1024
-	}
-	total := 0
-	for i := 0; i < sample; i++ {
-		total += t.rows[i].ByteSize()
-	}
-	t.rowBytes = total / sample
-	if t.rowBytes == 0 {
-		t.rowBytes = 16
-	}
+	t.rowOnce.Do(func() {
+		if len(t.rows) == 0 {
+			t.rowBytes = 64
+			return
+		}
+		sample := len(t.rows)
+		if sample > 1024 {
+			sample = 1024
+		}
+		total := 0
+		for i := 0; i < sample; i++ {
+			total += t.rows[i].ByteSize()
+		}
+		t.rowBytes = total / sample
+		if t.rowBytes == 0 {
+			t.rowBytes = 16
+		}
+	})
 	return t.rowBytes
+}
+
+// Span is a half-open row-identifier range [Start, End) of a table's heap:
+// the unit of work one parallel scan worker owns.
+type Span struct {
+	Start, End int
+}
+
+// Len returns the number of rows the span covers.
+func (s Span) Len() int { return s.End - s.Start }
+
+// Partitions divides the heap into at most n contiguous, non-overlapping
+// spans that cover every row in order. Concatenating the spans' rows
+// reproduces the heap exactly, which is what makes a partition-ordered
+// gather byte-identical to a single sequential scan. Fewer than n spans are
+// returned when the table has fewer than n rows; an empty table yields one
+// empty span.
+func (t *Table) Partitions(n int) []Span {
+	total := len(t.rows)
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	if n <= 1 {
+		return []Span{{0, total}}
+	}
+	spans := make([]Span, 0, n)
+	start := 0
+	for i := 0; i < n; i++ {
+		// Distribute the remainder one row at a time so sizes differ by
+		// at most one.
+		size := total / n
+		if i < total%n {
+			size++
+		}
+		spans = append(spans, Span{start, start + size})
+		start += size
+	}
+	return spans
 }
 
 // AddIndex registers an index access path on the table.
@@ -179,7 +212,10 @@ func (t *Table) Indexes() []*IndexMeta {
 	return out
 }
 
-// Catalog is a named collection of tables: the database.
+// Catalog is a named collection of tables: the database. A catalog is
+// populated at load time (Add) and treated as read-only afterwards; the
+// lookup methods are then safe for concurrent use from any number of
+// queries.
 type Catalog struct {
 	tables map[string]*Table
 }
@@ -207,11 +243,12 @@ func (c *Catalog) MustAdd(t *Table) {
 	}
 }
 
-// Table looks up a table by case-insensitive name.
+// Table looks up a table by case-insensitive name. The returned error wraps
+// ErrUnknownTable when no such table exists.
 func (c *Catalog) Table(name string) (*Table, error) {
 	t, ok := c.tables[strings.ToLower(name)]
 	if !ok {
-		return nil, fmt.Errorf("storage: no table named %q", name)
+		return nil, fmt.Errorf("storage: no table named %q: %w", name, ErrUnknownTable)
 	}
 	return t, nil
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -94,19 +95,52 @@ func TestTableAppendAndRead(t *testing.T) {
 	}
 }
 
-func TestTablePlacement(t *testing.T) {
+func TestPartitions(t *testing.T) {
 	tbl := NewTable("t", testSchema())
-	tbl.MustAppend(Row{NewInt(1), NewString("a"), NewFloat(0.5)})
-	if _, _, ok := tbl.Placement(0); ok {
-		t.Error("unplaced table reported a placement")
+	for i := 0; i < 10; i++ {
+		tbl.MustAppend(Row{NewInt(int64(i)), NewString("a"), NewFloat(0.5)})
 	}
-	tbl.SetPlacement(0x1000, 64)
-	addr, size, ok := tbl.Placement(3)
-	if !ok || addr != 0x1000+3*64 || size != 64 {
-		t.Errorf("Placement = %#x, %d, %v", addr, size, ok)
+	for _, n := range []int{1, 2, 3, 4, 7, 10, 25} {
+		spans := tbl.Partitions(n)
+		if len(spans) > n || len(spans) > tbl.NumRows() {
+			t.Fatalf("Partitions(%d) = %d spans", n, len(spans))
+		}
+		pos := 0
+		for _, s := range spans {
+			if s.Start != pos || s.End < s.Start {
+				t.Fatalf("Partitions(%d): span %+v does not continue at %d", n, s, pos)
+			}
+			pos = s.End
+		}
+		if pos != tbl.NumRows() {
+			t.Fatalf("Partitions(%d) covers %d rows, want %d", n, pos, tbl.NumRows())
+		}
+		// Balanced: sizes differ by at most one.
+		min, max := tbl.NumRows(), 0
+		for _, s := range spans {
+			if s.Len() < min {
+				min = s.Len()
+			}
+			if s.Len() > max {
+				max = s.Len()
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("Partitions(%d): unbalanced spans %v", n, spans)
+		}
 	}
-	if tbl.AvgRowBytes() != 64 {
-		t.Errorf("AvgRowBytes after SetPlacement = %d", tbl.AvgRowBytes())
+	empty := NewTable("e", testSchema())
+	spans := empty.Partitions(4)
+	if len(spans) != 1 || spans[0].Len() != 0 {
+		t.Errorf("empty Partitions = %v", spans)
+	}
+}
+
+func TestUnknownTableSentinel(t *testing.T) {
+	cat := NewCatalog()
+	_, err := cat.Table("nope")
+	if !errors.Is(err, ErrUnknownTable) {
+		t.Errorf("Table(nope) error %v does not wrap ErrUnknownTable", err)
 	}
 }
 

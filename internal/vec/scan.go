@@ -17,7 +17,8 @@ import (
 // once per batch.
 type SeqScan struct {
 	Table  *storage.Table
-	Filter expr.Expr // optional
+	Filter expr.Expr     // optional
+	Span   *storage.Span // optional: scan only [Start, End)
 
 	module *codemodel.Module
 
@@ -25,6 +26,9 @@ type SeqScan struct {
 	bits   []uint64
 	size   int
 	pos    int
+	end    int
+	place  exec.TablePlacement
+	placed bool
 	opened bool
 }
 
@@ -34,10 +38,22 @@ func NewSeqScan(table *storage.Table, filter expr.Expr, module *codemodel.Module
 	return &SeqScan{Table: table, Filter: filter, module: module, size: size}
 }
 
+// NewSeqScanSpan constructs a scan over one heap partition. A nil span
+// scans the whole table.
+func NewSeqScanSpan(table *storage.Table, filter expr.Expr, module *codemodel.Module, size int, span *storage.Span) *SeqScan {
+	s := NewSeqScan(table, filter, module, size)
+	s.Span = span
+	return s
+}
+
 // Open implements Operator.
 func (s *SeqScan) Open(ctx *exec.Context) error {
 	s.out.open(ctx, s.size)
-	s.pos = 0
+	s.pos, s.end = 0, s.Table.NumRows()
+	if s.Span != nil {
+		s.pos, s.end = s.Span.Start, s.Span.End
+	}
+	s.place, s.placed = ctx.Placements[s.Table]
 	s.opened = true
 	return nil
 }
@@ -47,15 +63,17 @@ func (s *SeqScan) NextBatch(ctx *exec.Context) (Batch, error) {
 	if !s.opened {
 		return nil, errNotOpen(s.Name())
 	}
+	if err := ctx.Canceled(); err != nil {
+		return nil, err
+	}
 	s.out.reset()
 	s.bits = s.bits[:0]
-	n := s.Table.NumRows()
-	for s.pos < n && !s.out.full() {
+	for s.pos < s.end && !s.out.full() {
 		rid := s.pos
 		s.pos++
 		row := s.Table.Row(rid)
-		if addr, size, ok := s.Table.Placement(rid); ok {
-			ctx.Read(addr, size)
+		if s.placed {
+			ctx.Read(s.place.Base+uint64(rid)*uint64(s.place.RowBytes), s.place.RowBytes)
 		}
 		match := true
 		if s.Filter != nil {

@@ -1,0 +1,199 @@
+package bufferdb
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bufferdb/internal/exec"
+	"bufferdb/internal/plan"
+	"bufferdb/internal/storage"
+)
+
+// Rows is a streaming query result cursor, in the style of database/sql:
+//
+//	rows, err := db.QueryContext(ctx, query)
+//	if err != nil { ... }
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var key int64
+//	    var charge float64
+//	    if err := rows.Scan(&key, &charge); err != nil { ... }
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Rows pulls tuples from the executing plan on demand — nothing is
+// materialized ahead of the consumer except what blocking operators (sort,
+// hash build) hold by nature. A Rows is not safe for concurrent use; run
+// concurrent queries on separate cursors.
+type Rows struct {
+	ectx   *exec.Context
+	op     exec.Operator
+	cols   []string
+	schema storage.Schema
+
+	row    storage.Row
+	err    error
+	closed bool
+}
+
+// QueryContext plans (with refinement and parallelization per the options),
+// starts executing, and returns a streaming cursor. The context cancels the
+// query: once ctx is done, Next stops and Err reports an error wrapping the
+// context's. At most one QueryOptions value may be supplied.
+func (db *DB) QueryContext(ctx context.Context, query string, opts ...QueryOptions) (*Rows, error) {
+	var qo QueryOptions
+	switch len(opts) {
+	case 0:
+	case 1:
+		qo = opts[0]
+	default:
+		return nil, fmt.Errorf("bufferdb: QueryContext accepts at most one QueryOptions, got %d", len(opts))
+	}
+	p, err := db.plan(query, qo)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := db.planEngine()
+	if err != nil {
+		return nil, err
+	}
+	op, err := plan.Compile(p, nil, engine)
+	if err != nil {
+		return nil, err
+	}
+	ectx := &exec.Context{Catalog: db.cat, Ctx: ctx}
+	if err := op.Open(ectx); err != nil {
+		return nil, err
+	}
+	schema := p.Schema()
+	cols := make([]string, len(schema))
+	for i, c := range schema {
+		cols[i] = c.Name
+	}
+	return &Rows{ectx: ectx, op: op, cols: cols, schema: schema}, nil
+}
+
+// Columns names the result attributes, in Scan order.
+func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+
+// Next advances to the next row. It returns false at end of stream, on
+// error, on cancellation, or after Close; consult Err afterwards to tell
+// completion from failure.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if err := r.ectx.Canceled(); err != nil {
+		r.fail(err)
+		return false
+	}
+	row, err := r.op.Next(r.ectx)
+	if err != nil {
+		r.fail(err)
+		return false
+	}
+	if row == nil {
+		r.row = nil
+		_ = r.close()
+		return false
+	}
+	r.row = row
+	return true
+}
+
+// Scan copies the current row into dest, one pointer per column. Supported
+// destinations: *int64, *float64, *string, *bool, *time.Time, and *any
+// (which receives the same native value Result rows carry, including nil
+// for SQL NULL). The typed pointers reject NULL.
+func (r *Rows) Scan(dest ...any) error {
+	if r.row == nil {
+		if r.closed {
+			return fmt.Errorf("bufferdb: Scan: %w", ErrRowsClosed)
+		}
+		return fmt.Errorf("bufferdb: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.row) {
+		return fmt.Errorf("bufferdb: Scan got %d destinations for %d columns", len(dest), len(r.row))
+	}
+	for i, d := range dest {
+		if err := scanValue(d, r.row[i], r.cols[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanValue assigns one column value to one destination pointer.
+func scanValue(dest any, v storage.Value, col string) error {
+	if p, ok := dest.(*any); ok {
+		*p = nativeValue(v)
+		return nil
+	}
+	if v.Kind == storage.TypeNull {
+		return fmt.Errorf("bufferdb: Scan: column %s is NULL; use *any to receive NULLs", col)
+	}
+	switch p := dest.(type) {
+	case *int64:
+		if v.Kind != storage.TypeInt64 {
+			return scanMismatch(col, v, "int64")
+		}
+		*p = v.I
+	case *float64:
+		switch v.Kind {
+		case storage.TypeFloat64:
+			*p = v.F
+		case storage.TypeInt64:
+			*p = float64(v.I)
+		default:
+			return scanMismatch(col, v, "float64")
+		}
+	case *string:
+		*p = v.String()
+	case *bool:
+		if v.Kind != storage.TypeBool {
+			return scanMismatch(col, v, "bool")
+		}
+		*p = v.Bool()
+	case *time.Time:
+		if v.Kind != storage.TypeDate {
+			return scanMismatch(col, v, "time.Time")
+		}
+		*p = time.Unix(v.I*86400, 0).UTC()
+	default:
+		return fmt.Errorf("bufferdb: Scan: unsupported destination type %T for column %s", dest, col)
+	}
+	return nil
+}
+
+func scanMismatch(col string, v storage.Value, want string) error {
+	return fmt.Errorf("bufferdb: Scan: column %s has kind %v, destination wants %s", col, v.Kind, want)
+}
+
+// Err returns the error, if any, that ended iteration. A query that ran to
+// completion (or was closed early by the consumer) reports nil; a canceled
+// query reports an error wrapping the context's.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the executing plan. It is idempotent and safe after
+// exhaustion; abandoning a stream mid-way is exactly what it is for.
+func (r *Rows) Close() error {
+	r.row = nil
+	return r.close()
+}
+
+// fail records err and tears the plan down.
+func (r *Rows) fail(err error) {
+	r.err = err
+	r.row = nil
+	_ = r.close()
+}
+
+// close shuts the operator tree down once.
+func (r *Rows) close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.op.Close(r.ectx)
+}
