@@ -13,7 +13,10 @@
 // Typical use:
 //
 //	db, err := bufferdb.OpenTPCH(0.01, bufferdb.Options{})
-//	res, err := db.Query(`SELECT COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1995-06-17'`)
+//	res, err := db.Query(ctx, `SELECT COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1995-06-17'`)
+//	res, err = db.Query(ctx, `SELECT ...`, bufferdb.WithEngine(bufferdb.EngineVec))
+//	an, err := db.ExplainAnalyze(ctx, `SELECT ...`)
+//	fmt.Println(an) // per-operator rows, buffer drains, simulated cycle attribution
 //	prof, err := db.Profile(`SELECT ...`, bufferdb.QueryOptions{})
 //	fmt.Println(prof.Buffered.L1IMisses, "instruction cache misses after refinement")
 package bufferdb
@@ -68,7 +71,10 @@ const (
 	EngineVec Engine = "vec"
 )
 
-// QueryOptions tune a single statement.
+// QueryOptions tune a single statement. New code should set them through
+// the functional QueryOption values (WithEngine, WithParallelism, …) passed
+// to Query, QueryStream, ExplainAnalyze and Prepare; the struct remains
+// exported for the deprecated QueryWithOptions/QueryContext entry points.
 type QueryOptions struct {
 	// ForceJoin selects the join algorithm: "hash", "nestloop", "merge".
 	ForceJoin string
@@ -79,6 +85,58 @@ type QueryOptions struct {
 	// Parallelism overrides the per-database scan fan-out for this
 	// statement (0 keeps the database default, 1 forces sequential).
 	Parallelism int
+	// Engine overrides the database's execution engine for this statement
+	// ("" keeps the database default).
+	Engine Engine
+	// CollectStats attaches a per-operator stats collector to the
+	// execution; read the result through Rows.Stats.
+	CollectStats bool
+}
+
+// QueryOption is a functional per-statement option.
+type QueryOption func(*QueryOptions)
+
+// WithEngine runs the statement on the given execution engine.
+func WithEngine(e Engine) QueryOption {
+	return func(o *QueryOptions) { o.Engine = e }
+}
+
+// WithForceJoin forces the join algorithm: "hash", "nestloop", "merge".
+func WithForceJoin(method string) QueryOption {
+	return func(o *QueryOptions) { o.ForceJoin = method }
+}
+
+// WithBufferSize overrides the capacity of buffers the refinement pass
+// inserts for this statement.
+func WithBufferSize(n int) QueryOption {
+	return func(o *QueryOptions) { o.BufferSize = n }
+}
+
+// WithParallelism overrides the scan fan-out for this statement
+// (1 forces sequential execution).
+func WithParallelism(workers int) QueryOption {
+	return func(o *QueryOptions) { o.Parallelism = workers }
+}
+
+// WithoutRefinement runs the conventional (unbuffered) plan.
+func WithoutRefinement() QueryOption {
+	return func(o *QueryOptions) { o.DisableRefinement = true }
+}
+
+// WithStats collects per-operator runtime counters during execution; read
+// them through Rows.Stats after draining the cursor. Collection never
+// changes results — it only counts what the operators do.
+func WithStats() QueryOption {
+	return func(o *QueryOptions) { o.CollectStats = true }
+}
+
+// applyOptions folds functional options into a QueryOptions value.
+func applyOptions(opts []QueryOption) QueryOptions {
+	var qo QueryOptions
+	for _, opt := range opts {
+		opt(&qo)
+	}
+	return qo
 }
 
 // DB is one memory-resident database with its code model and refinement
@@ -116,16 +174,21 @@ func (db *DB) WithEngine(e Engine) *DB {
 	return &cp
 }
 
-// planEngine maps the facade engine name to the compiler's engine switch.
-// Unknown names are rejected rather than silently running on Volcano.
-func (db *DB) planEngine() (plan.Engine, error) {
-	switch db.engine {
-	case EngineVec:
-		return plan.EngineVec, nil
-	case EngineVolcano, "":
-		return plan.EngineVolcano, nil
+// planEngine maps the statement's effective engine (the per-query override,
+// else the view's) to the compiler's engine switch. Unknown names are
+// rejected rather than silently running on Volcano.
+func (db *DB) planEngine(qo QueryOptions) (Engine, plan.Engine, error) {
+	e := db.engine
+	if qo.Engine != "" {
+		e = qo.Engine
 	}
-	return 0, fmt.Errorf("bufferdb: %w %q", ErrUnknownEngine, db.engine)
+	switch e {
+	case EngineVec:
+		return EngineVec, plan.EngineVec, nil
+	case EngineVolcano, "":
+		return EngineVolcano, plan.EngineVolcano, nil
+	}
+	return e, 0, fmt.Errorf("bufferdb: %w %q", ErrUnknownEngine, e)
 }
 
 // OpenTPCH generates a TPC-H database at the given scale factor (the paper
@@ -228,15 +291,20 @@ type Result struct {
 }
 
 // Query plans (with refinement, unless disabled), executes, and returns the
-// materialized result. It is a convenience wrapper over QueryContext; use
-// QueryContext to stream large results or to cancel mid-query.
-func (db *DB) Query(query string) (*Result, error) {
-	return db.QueryWithOptions(query, QueryOptions{})
+// materialized result. Per-statement tuning rides on functional options:
+//
+//	res, err := db.Query(ctx, sql, bufferdb.WithEngine(bufferdb.EngineVec),
+//	    bufferdb.WithParallelism(4))
+//
+// The context cancels the query mid-execution. Use QueryStream to consume
+// large results incrementally.
+func (db *DB) Query(ctx context.Context, query string, opts ...QueryOption) (*Result, error) {
+	return db.queryMaterialized(ctx, query, applyOptions(opts))
 }
 
-// QueryWithOptions is Query with per-statement tuning.
-func (db *DB) QueryWithOptions(query string, qo QueryOptions) (*Result, error) {
-	rows, err := db.QueryContext(context.Background(), query, qo)
+// queryMaterialized drains a streaming cursor into a Result.
+func (db *DB) queryMaterialized(ctx context.Context, query string, qo QueryOptions) (*Result, error) {
+	rows, err := db.queryStream(ctx, query, qo)
 	if err != nil {
 		return nil, err
 	}
@@ -254,6 +322,14 @@ func (db *DB) QueryWithOptions(query string, qo QueryOptions) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// QueryWithOptions is Query with an options struct.
+//
+// Deprecated: use Query with functional options (WithEngine, WithParallelism,
+// …), which also carries a context.
+func (db *DB) QueryWithOptions(query string, qo QueryOptions) (*Result, error) {
+	return db.queryMaterialized(context.Background(), query, qo)
 }
 
 // nativeValue converts an engine value to a plain Go value.
@@ -303,6 +379,7 @@ func (db *DB) Explain(query string, qo QueryOptions) (original, refined string, 
 type RunStats struct {
 	ElapsedSec  float64
 	CPI         float64
+	Cycles      float64
 	Uops        uint64
 	L1IMisses   uint64
 	L1DMisses   uint64
@@ -364,6 +441,7 @@ func (db *DB) Profile(query string, qo QueryOptions) (*Profile, error) {
 		return RunStats{
 			ElapsedSec:  cpu.ElapsedSeconds(),
 			CPI:         cpu.CPI(),
+			Cycles:      cpu.TotalCycles(),
 			Uops:        ctr.Uops,
 			L1IMisses:   ctr.L1IMisses,
 			L1DMisses:   ctr.L1DMisses,

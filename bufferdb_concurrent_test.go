@@ -42,7 +42,7 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 	baseline := make([]string, len(concurrentQueries))
 	for i, q := range concurrentQueries {
-		res, err := db.Query(q)
+		res, err := db.Query(context.Background(), q)
 		if err != nil {
 			t.Fatalf("baseline %d: %v", i, err)
 		}
@@ -189,7 +189,7 @@ func TestQueryContextStreams(t *testing.T) {
 		t.Fatal("stream produced no rows")
 	}
 	// Must match the materializing path.
-	res, err := testDB.Query(`SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity > 45`)
+	res, err := testDB.Query(context.Background(), `SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity > 45`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +266,7 @@ func TestQueryContextPreCanceled(t *testing.T) {
 func TestParallelEquivalence(t *testing.T) {
 	q := `SELECT l_orderkey, l_extendedprice * (1 - l_discount) AS rev
 	      FROM lineitem WHERE l_shipdate <= DATE '1995-06-17'`
-	want, err := testDB.Query(q)
+	want, err := testDB.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,14 +298,14 @@ func TestExplainShowsGather(t *testing.T) {
 }
 
 func TestSentinelErrors(t *testing.T) {
-	if _, err := testDB.Query(`SELECT 1 FROM ghost`); !errors.Is(err, ErrUnknownTable) {
+	if _, err := testDB.Query(context.Background(), `SELECT 1 FROM ghost`); !errors.Is(err, ErrUnknownTable) {
 		t.Errorf("missing table error = %v, want ErrUnknownTable in its chain", err)
 	}
 	_, err := testDB.QueryWithOptions(`SELECT COUNT(*) FROM lineitem`, QueryOptions{ForceJoin: "bogus"})
 	if !errors.Is(err, ErrBadJoinMethod) {
 		t.Errorf("bad join method error = %v, want ErrBadJoinMethod in its chain", err)
 	}
-	if _, err := testDB.WithEngine("turbo").Query(`SELECT COUNT(*) FROM lineitem`); !errors.Is(err, ErrUnknownEngine) {
+	if _, err := testDB.WithEngine("turbo").Query(context.Background(), `SELECT COUNT(*) FROM lineitem`); !errors.Is(err, ErrUnknownEngine) {
 		t.Errorf("unknown engine error = %v, want ErrUnknownEngine in its chain", err)
 	}
 }

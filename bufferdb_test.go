@@ -1,6 +1,7 @@
 package bufferdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func TestOpenAndCatalog(t *testing.T) {
 }
 
 func TestQuery(t *testing.T) {
-	res, err := testDB.Query(`SELECT COUNT(*) AS n FROM lineitem WHERE l_shipdate <= DATE '1995-06-17'`)
+	res, err := testDB.Query(context.Background(), `SELECT COUNT(*) AS n FROM lineitem WHERE l_shipdate <= DATE '1995-06-17'`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestQuery(t *testing.T) {
 	if !ok || n <= 0 {
 		t.Errorf("count = %v", res.Rows[0][0])
 	}
-	if _, err := testDB.Query("SELEKT"); err == nil {
+	if _, err := testDB.Query(context.Background(), "SELEKT"); err == nil {
 		t.Error("garbage SQL accepted")
 	}
 }
@@ -56,11 +57,11 @@ func TestWithEngine(t *testing.T) {
 	q := `SELECT l_returnflag, COUNT(*) FROM lineitem
 	      WHERE l_shipdate <= DATE '1995-06-17'
 	      GROUP BY l_returnflag ORDER BY l_returnflag`
-	volcano, err := testDB.Query(q)
+	volcano, err := testDB.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	vec, err := testDB.WithEngine(EngineVec).Query(q)
+	vec, err := testDB.WithEngine(EngineVec).Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,13 +72,13 @@ func TestWithEngine(t *testing.T) {
 	if testDB.engine == EngineVec {
 		t.Error("WithEngine mutated the receiver")
 	}
-	if _, err := testDB.WithEngine(Engine("gpu")).Query(q); err == nil {
+	if _, err := testDB.WithEngine(Engine("gpu")).Query(context.Background(), q); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }
 
 func TestNativeValueTypes(t *testing.T) {
-	res, err := testDB.Query(`SELECT l_orderkey, l_quantity, l_returnflag, l_shipdate FROM lineitem LIMIT 1`)
+	res, err := testDB.Query(context.Background(), `SELECT l_orderkey, l_quantity, l_returnflag, l_shipdate FROM lineitem LIMIT 1`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestNativeValueTypes(t *testing.T) {
 
 func TestRefinementTransparency(t *testing.T) {
 	const q = `SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'`
-	auto, err := testDB.Query(q)
+	auto, err := testDB.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestIndependentInstancesInParallel(t *testing.T) {
 				errs <- err
 				return
 			}
-			res, err := db.Query(`SELECT COUNT(*), SUM(l_quantity) FROM lineitem`)
+			res, err := db.Query(context.Background(), `SELECT COUNT(*), SUM(l_quantity) FROM lineitem`)
 			if err != nil {
 				errs <- err
 				return

@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"bufferdb/internal/bench"
+	"bufferdb/internal/plan"
+	"bufferdb/internal/sql"
 )
 
 func main() {
@@ -29,6 +31,8 @@ func main() {
 		threshold  = flag.Float64("threshold", 0, "cardinality threshold (0 = calibrate)")
 		seed       = flag.Uint64("seed", 0, "data generation seed (0 = default)")
 		short      = flag.Bool("short", false, "CI-grade run: clamp the scale factor and skip slow experiments with -exp all")
+		analyze    = flag.String("analyze", "", "run this SQL instrumented (conventional vs refined plan) and print per-operator stats tables instead of experiments")
+		engine     = flag.String("engine", "volcano", "execution engine for -analyze (volcano or vec)")
 	)
 	flag.Parse()
 
@@ -52,6 +56,13 @@ func main() {
 	}
 	fmt.Printf("database: TPC-H SF %g, refinement threshold %.0f rows (setup %.1fs)\n\n",
 		runner.Cfg.ScaleFactor, runner.Threshold, time.Since(start).Seconds())
+
+	if *analyze != "" {
+		if err := runAnalyze(runner, *analyze, *engine); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	var toRun []bench.Experiment
 	if *exp == "all" {
@@ -77,6 +88,42 @@ func main() {
 		fmt.Print(rep.String())
 		fmt.Printf("(%.1fs)\n\n", time.Since(t0).Seconds())
 	}
+}
+
+// runAnalyze prints per-operator stats tables for the conventional and the
+// refined compilation of one statement — the per-query view of what the
+// aggregate experiments measure.
+func runAnalyze(runner *bench.Runner, query, engineName string) error {
+	var engine plan.Engine
+	switch engineName {
+	case "volcano", "":
+		engine = plan.EngineVolcano
+	case "vec":
+		engine = plan.EngineVec
+	default:
+		return fmt.Errorf("unknown engine %q (volcano or vec)", engineName)
+	}
+	p, err := runner.Plan(query, sql.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- conventional plan:")
+	tbl, err := runner.Analyze(p, engine)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tbl)
+	refined, err := runner.Refine(p)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n-- refined plan:")
+	tbl, err = runner.Analyze(refined, engine)
+	if err != nil {
+		return err
+	}
+	fmt.Print(tbl)
+	return nil
 }
 
 func fatal(err error) {

@@ -9,6 +9,7 @@
 // Shell meta-commands:
 //
 //	\explain <sql>   show the conventional and refined plans
+//	\analyze <sql>   run instrumented and show per-operator runtime stats
 //	\profile <sql>   run both plans on the simulated CPU and compare
 //	\tables          list tables
 //	\q               quit
@@ -16,6 +17,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,9 @@ func main() {
 		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		query   = flag.String("q", "", "run one query and exit")
 		noParse = flag.Bool("no-refine", false, "disable buffering plan refinement")
+		engine  = flag.String("engine", "", "execution engine for -q (volcano or vec; default: the database's)")
+		analyze = flag.Bool("analyze", false, "with -q: EXPLAIN ANALYZE — print the per-operator stats table instead of rows")
+		metrics = flag.Bool("metrics", false, "after -q: dump the process metrics registry (Prometheus text format)")
 	)
 	flag.Parse()
 
@@ -38,8 +43,23 @@ func main() {
 	}
 
 	if *query != "" {
-		if err := runQuery(db, *query); err != nil {
+		var opts []bufferdb.QueryOption
+		if *engine != "" {
+			opts = append(opts, bufferdb.WithEngine(bufferdb.Engine(*engine)))
+		}
+		q := strings.TrimSuffix(strings.TrimSpace(*query), ";")
+		if *analyze {
+			err = runAnalyze(db, q, opts...)
+		} else {
+			err = runQuery(db, q, opts...)
+		}
+		if err != nil {
 			fatal(err)
+		}
+		if *metrics {
+			if err := bufferdb.WriteMetrics(os.Stdout); err != nil {
+				fatal(err)
+			}
 		}
 		return
 	}
@@ -91,6 +111,10 @@ func metaCommand(db *bufferdb.DB, cmd string) bool {
 		fmt.Print(orig)
 		fmt.Println("-- refined plan:")
 		fmt.Print(refined)
+	case strings.HasPrefix(cmd, "\\analyze "):
+		if err := runAnalyze(db, strings.TrimPrefix(cmd, "\\analyze ")); err != nil {
+			fmt.Println("error:", err)
+		}
 	case strings.HasPrefix(cmd, "\\profile "):
 		prof, err := db.Profile(strings.TrimPrefix(cmd, "\\profile "), bufferdb.QueryOptions{})
 		if err != nil {
@@ -103,14 +127,25 @@ func metaCommand(db *bufferdb.DB, cmd string) bool {
 			prof.Buffered.ElapsedSec, prof.Buffered.L1IMisses, prof.Buffered.Mispredicts, prof.Buffered.CPI)
 		fmt.Printf("improvement %.1f%% with %d buffer(s)\n", prof.ImprovementPct, prof.BuffersInserted)
 	default:
-		fmt.Println("commands: \\tables, \\explain <sql>, \\profile <sql>, \\q")
+		fmt.Println("commands: \\tables, \\explain <sql>, \\analyze <sql>, \\profile <sql>, \\q")
 	}
 	return false
 }
 
+// runAnalyze executes a statement instrumented on the simulated CPU and
+// prints the per-operator stats table.
+func runAnalyze(db *bufferdb.DB, q string, opts ...bufferdb.QueryOption) error {
+	a, err := db.ExplainAnalyze(context.Background(), strings.TrimSuffix(strings.TrimSpace(q), ";"), opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Print(a.String())
+	return nil
+}
+
 // runQuery executes a statement and prints a bounded result table.
-func runQuery(db *bufferdb.DB, q string) error {
-	res, err := db.Query(strings.TrimSuffix(strings.TrimSpace(q), ";"))
+func runQuery(db *bufferdb.DB, q string, opts ...bufferdb.QueryOption) error {
+	res, err := db.Query(context.Background(), strings.TrimSuffix(strings.TrimSpace(q), ";"), opts...)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package bufferdb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -17,7 +18,7 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	// Warm the lazy per-table stats outside the timed region.
-	if _, err := db.Query(concurrentQueries[0]); err != nil {
+	if _, err := db.Query(context.Background(), concurrentQueries[0]); err != nil {
 		b.Fatal(err)
 	}
 	for _, clients := range []int{1, 4, 16} {
@@ -35,7 +36,7 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 					defer wg.Done()
 					for i := 0; i < per; i++ {
 						q := concurrentQueries[int(next.Add(1))%len(concurrentQueries)]
-						if _, err := db.Query(q); err != nil {
+						if _, err := db.Query(context.Background(), q); err != nil {
 							b.Error(err)
 							return
 						}

@@ -1,6 +1,7 @@
 package bufferdb_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +14,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := db.Query(`
+	res, err := db.Query(context.Background(), `
 		SELECT l_returnflag, COUNT(*) AS n
 		FROM lineitem
 		GROUP BY l_returnflag

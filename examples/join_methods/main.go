@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 	}
 
 	// All three compute the same answer, buffered or not.
-	res, err := db.QueryWithOptions(query3, bufferdb.QueryOptions{ForceJoin: "hash"})
+	res, err := db.Query(context.Background(), query3, bufferdb.WithForceJoin("hash"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -37,13 +37,13 @@ func main() {
 	fmt.Println("refined, parallelized plan:")
 	fmt.Println(refined)
 
-	// Stream the result with QueryContext. The context cancels the query:
+	// Stream the result with QueryStream. The context cancels the query:
 	// here we give it a generous deadline; pass a short one to see the
 	// stream end early with an error wrapping context.DeadlineExceeded.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	rows, err := db.QueryContext(ctx, query)
+	rows, err := db.QueryStream(ctx, query)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func main() {
 	// Worker count is also a per-query knob; any value returns the same
 	// rows in the same order.
 	for _, workers := range []int{1, 2, 8} {
-		res, err := db.QueryWithOptions(query, bufferdb.QueryOptions{Parallelism: workers})
+		res, err := db.Query(ctx, query, bufferdb.WithParallelism(workers))
 		if err != nil {
 			log.Fatal(err)
 		}

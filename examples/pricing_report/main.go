@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	}
 
 	// The answer itself.
-	res, err := db.Query(query1)
+	res, err := db.Query(context.Background(), query1)
 	if err != nil {
 		log.Fatal(err)
 	}

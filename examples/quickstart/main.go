@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 		fmt.Printf("%-10s %8d rows\n", t, n)
 	}
 
-	res, err := db.Query(`
+	res, err := db.Query(context.Background(), `
 		SELECT l_returnflag, l_linestatus, COUNT(*) AS orders, AVG(l_quantity) AS avg_qty
 		FROM lineitem
 		WHERE l_shipdate <= DATE '1998-09-02'

@@ -133,6 +133,30 @@ func (r *Runner) MeasureEngine(label string, p *plan.Node, engine plan.Engine) (
 	return m, nil
 }
 
+// Analyze executes a plan instrumented with the per-operator stats
+// collector on a fresh simulated CPU and returns the rendered
+// EXPLAIN ANALYZE table (with cycle and i-cache attribution).
+func (r *Runner) Analyze(p *plan.Node, engine plan.Engine) (string, error) {
+	cpu, err := cpusim.New(r.CPUCfg, r.CM.TextSegmentBytes())
+	if err != nil {
+		return "", err
+	}
+	cp, err := plan.CompileAnalyzed(p, r.CM, engine)
+	if err != nil {
+		return "", err
+	}
+	ctx := &exec.Context{
+		Catalog:    r.DB,
+		CPU:        cpu,
+		Placements: exec.PlaceCatalog(cpu, r.DB),
+		Stats:      exec.NewStatsCollector(),
+	}
+	if _, err := exec.Run(ctx, cp.Root); err != nil {
+		return "", err
+	}
+	return plan.FormatReport(plan.BuildReport(cp, ctx.Stats), true), nil
+}
+
 // MeasureWall executes a plan uninstrumented and returns real wall-clock
 // time — the "batching still pays in Go" secondary metric.
 func (r *Runner) MeasureWall(p *plan.Node) (time.Duration, int, error) {

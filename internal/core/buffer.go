@@ -36,6 +36,7 @@ type Buffer struct {
 
 	module *codemodel.Module
 	label  byte
+	stats  *exec.OpStats
 
 	buf []storage.Row
 	pos int
@@ -61,6 +62,10 @@ func (b *Buffer) SetTraceLabel(l byte) { b.label = l }
 
 // Open implements exec.Operator.
 func (b *Buffer) Open(ctx *exec.Context) error {
+	b.stats = ctx.StatsFor(b, b.Name())
+	if b.stats != nil {
+		defer b.stats.EndOpen(ctx, b.stats.Begin(ctx))
+	}
 	if err := b.Child.Open(ctx); err != nil {
 		return err
 	}
@@ -108,13 +113,19 @@ func (b *Buffer) refill(ctx *exec.Context) error {
 		ctx.ExecModule(b.module, ctx.DataBits(true))
 		b.buf = append(b.buf, row)
 	}
+	if b.stats != nil {
+		b.stats.Drained(len(b.buf))
+	}
 	return nil
 }
 
 // Next implements exec.Operator (paper Figure 6).
-func (b *Buffer) Next(ctx *exec.Context) (storage.Row, error) {
+func (b *Buffer) Next(ctx *exec.Context) (out storage.Row, err error) {
 	if !b.opened {
 		return nil, fmt.Errorf("exec: Buffer.Next called before Open")
+	}
+	if b.stats != nil {
+		defer b.stats.EndNext(ctx, b.stats.Begin(ctx), &out)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(b.label, b.Name())
@@ -192,9 +203,12 @@ func NewCopyBuffer(child exec.Operator, size int, module *codemodel.Module) *Cop
 }
 
 // Next implements exec.Operator, copying rows on buffering.
-func (b *CopyBuffer) Next(ctx *exec.Context) (storage.Row, error) {
+func (b *CopyBuffer) Next(ctx *exec.Context) (out storage.Row, err error) {
 	if !b.opened {
 		return nil, fmt.Errorf("exec: CopyBuffer.Next called before Open")
+	}
+	if b.stats != nil {
+		defer b.stats.EndNext(ctx, b.stats.Begin(ctx), &out)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(b.label, b.Name())
@@ -244,6 +258,9 @@ func (b *CopyBuffer) refillCopying(ctx *exec.Context) error {
 		}
 		ctx.ExecModule(b.module, ctx.DataBits(true))
 		b.buf = append(b.buf, clone)
+	}
+	if b.stats != nil {
+		b.stats.Drained(len(b.buf))
 	}
 	return nil
 }

@@ -26,6 +26,7 @@ type Aggregate struct {
 
 	module *codemodel.Module
 	label  byte
+	stats  *OpStats
 	schema storage.Schema
 
 	groups       map[string]*aggGroup
@@ -77,6 +78,10 @@ func (a *Aggregate) SetTraceLabel(b byte) { a.label = b }
 
 // Open implements Operator.
 func (a *Aggregate) Open(ctx *Context) error {
+	a.stats = ctx.StatsFor(a, a.Name())
+	if a.stats != nil {
+		defer a.stats.EndOpen(ctx, a.stats.Begin(ctx))
+	}
 	if err := a.Child.Open(ctx); err != nil {
 		return err
 	}
@@ -161,9 +166,12 @@ func (a *Aggregate) consume(ctx *Context) error {
 }
 
 // Next implements Operator.
-func (a *Aggregate) Next(ctx *Context) (storage.Row, error) {
+func (a *Aggregate) Next(ctx *Context) (res storage.Row, err error) {
 	if !a.opened {
 		return nil, errNotOpen(a.Name())
+	}
+	if a.stats != nil {
+		defer a.stats.EndNext(ctx, a.stats.Begin(ctx), &res)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(a.label, a.Name())

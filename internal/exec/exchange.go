@@ -44,6 +44,7 @@ type Exchange struct {
 	chunk []storage.Row // chunk being served
 	pos   int           // next row within chunk
 
+	stats  *OpStats
 	opened bool
 }
 
@@ -74,6 +75,11 @@ func NewExchange(parts []Operator) (*Exchange, error) {
 // Open implements Operator.
 func (e *Exchange) Open(ctx *Context) error {
 	e.shutdown()
+	e.stats = ctx.StatsFor(e, e.Name())
+	if e.stats != nil {
+		e.stats.Partitions = len(e.parts)
+		defer e.stats.EndOpen(ctx, e.stats.Begin(ctx))
+	}
 	e.cur, e.chunk, e.pos = 0, nil, 0
 	e.parallel = ctx.CPU == nil && ctx.Trace == nil
 	e.opened = true
@@ -93,8 +99,10 @@ func (e *Exchange) Open(ctx *Context) error {
 		e.wg.Add(1)
 		// Each worker owns a private Context: its own branch-outcome
 		// stream and cancellation tick, sharing only the read-only
-		// catalog and the caller's cancellation context.
-		wctx := &Context{Catalog: ctx.Catalog, Ctx: ctx.Ctx}
+		// catalog, the caller's cancellation context and (if enabled) the
+		// stats collector, whose registration path is mutex-guarded and
+		// whose per-operator slots are each written by one worker only.
+		wctx := &Context{Catalog: ctx.Catalog, Ctx: ctx.Ctx, Stats: ctx.Stats}
 		go func(part Operator, w *exchangeWorker) {
 			defer e.wg.Done()
 			defer close(w.out)
@@ -146,9 +154,12 @@ func (e *Exchange) drainPartition(ctx *Context, part Operator, out chan<- []stor
 }
 
 // Next implements Operator.
-func (e *Exchange) Next(ctx *Context) (storage.Row, error) {
+func (e *Exchange) Next(ctx *Context) (out storage.Row, err error) {
 	if !e.opened {
 		return nil, errNotOpen(e.Name())
+	}
+	if e.stats != nil {
+		defer e.stats.EndNext(ctx, e.stats.Begin(ctx), &out)
 	}
 	if e.parallel {
 		return e.nextParallel()

@@ -72,6 +72,10 @@ type Context struct {
 	// Placements maps tables to their simulated addresses for this
 	// execution (see PlaceCatalog); nil skips data-cache modeling.
 	Placements Placements
+	// Stats, when non-nil, collects per-operator runtime counters for this
+	// execution (see StatsCollector). Operators cache their handle at Open
+	// via StatsFor, so a nil collector costs one branch per invocation.
+	Stats *StatsCollector
 
 	// bitsState seeds the pseudo-random data-branch outcome stream.
 	bitsState uint64
@@ -102,6 +106,16 @@ func (c *Context) Canceled() error {
 		return fmt.Errorf("exec: query canceled: %w", err)
 	}
 	return nil
+}
+
+// StatsFor registers the operator behind key with this execution's stats
+// collector and returns its handle, or nil when collection is disabled.
+// Operators call it at Open and keep the handle for their hot path.
+func (c *Context) StatsFor(key any, name string) *OpStats {
+	if c.Stats == nil {
+		return nil
+	}
+	return c.Stats.Register(key, name)
 }
 
 // ExecModule replays one invocation of m on the simulated CPU; no-op when

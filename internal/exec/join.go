@@ -36,6 +36,7 @@ type NestLoopJoin struct {
 
 	module *codemodel.Module
 	label  byte
+	stats  *OpStats
 	arena  *Arena
 	schema storage.Schema
 
@@ -61,6 +62,10 @@ func (j *NestLoopJoin) SetTraceLabel(b byte) { j.label = b }
 
 // Open implements Operator.
 func (j *NestLoopJoin) Open(ctx *Context) error {
+	j.stats = ctx.StatsFor(j, j.Name())
+	if j.stats != nil {
+		defer j.stats.EndOpen(ctx, j.stats.Begin(ctx))
+	}
 	if err := j.Outer.Open(ctx); err != nil {
 		return err
 	}
@@ -74,9 +79,12 @@ func (j *NestLoopJoin) Open(ctx *Context) error {
 }
 
 // Next implements Operator.
-func (j *NestLoopJoin) Next(ctx *Context) (storage.Row, error) {
+func (j *NestLoopJoin) Next(ctx *Context) (res storage.Row, err error) {
 	if !j.opened {
 		return nil, errNotOpen(j.Name())
+	}
+	if j.stats != nil {
+		defer j.stats.EndNext(ctx, j.stats.Begin(ctx), &res)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(j.label, j.Name())
@@ -170,6 +178,7 @@ type HashJoin struct {
 	buildModule *codemodel.Module
 	probeModule *codemodel.Module
 	label       byte
+	stats       *OpStats
 	arena       *Arena
 	schema      storage.Schema
 
@@ -213,6 +222,10 @@ func (j *HashJoin) bucketAddr(key int64) uint64 {
 
 // Open implements Operator: it runs the build phase.
 func (j *HashJoin) Open(ctx *Context) error {
+	j.stats = ctx.StatsFor(j, j.Name())
+	if j.stats != nil {
+		defer j.stats.EndOpen(ctx, j.stats.Begin(ctx))
+	}
 	if err := j.Outer.Open(ctx); err != nil {
 		return err
 	}
@@ -257,9 +270,12 @@ func (j *HashJoin) Open(ctx *Context) error {
 }
 
 // Next implements Operator: the probe phase.
-func (j *HashJoin) Next(ctx *Context) (storage.Row, error) {
+func (j *HashJoin) Next(ctx *Context) (res storage.Row, err error) {
 	if !j.opened {
 		return nil, errNotOpen(j.Name())
+	}
+	if j.stats != nil {
+		defer j.stats.EndNext(ctx, j.stats.Begin(ctx), &res)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(j.label, j.Name())
@@ -342,6 +358,7 @@ type MergeJoin struct {
 
 	module *codemodel.Module
 	label  byte
+	stats  *OpStats
 	arena  *Arena
 	schema storage.Schema
 
@@ -374,6 +391,10 @@ func (j *MergeJoin) SetTraceLabel(b byte) { j.label = b }
 
 // Open implements Operator.
 func (j *MergeJoin) Open(ctx *Context) error {
+	j.stats = ctx.StatsFor(j, j.Name())
+	if j.stats != nil {
+		defer j.stats.EndOpen(ctx, j.stats.Begin(ctx))
+	}
 	if err := j.Left.Open(ctx); err != nil {
 		return err
 	}
@@ -450,9 +471,12 @@ func (j *MergeJoin) loadGroup(ctx *Context) error {
 }
 
 // Next implements Operator.
-func (j *MergeJoin) Next(ctx *Context) (storage.Row, error) {
+func (j *MergeJoin) Next(ctx *Context) (res storage.Row, err error) {
 	if !j.opened {
 		return nil, errNotOpen(j.Name())
+	}
+	if j.stats != nil {
+		defer j.stats.EndNext(ctx, j.stats.Begin(ctx), &res)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(j.label, j.Name())

@@ -16,6 +16,7 @@ type Material struct {
 
 	module *codemodel.Module
 	label  byte
+	stats  *OpStats
 
 	rows   []storage.Row
 	addrs  []uint64
@@ -34,6 +35,10 @@ func (m *Material) SetTraceLabel(b byte) { m.label = b }
 
 // Open implements Operator.
 func (m *Material) Open(ctx *Context) error {
+	m.stats = ctx.StatsFor(m, m.Name())
+	if m.stats != nil {
+		defer m.stats.EndOpen(ctx, m.stats.Begin(ctx))
+	}
 	if err := m.Child.Open(ctx); err != nil {
 		return err
 	}
@@ -44,9 +49,12 @@ func (m *Material) Open(ctx *Context) error {
 }
 
 // Next implements Operator.
-func (m *Material) Next(ctx *Context) (storage.Row, error) {
+func (m *Material) Next(ctx *Context) (out storage.Row, err error) {
 	if !m.opened {
 		return nil, errNotOpen(m.Name())
+	}
+	if m.stats != nil {
+		defer m.stats.EndNext(ctx, m.stats.Begin(ctx), &out)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(m.label, m.Name())
@@ -106,6 +114,7 @@ type Limit struct {
 	Child Operator
 	N     int
 
+	stats   *OpStats
 	emitted int
 	opened  bool
 }
@@ -117,15 +126,22 @@ func NewLimit(child Operator, n int) *Limit {
 
 // Open implements Operator.
 func (l *Limit) Open(ctx *Context) error {
+	l.stats = ctx.StatsFor(l, l.Name())
+	if l.stats != nil {
+		defer l.stats.EndOpen(ctx, l.stats.Begin(ctx))
+	}
 	l.emitted = 0
 	l.opened = true
 	return l.Child.Open(ctx)
 }
 
 // Next implements Operator.
-func (l *Limit) Next(ctx *Context) (storage.Row, error) {
+func (l *Limit) Next(ctx *Context) (out storage.Row, err error) {
 	if !l.opened {
 		return nil, errNotOpen(l.Name())
+	}
+	if l.stats != nil {
+		defer l.stats.EndNext(ctx, l.stats.Begin(ctx), &out)
 	}
 	if l.emitted >= l.N {
 		return nil, nil
@@ -166,6 +182,7 @@ type Values struct {
 	module *codemodel.Module
 	label  byte
 
+	stats  *OpStats
 	pos    int
 	opened bool
 }
@@ -183,16 +200,23 @@ func (v *Values) SetModule(m *codemodel.Module) { v.module = m }
 func (v *Values) SetTraceLabel(b byte) { v.label = b }
 
 // Open implements Operator.
-func (v *Values) Open(*Context) error {
+func (v *Values) Open(ctx *Context) error {
+	v.stats = ctx.StatsFor(v, v.Name())
+	if v.stats != nil {
+		defer v.stats.EndOpen(ctx, v.stats.Begin(ctx))
+	}
 	v.pos = 0
 	v.opened = true
 	return nil
 }
 
 // Next implements Operator.
-func (v *Values) Next(ctx *Context) (storage.Row, error) {
+func (v *Values) Next(ctx *Context) (out storage.Row, err error) {
 	if !v.opened {
 		return nil, errNotOpen(v.Name())
+	}
+	if v.stats != nil {
+		defer v.stats.EndNext(ctx, v.stats.Begin(ctx), &out)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(v.label, v.Name())

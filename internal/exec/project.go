@@ -19,6 +19,7 @@ type Filter struct {
 
 	module *codemodel.Module
 	label  byte
+	stats  *OpStats
 	opened bool
 }
 
@@ -32,14 +33,21 @@ func (f *Filter) SetTraceLabel(b byte) { f.label = b }
 
 // Open implements Operator.
 func (f *Filter) Open(ctx *Context) error {
+	f.stats = ctx.StatsFor(f, f.Name())
+	if f.stats != nil {
+		defer f.stats.EndOpen(ctx, f.stats.Begin(ctx))
+	}
 	f.opened = true
 	return f.Child.Open(ctx)
 }
 
 // Next implements Operator.
-func (f *Filter) Next(ctx *Context) (storage.Row, error) {
+func (f *Filter) Next(ctx *Context) (out storage.Row, err error) {
 	if !f.opened {
 		return nil, errNotOpen(f.Name())
+	}
+	if f.stats != nil {
+		defer f.stats.EndNext(ctx, f.stats.Begin(ctx), &out)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(f.label, f.Name())
@@ -90,6 +98,7 @@ type Project struct {
 
 	module *codemodel.Module
 	label  byte
+	stats  *OpStats
 	schema storage.Schema
 	arena  *Arena
 	opened bool
@@ -115,15 +124,22 @@ func (p *Project) SetTraceLabel(b byte) { p.label = b }
 
 // Open implements Operator.
 func (p *Project) Open(ctx *Context) error {
+	p.stats = ctx.StatsFor(p, p.Name())
+	if p.stats != nil {
+		defer p.stats.EndOpen(ctx, p.stats.Begin(ctx))
+	}
 	p.arena = NewArena(ctx.CPU)
 	p.opened = true
 	return p.Child.Open(ctx)
 }
 
 // Next implements Operator.
-func (p *Project) Next(ctx *Context) (storage.Row, error) {
+func (p *Project) Next(ctx *Context) (res storage.Row, err error) {
 	if !p.opened {
 		return nil, errNotOpen(p.Name())
+	}
+	if p.stats != nil {
+		defer p.stats.EndNext(ctx, p.stats.Begin(ctx), &res)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(p.label, p.Name())

@@ -23,6 +23,7 @@ type SeqScan struct {
 
 	module *codemodel.Module
 	label  byte
+	stats  *OpStats
 
 	pos    int
 	end    int
@@ -49,6 +50,10 @@ func (s *SeqScan) SetTraceLabel(b byte) { s.label = b }
 
 // Open implements Operator.
 func (s *SeqScan) Open(ctx *Context) error {
+	s.stats = ctx.StatsFor(s, s.Name())
+	if s.stats != nil {
+		defer s.stats.EndOpen(ctx, s.stats.Begin(ctx))
+	}
 	s.pos, s.end = 0, s.Table.NumRows()
 	if s.Span != nil {
 		s.pos, s.end = s.Span.Start, s.Span.End
@@ -59,9 +64,12 @@ func (s *SeqScan) Open(ctx *Context) error {
 }
 
 // Next implements Operator.
-func (s *SeqScan) Next(ctx *Context) (storage.Row, error) {
+func (s *SeqScan) Next(ctx *Context) (out storage.Row, err error) {
 	if !s.opened {
 		return nil, errNotOpen(s.Name())
+	}
+	if s.stats != nil {
+		defer s.stats.EndNext(ctx, s.stats.Begin(ctx), &out)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(s.label, s.Name())
@@ -182,6 +190,7 @@ type IndexLookup struct {
 	ia     *indexAccess
 	module *codemodel.Module
 	label  byte
+	stats  *OpStats
 
 	rids    []int
 	pos     int
@@ -203,6 +212,10 @@ func (s *IndexLookup) SetTraceLabel(b byte) { s.label = b }
 
 // Open implements Operator.
 func (s *IndexLookup) Open(ctx *Context) error {
+	s.stats = ctx.StatsFor(s, s.Name())
+	if s.stats != nil {
+		defer s.stats.EndOpen(ctx, s.stats.Begin(ctx))
+	}
 	s.ia.place(ctx)
 	s.rids = nil
 	s.pos = 0
@@ -234,9 +247,12 @@ func (s *IndexLookup) Rescan(key storage.Value) error {
 }
 
 // Next implements Operator.
-func (s *IndexLookup) Next(ctx *Context) (storage.Row, error) {
+func (s *IndexLookup) Next(ctx *Context) (out storage.Row, err error) {
 	if !s.opened {
 		return nil, errNotOpen(s.Name())
+	}
+	if s.stats != nil {
+		defer s.stats.EndNext(ctx, s.stats.Begin(ctx), &out)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(s.label, s.Name())
@@ -286,6 +302,7 @@ type IndexFullScan struct {
 	module *codemodel.Module
 	Filter expr.Expr // optional
 	label  byte
+	stats  *OpStats
 
 	cursor *btree.Cursor
 	opened bool
@@ -305,6 +322,10 @@ func (s *IndexFullScan) SetTraceLabel(b byte) { s.label = b }
 
 // Open implements Operator.
 func (s *IndexFullScan) Open(ctx *Context) error {
+	s.stats = ctx.StatsFor(s, s.Name())
+	if s.stats != nil {
+		defer s.stats.EndOpen(ctx, s.stats.Begin(ctx))
+	}
 	s.ia.place(ctx)
 	s.cursor = s.ia.tree.Min()
 	s.opened = true
@@ -312,9 +333,12 @@ func (s *IndexFullScan) Open(ctx *Context) error {
 }
 
 // Next implements Operator.
-func (s *IndexFullScan) Next(ctx *Context) (storage.Row, error) {
+func (s *IndexFullScan) Next(ctx *Context) (out storage.Row, err error) {
 	if !s.opened {
 		return nil, errNotOpen(s.Name())
+	}
+	if s.stats != nil {
+		defer s.stats.EndNext(ctx, s.stats.Begin(ctx), &out)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(s.label, s.Name())

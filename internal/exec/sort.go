@@ -27,6 +27,7 @@ type Sort struct {
 
 	module *codemodel.Module
 	label  byte
+	stats  *OpStats
 
 	rows   []storage.Row
 	keys   [][]storage.Value
@@ -46,6 +47,10 @@ func (s *Sort) SetTraceLabel(b byte) { s.label = b }
 
 // Open implements Operator.
 func (s *Sort) Open(ctx *Context) error {
+	s.stats = ctx.StatsFor(s, s.Name())
+	if s.stats != nil {
+		defer s.stats.EndOpen(ctx, s.stats.Begin(ctx))
+	}
 	if err := s.Child.Open(ctx); err != nil {
 		return err
 	}
@@ -132,9 +137,12 @@ func (s *Sort) fill(ctx *Context) error {
 }
 
 // Next implements Operator.
-func (s *Sort) Next(ctx *Context) (storage.Row, error) {
+func (s *Sort) Next(ctx *Context) (out storage.Row, err error) {
 	if !s.opened {
 		return nil, errNotOpen(s.Name())
+	}
+	if s.stats != nil {
+		defer s.stats.EndNext(ctx, s.stats.Begin(ctx), &out)
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(s.label, s.Name())

@@ -54,8 +54,23 @@ func moduleFor(n *Node, cm *codemodel.Catalog) (*codemodel.Module, error) {
 // Build compiles a plan into a pure-Volcano operator tree. cm may be nil
 // for uninstrumented execution.
 func Build(n *Node, cm *codemodel.Catalog) (exec.Operator, error) {
+	return buildRecorded(n, cm, nil)
+}
+
+// buildRecorded compiles like Build, additionally reporting every compiled
+// operator and the plan node it came from through record (nil disables).
+func buildRecorded(n *Node, cm *codemodel.Catalog, record func(op any, n *Node)) (exec.Operator, error) {
 	var rec func(*Node) (exec.Operator, error)
-	rec = func(c *Node) (exec.Operator, error) { return buildNode(c, cm, rec) }
+	rec = func(c *Node) (exec.Operator, error) {
+		op, err := buildNode(c, cm, rec)
+		if err != nil {
+			return nil, err
+		}
+		if record != nil {
+			record(op, c)
+		}
+		return op, nil
+	}
 	return rec(n)
 }
 

@@ -45,10 +45,42 @@ func Compile(n *Node, cm *codemodel.Catalog, engine Engine) (exec.Operator, erro
 	case EngineVolcano:
 		return Build(n, cm)
 	case EngineVec:
-		return compileMixed(n, cm)
+		return (&vecCompiler{cm: cm}).mixed(n)
 	default:
 		return nil, fmt.Errorf("plan: unknown engine %v", engine)
 	}
+}
+
+// CompiledPlan couples an executable operator tree with the mapping from
+// each compiled operator instance back to the plan node it implements —
+// the bridge EXPLAIN ANALYZE uses to join runtime stats with plan shape
+// (execution group, buffer size, estimates).
+type CompiledPlan struct {
+	Root exec.Operator
+	// Nodes maps operator instances (exec.Operator, vec.Operator or an
+	// adapter) to their plan node. Exchange partitions map to the cloned
+	// partition subtree nodes, which carry the same kinds and groups.
+	Nodes map[any]*Node
+}
+
+// CompileAnalyzed compiles like Compile while recording the operator→node
+// mapping needed to annotate runtime stats onto the plan tree.
+func CompileAnalyzed(n *Node, cm *codemodel.Catalog, engine Engine) (*CompiledPlan, error) {
+	cp := &CompiledPlan{Nodes: make(map[any]*Node)}
+	record := func(op any, node *Node) { cp.Nodes[op] = node }
+	var err error
+	switch engine {
+	case EngineVolcano:
+		cp.Root, err = buildRecorded(n, cm, record)
+	case EngineVec:
+		cp.Root, err = (&vecCompiler{cm: cm, record: record}).mixed(n)
+	default:
+		return nil, fmt.Errorf("plan: unknown engine %v", engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cp, nil
 }
 
 // vecCapable reports whether a node has a block-oriented variant. A Buffer
@@ -67,108 +99,152 @@ func vecCapable(n *Node) bool {
 	}
 }
 
-// compileVec compiles a vec-capable node into its batch operator, adapting
+// vecCompiler compiles plans for the vec engine. The optional record hook
+// reports every compiled operator (batch, Volcano and adapter alike) with
+// the plan node it implements — see CompileAnalyzed.
+type vecCompiler struct {
+	cm     *codemodel.Catalog
+	record func(op any, n *Node)
+}
+
+// rec reports one compiled operator when recording is enabled.
+func (vc *vecCompiler) rec(op any, n *Node) {
+	if vc.record != nil {
+		vc.record(op, n)
+	}
+}
+
+// vec compiles a vec-capable node into its batch operator, adapting
 // non-capable children behind FromVolcano.
-func compileVec(n *Node, cm *codemodel.Catalog) (vec.Operator, error) {
-	mod, err := moduleFor(n, cm)
+func (vc *vecCompiler) vec(n *Node) (vec.Operator, error) {
+	mod, err := moduleFor(n, vc.cm)
 	if err != nil {
 		return nil, err
 	}
 	switch n.Kind {
 	case KindBuffer:
-		return compileVec(n.Children[0], cm)
+		return vc.vec(n.Children[0])
 
 	case KindSeqScan:
-		return vec.NewSeqScanSpan(n.Table, n.Filter, mod, 0, n.ScanSpan), nil
+		op := vec.NewSeqScanSpan(n.Table, n.Filter, mod, 0, n.ScanSpan)
+		vc.rec(op, n)
+		return op, nil
 
 	case KindProject:
-		child, err := vecChild(n.Children[0], cm)
+		child, err := vc.child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return vec.NewProject(child, n.Projections, n.ProjNames, mod)
+		op, err := vec.NewProject(child, n.Projections, n.ProjNames, mod)
+		if err != nil {
+			return nil, err
+		}
+		vc.rec(op, n)
+		return op, nil
 
 	case KindAggregate:
-		child, err := vecChild(n.Children[0], cm)
+		child, err := vc.child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return vec.NewHashAggregate(child, n.GroupBy, n.Aggs, mod, 0)
+		op, err := vec.NewHashAggregate(child, n.GroupBy, n.Aggs, mod, 0)
+		if err != nil {
+			return nil, err
+		}
+		vc.rec(op, n)
+		return op, nil
 
 	case KindLimit:
-		child, err := vecChild(n.Children[0], cm)
+		child, err := vc.child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return vec.NewLimit(child, n.LimitN), nil
+		op := vec.NewLimit(child, n.LimitN)
+		vc.rec(op, n)
+		return op, nil
 
 	case KindHashJoin:
 		build := n.Children[1]
 		if build.Kind != KindHashBuild {
 			return nil, fmt.Errorf("plan: hash join inner must be a HashBuild node, got %v", build.Kind)
 		}
-		buildMod, err := moduleFor(build, cm)
+		buildMod, err := moduleFor(build, vc.cm)
 		if err != nil {
 			return nil, err
 		}
-		outer, err := vecChild(n.Children[0], cm)
+		outer, err := vc.child(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		inner, err := vecChild(build.Children[0], cm)
+		inner, err := vc.child(build.Children[0])
 		if err != nil {
 			return nil, err
 		}
-		return vec.NewHashJoin(outer, inner, n.OuterKey, build.InnerKey, buildMod, mod, 0), nil
+		op := vec.NewHashJoin(outer, inner, n.OuterKey, build.InnerKey, buildMod, mod, 0)
+		vc.rec(op, n)
+		return op, nil
 
 	case KindExchange:
 		subtrees := PartitionSubtrees(n)
 		parts := make([]vec.Operator, len(subtrees))
 		for i, p := range subtrees {
-			op, err := compileVec(p, cm)
+			op, err := vc.vec(p)
 			if err != nil {
 				return nil, err
 			}
 			parts[i] = op
 		}
-		return vec.NewExchange(parts)
+		op, err := vec.NewExchange(parts)
+		if err != nil {
+			return nil, err
+		}
+		vc.rec(op, n)
+		return op, nil
 
 	default:
 		return nil, fmt.Errorf("plan: %v has no batch variant", n.Kind)
 	}
 }
 
-// vecChild compiles a child for a batch operator: natively when capable,
+// child compiles a child for a batch operator: natively when capable,
 // otherwise the Volcano subtree behind a FromVolcano adapter (modeled with
 // the buffer module — the adapter is a buffer refill loop).
-func vecChild(n *Node, cm *codemodel.Catalog) (vec.Operator, error) {
+func (vc *vecCompiler) child(n *Node) (vec.Operator, error) {
 	if vecCapable(n) {
-		return compileVec(n, cm)
+		return vc.vec(n)
 	}
-	op, err := compileMixed(n, cm)
+	op, err := vc.mixed(n)
 	if err != nil {
 		return nil, err
 	}
-	bufMod, err := moduleFor(&Node{Kind: KindBuffer}, cm)
+	bufMod, err := moduleFor(&Node{Kind: KindBuffer}, vc.cm)
 	if err != nil {
 		return nil, err
 	}
-	return vec.NewFromVolcano(op, 0, bufMod), nil
+	adapter := vec.NewFromVolcano(op, 0, bufMod)
+	vc.rec(adapter, n)
+	return adapter, nil
 }
 
-// compileMixed compiles a node for the vec engine from the Volcano side:
-// capable subtrees become batch operators behind a ToVolcano adapter,
-// everything else builds its Volcano operator with children compiled the
-// same way.
-func compileMixed(n *Node, cm *codemodel.Catalog) (exec.Operator, error) {
+// mixed compiles a node for the vec engine from the Volcano side: capable
+// subtrees become batch operators behind a ToVolcano adapter, everything
+// else builds its Volcano operator with children compiled the same way.
+func (vc *vecCompiler) mixed(n *Node) (exec.Operator, error) {
 	if vecCapable(n) {
-		op, err := compileVec(n, cm)
+		op, err := vc.vec(n)
 		if err != nil {
 			return nil, err
 		}
-		return vec.NewToVolcano(op), nil
+		adapter := vec.NewToVolcano(op)
+		vc.rec(adapter, n)
+		return adapter, nil
 	}
-	return buildNode(n, cm, func(c *Node) (exec.Operator, error) {
-		return compileMixed(c, cm)
+	op, err := buildNode(n, vc.cm, func(c *Node) (exec.Operator, error) {
+		return vc.mixed(c)
 	})
+	if err != nil {
+		return nil, err
+	}
+	vc.rec(op, n)
+	return op, nil
 }

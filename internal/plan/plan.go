@@ -128,6 +128,12 @@ type Node struct {
 	// execution (per rescan for an IndexLookup).
 	EstRows float64
 
+	// Group is the 1-based execution-group id the refinement pass assigned
+	// (0 = not refined or not a group member). Inserted Buffer nodes carry
+	// the group of the subtree they batch. Clone-based passes (Parallelize,
+	// PartitionSubtrees) propagate it into partition subtrees.
+	Group int
+
 	schema storage.Schema
 }
 

@@ -62,7 +62,16 @@ func Refine(root *Node, cm *codemodel.Catalog, opt RefineOptions) (*Node, *core.
 		return nil, nil, err
 	}
 
-	// Wrap every flagged node in a Buffer.
+	// Annotate execution-group membership (1-based) so EXPLAIN ANALYZE can
+	// report which group each operator landed in.
+	for gi, g := range res.Groups {
+		for _, m := range g.Members {
+			m.Tag.(*Node).Group = gi + 1
+		}
+	}
+
+	// Wrap every flagged node in a Buffer; the buffer carries the group of
+	// the subtree it batches.
 	flagged := make(map[*Node]bool, len(res.BufferAbove))
 	for _, ni := range res.BufferAbove {
 		flagged[ni.Tag.(*Node)] = true
@@ -72,17 +81,25 @@ func Refine(root *Node, cm *codemodel.Catalog, opt RefineOptions) (*Node, *core.
 		for i, c := range n.Children {
 			wrap(c)
 			if flagged[c] {
-				n.Children[i] = Buffer(c, opt.BufferSize)
+				b := Buffer(c, opt.BufferSize)
+				b.Group = c.Group
+				n.Children[i] = b
 			}
 		}
 	}
 	wrap(cloned)
 	if flagged[cloned] {
 		// Cannot happen (the root group is never buffered), but guard it.
-		cloned = Buffer(cloned, opt.BufferSize)
+		b := Buffer(cloned, opt.BufferSize)
+		b.Group = cloned.Group
+		cloned = b
 	}
 	return cloned, res, nil
 }
+
+// Clone deep-copies a plan tree. Prepared statements use it to hand each
+// execution a private tree while caching the refined original.
+func Clone(n *Node) *Node { return clone(n) }
 
 // clone deep-copies the node tree (expressions and tables are shared —
 // they are immutable during planning).

@@ -25,6 +25,7 @@ type FromVolcano struct {
 
 	module *codemodel.Module // the "Buffer" module
 	size   int
+	stats  *exec.OpStats
 
 	out    batchBuf
 	bits   []uint64
@@ -43,6 +44,10 @@ func NewFromVolcano(child exec.Operator, size int, module *codemodel.Module) *Fr
 
 // Open implements Operator.
 func (f *FromVolcano) Open(ctx *exec.Context) error {
+	f.stats = ctx.StatsFor(f, f.Name())
+	if f.stats != nil {
+		defer f.stats.EndOpen(ctx, f.stats.Begin(ctx))
+	}
 	if err := f.Child.Open(ctx); err != nil {
 		return err
 	}
@@ -61,9 +66,12 @@ func (f *FromVolcano) Open(ctx *exec.Context) error {
 }
 
 // NextBatch implements Operator.
-func (f *FromVolcano) NextBatch(ctx *exec.Context) (Batch, error) {
+func (f *FromVolcano) NextBatch(ctx *exec.Context) (out Batch, err error) {
 	if !f.opened {
 		return nil, errNotOpen(f.Name())
+	}
+	if f.stats != nil {
+		defer f.stats.EndBatch(ctx, f.stats.Begin(ctx), (*[]storage.Row)(&out))
 	}
 	if f.eof {
 		return nil, nil
@@ -83,7 +91,12 @@ func (f *FromVolcano) NextBatch(ctx *exec.Context) (Batch, error) {
 		f.out.append(ctx, row)
 	}
 	ctx.ExecModuleBatch(f.module, f.bits)
-	return f.out.take(), nil
+	out = f.out.take()
+	if f.stats != nil && len(out) > 0 {
+		// Each NextBatch is one refill run over the Volcano subtree.
+		f.stats.Drained(len(out))
+	}
+	return out, nil
 }
 
 // Close implements Operator.
@@ -114,6 +127,7 @@ func (f *FromVolcano) Name() string {
 type ToVolcano struct {
 	Child Operator
 
+	stats  *exec.OpStats
 	batch  Batch
 	pos    int
 	eof    bool
@@ -127,15 +141,22 @@ func NewToVolcano(child Operator) *ToVolcano {
 
 // Open implements exec.Operator.
 func (t *ToVolcano) Open(ctx *exec.Context) error {
+	t.stats = ctx.StatsFor(t, t.Name())
+	if t.stats != nil {
+		defer t.stats.EndOpen(ctx, t.stats.Begin(ctx))
+	}
 	t.batch, t.pos, t.eof = nil, 0, false
 	t.opened = true
 	return t.Child.Open(ctx)
 }
 
 // Next implements exec.Operator.
-func (t *ToVolcano) Next(ctx *exec.Context) (storage.Row, error) {
+func (t *ToVolcano) Next(ctx *exec.Context) (out storage.Row, err error) {
 	if !t.opened {
 		return nil, fmt.Errorf("vec: %s.Next called before Open", t.Name())
+	}
+	if t.stats != nil {
+		defer t.stats.EndNext(ctx, t.stats.Begin(ctx), &out)
 	}
 	for t.pos >= len(t.batch) {
 		if t.eof {

@@ -23,6 +23,7 @@ type HashAggregate struct {
 
 	module *codemodel.Module
 	schema storage.Schema
+	stats  *exec.OpStats
 
 	groups       map[string]*aggGroup
 	order        []string
@@ -75,6 +76,10 @@ func NewHashAggregate(child Operator, groupBy []expr.Expr, aggs []expr.AggSpec, 
 
 // Open implements Operator.
 func (a *HashAggregate) Open(ctx *exec.Context) error {
+	a.stats = ctx.StatsFor(a, a.Name())
+	if a.stats != nil {
+		defer a.stats.EndOpen(ctx, a.stats.Begin(ctx))
+	}
 	if err := a.Child.Open(ctx); err != nil {
 		return err
 	}
@@ -164,9 +169,12 @@ func (a *HashAggregate) consume(ctx *exec.Context) error {
 }
 
 // NextBatch implements Operator.
-func (a *HashAggregate) NextBatch(ctx *exec.Context) (Batch, error) {
+func (a *HashAggregate) NextBatch(ctx *exec.Context) (res Batch, err error) {
 	if !a.opened {
 		return nil, errNotOpen(a.Name())
+	}
+	if a.stats != nil {
+		defer a.stats.EndBatch(ctx, a.stats.Begin(ctx), (*[]storage.Row)(&res))
 	}
 	if !a.done {
 		if err := a.consume(ctx); err != nil {

@@ -32,6 +32,7 @@ type Exchange struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
+	stats  *exec.OpStats
 	opened bool
 }
 
@@ -56,6 +57,11 @@ func NewExchange(parts []Operator) (*Exchange, error) {
 // Open implements Operator.
 func (e *Exchange) Open(ctx *exec.Context) error {
 	e.shutdown()
+	e.stats = ctx.StatsFor(e, e.Name())
+	if e.stats != nil {
+		e.stats.Partitions = len(e.parts)
+		defer e.stats.EndOpen(ctx, e.stats.Begin(ctx))
+	}
 	e.cur = 0
 	e.parallel = ctx.CPU == nil && ctx.Trace == nil
 	e.opened = true
@@ -69,7 +75,9 @@ func (e *Exchange) Open(ctx *exec.Context) error {
 		w := &exchangeWorker{out: make(chan Batch, exchangeDepth)}
 		e.workers[i] = w
 		e.wg.Add(1)
-		wctx := &exec.Context{Catalog: ctx.Catalog, Ctx: ctx.Ctx}
+		// Workers share the stats collector: registration is mutex-guarded
+		// and each partition operator's slot is written by its worker only.
+		wctx := &exec.Context{Catalog: ctx.Catalog, Ctx: ctx.Ctx, Stats: ctx.Stats}
 		go func(part Operator, w *exchangeWorker) {
 			defer e.wg.Done()
 			defer close(w.out)
@@ -110,9 +118,12 @@ func (e *Exchange) drainPartition(ctx *exec.Context, part Operator, out chan<- B
 }
 
 // NextBatch implements Operator.
-func (e *Exchange) NextBatch(ctx *exec.Context) (Batch, error) {
+func (e *Exchange) NextBatch(ctx *exec.Context) (out Batch, err error) {
 	if !e.opened {
 		return nil, errNotOpen(e.Name())
+	}
+	if e.stats != nil {
+		defer e.stats.EndBatch(ctx, e.stats.Begin(ctx), (*[]storage.Row)(&out))
 	}
 	if e.parallel {
 		return e.nextParallel()

@@ -41,6 +41,7 @@ type HashJoin struct {
 	probeModule *codemodel.Module
 	arena       *exec.Arena
 	schema      storage.Schema
+	stats       *exec.OpStats
 
 	table        map[int64][]storage.Row
 	bucketRegion uint64
@@ -87,6 +88,10 @@ func (j *HashJoin) bucketAddr(key int64) uint64 {
 
 // Open implements Operator: it runs the build phase.
 func (j *HashJoin) Open(ctx *exec.Context) error {
+	j.stats = ctx.StatsFor(j, j.Name())
+	if j.stats != nil {
+		defer j.stats.EndOpen(ctx, j.stats.Begin(ctx))
+	}
 	if err := j.Outer.Open(ctx); err != nil {
 		return err
 	}
@@ -135,9 +140,12 @@ func (j *HashJoin) Open(ctx *exec.Context) error {
 }
 
 // NextBatch implements Operator: the probe phase.
-func (j *HashJoin) NextBatch(ctx *exec.Context) (Batch, error) {
+func (j *HashJoin) NextBatch(ctx *exec.Context) (res Batch, err error) {
 	if !j.opened {
 		return nil, errNotOpen(j.Name())
+	}
+	if j.stats != nil {
+		defer j.stats.EndBatch(ctx, j.stats.Begin(ctx), (*[]storage.Row)(&res))
 	}
 	j.out.reset()
 	j.bits = j.bits[:0]

@@ -13,6 +13,7 @@ type Limit struct {
 	Child Operator
 	N     int
 
+	stats   *exec.OpStats
 	emitted int
 	opened  bool
 }
@@ -24,15 +25,22 @@ func NewLimit(child Operator, n int) *Limit {
 
 // Open implements Operator.
 func (l *Limit) Open(ctx *exec.Context) error {
+	l.stats = ctx.StatsFor(l, l.Name())
+	if l.stats != nil {
+		defer l.stats.EndOpen(ctx, l.stats.Begin(ctx))
+	}
 	l.emitted = 0
 	l.opened = true
 	return l.Child.Open(ctx)
 }
 
 // NextBatch implements Operator.
-func (l *Limit) NextBatch(ctx *exec.Context) (Batch, error) {
+func (l *Limit) NextBatch(ctx *exec.Context) (out Batch, err error) {
 	if !l.opened {
 		return nil, errNotOpen(l.Name())
+	}
+	if l.stats != nil {
+		defer l.stats.EndBatch(ctx, l.stats.Begin(ctx), (*[]storage.Row)(&out))
 	}
 	if l.emitted >= l.N {
 		return nil, nil

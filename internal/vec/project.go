@@ -22,6 +22,7 @@ type Project struct {
 	module *codemodel.Module
 	schema storage.Schema
 	arena  *exec.Arena
+	stats  *exec.OpStats
 
 	out    batchBuf
 	bits   []uint64
@@ -45,6 +46,10 @@ func NewProject(child Operator, exprs []expr.Expr, names []string, module *codem
 
 // Open implements Operator.
 func (p *Project) Open(ctx *exec.Context) error {
+	p.stats = ctx.StatsFor(p, p.Name())
+	if p.stats != nil {
+		defer p.stats.EndOpen(ctx, p.stats.Begin(ctx))
+	}
 	p.arena = exec.NewArena(ctx.CPU)
 	p.out.open(ctx, 0)
 	p.opened = true
@@ -52,9 +57,12 @@ func (p *Project) Open(ctx *exec.Context) error {
 }
 
 // NextBatch implements Operator.
-func (p *Project) NextBatch(ctx *exec.Context) (Batch, error) {
+func (p *Project) NextBatch(ctx *exec.Context) (res Batch, err error) {
 	if !p.opened {
 		return nil, errNotOpen(p.Name())
+	}
+	if p.stats != nil {
+		defer p.stats.EndBatch(ctx, p.stats.Begin(ctx), (*[]storage.Row)(&res))
 	}
 	in, err := p.Child.NextBatch(ctx)
 	if err != nil {

@@ -21,6 +21,7 @@ type SeqScan struct {
 	Span   *storage.Span // optional: scan only [Start, End)
 
 	module *codemodel.Module
+	stats  *exec.OpStats
 
 	out    batchBuf
 	bits   []uint64
@@ -48,6 +49,10 @@ func NewSeqScanSpan(table *storage.Table, filter expr.Expr, module *codemodel.Mo
 
 // Open implements Operator.
 func (s *SeqScan) Open(ctx *exec.Context) error {
+	s.stats = ctx.StatsFor(s, s.Name())
+	if s.stats != nil {
+		defer s.stats.EndOpen(ctx, s.stats.Begin(ctx))
+	}
 	s.out.open(ctx, s.size)
 	s.pos, s.end = 0, s.Table.NumRows()
 	if s.Span != nil {
@@ -59,9 +64,12 @@ func (s *SeqScan) Open(ctx *exec.Context) error {
 }
 
 // NextBatch implements Operator.
-func (s *SeqScan) NextBatch(ctx *exec.Context) (Batch, error) {
+func (s *SeqScan) NextBatch(ctx *exec.Context) (out Batch, err error) {
 	if !s.opened {
 		return nil, errNotOpen(s.Name())
+	}
+	if s.stats != nil {
+		defer s.stats.EndBatch(ctx, s.stats.Begin(ctx), (*[]storage.Row)(&out))
 	}
 	if err := ctx.Canceled(); err != nil {
 		return nil, err

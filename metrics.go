@@ -1,0 +1,62 @@
+package bufferdb
+
+import (
+	"fmt"
+	"io"
+
+	"bufferdb/internal/obsv"
+)
+
+// The process-wide metrics every query feeds, labeled by engine:
+//
+//	bufferdb_queries_total{engine="volcano"}   queries started
+//	bufferdb_query_errors_total{engine="..."}  queries that failed
+//	bufferdb_rows_emitted_total{engine="..."}  rows handed to consumers
+//	bufferdb_query_seconds{engine="..."}       wall-clock latency histogram
+//
+// Metrics cover Query, QueryStream, prepared statements and the deprecated
+// wrappers alike — they all share the same execution path.
+
+// metricQueries returns the started-queries counter for an engine.
+func metricQueries(e Engine) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf(`bufferdb_queries_total{engine=%q}`, engineLabel(e)))
+}
+
+// metricErrors returns the failed-queries counter for an engine.
+func metricErrors(e Engine) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf(`bufferdb_query_errors_total{engine=%q}`, engineLabel(e)))
+}
+
+// metricRows returns the emitted-rows counter for an engine.
+func metricRows(e Engine) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf(`bufferdb_rows_emitted_total{engine=%q}`, engineLabel(e)))
+}
+
+// metricLatency returns the query-latency histogram for an engine.
+func metricLatency(e Engine) *obsv.Histogram {
+	return obsv.Default.Histogram(fmt.Sprintf(`bufferdb_query_seconds{engine=%q}`, engineLabel(e)), obsv.DefLatencyBounds)
+}
+
+// engineLabel normalizes an engine name for metric labels.
+func engineLabel(e Engine) string {
+	if e == "" {
+		return string(EngineVolcano)
+	}
+	return string(e)
+}
+
+// WriteMetrics renders the process-wide metrics registry in the Prometheus
+// text exposition format. Hook it to an HTTP handler for scraping:
+//
+//	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+//	    _ = bufferdb.WriteMetrics(w)
+//	})
+func WriteMetrics(w io.Writer) error {
+	return obsv.Default.WritePrometheus(w)
+}
+
+// PublishExpvar publishes the metrics registry through the standard
+// library's expvar under the name "bufferdb". Safe to call more than once.
+func PublishExpvar() {
+	obsv.Default.PublishExpvar()
+}

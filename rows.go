@@ -12,7 +12,7 @@ import (
 
 // Rows is a streaming query result cursor, in the style of database/sql:
 //
-//	rows, err := db.QueryContext(ctx, query)
+//	rows, err := db.QueryStream(ctx, query)
 //	if err != nil { ... }
 //	defer rows.Close()
 //	for rows.Next() {
@@ -35,12 +35,88 @@ type Rows struct {
 	row    storage.Row
 	err    error
 	closed bool
+
+	// cp is the analyzed compilation (operator→node map) when the
+	// statement ran with WithStats; Stats reads it back.
+	cp *plan.CompiledPlan
+
+	// engineLabel, started and emitted feed the process-wide metrics
+	// registry when the cursor finishes.
+	engineLabel string
+	started     time.Time
+	emitted     uint64
+	metricsDone bool
 }
 
-// QueryContext plans (with refinement and parallelization per the options),
+// QueryStream plans (with refinement and parallelization per the options),
 // starts executing, and returns a streaming cursor. The context cancels the
 // query: once ctx is done, Next stops and Err reports an error wrapping the
-// context's. At most one QueryOptions value may be supplied.
+// context's.
+func (db *DB) QueryStream(ctx context.Context, query string, opts ...QueryOption) (*Rows, error) {
+	return db.queryStream(ctx, query, applyOptions(opts))
+}
+
+// queryStream is the shared ad-hoc execution path: plan, then run.
+func (db *DB) queryStream(ctx context.Context, query string, qo QueryOptions) (*Rows, error) {
+	p, err := db.plan(query, qo)
+	if err != nil {
+		return nil, err
+	}
+	return db.execPlan(ctx, p, qo)
+}
+
+// execPlan compiles an already-planned statement and starts executing it.
+// Prepared statements enter here with a cloned cached plan.
+func (db *DB) execPlan(ctx context.Context, p *plan.Node, qo QueryOptions) (*Rows, error) {
+	label, engine, err := db.planEngine(qo)
+	if err != nil {
+		return nil, err
+	}
+	metricQueries(label).Inc()
+
+	var op exec.Operator
+	var cp *plan.CompiledPlan
+	if qo.CollectStats {
+		cp, err = plan.CompileAnalyzed(p, nil, engine)
+		if err == nil {
+			op = cp.Root
+		}
+	} else {
+		op, err = plan.Compile(p, nil, engine)
+	}
+	if err != nil {
+		metricErrors(label).Inc()
+		return nil, err
+	}
+	ectx := &exec.Context{Catalog: db.cat, Ctx: ctx}
+	if qo.CollectStats {
+		ectx.Stats = exec.NewStatsCollector()
+	}
+	if err := op.Open(ectx); err != nil {
+		metricErrors(label).Inc()
+		return nil, err
+	}
+	schema := p.Schema()
+	cols := make([]string, len(schema))
+	for i, c := range schema {
+		cols[i] = c.Name
+	}
+	return &Rows{
+		ectx:        ectx,
+		op:          op,
+		cols:        cols,
+		schema:      schema,
+		cp:          cp,
+		engineLabel: string(label),
+		started:     time.Now(),
+	}, nil
+}
+
+// QueryContext is QueryStream with an options struct. At most one
+// QueryOptions value may be supplied.
+//
+// Deprecated: use QueryStream with functional options (WithEngine,
+// WithParallelism, …).
 func (db *DB) QueryContext(ctx context.Context, query string, opts ...QueryOptions) (*Rows, error) {
 	var qo QueryOptions
 	switch len(opts) {
@@ -50,32 +126,22 @@ func (db *DB) QueryContext(ctx context.Context, query string, opts ...QueryOptio
 	default:
 		return nil, fmt.Errorf("bufferdb: QueryContext accepts at most one QueryOptions, got %d", len(opts))
 	}
-	p, err := db.plan(query, qo)
-	if err != nil {
-		return nil, err
-	}
-	engine, err := db.planEngine()
-	if err != nil {
-		return nil, err
-	}
-	op, err := plan.Compile(p, nil, engine)
-	if err != nil {
-		return nil, err
-	}
-	ectx := &exec.Context{Catalog: db.cat, Ctx: ctx}
-	if err := op.Open(ectx); err != nil {
-		return nil, err
-	}
-	schema := p.Schema()
-	cols := make([]string, len(schema))
-	for i, c := range schema {
-		cols[i] = c.Name
-	}
-	return &Rows{ectx: ectx, op: op, cols: cols, schema: schema}, nil
+	return db.queryStream(ctx, query, qo)
 }
 
-// Columns names the result attributes, in Scan order.
-func (r *Rows) Columns() []string { return append([]string(nil), r.cols...) }
+// Columns names the result attributes, in Scan order. The returned slice is
+// cached and shared across calls; treat it as read-only.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Stats returns the per-operator runtime counters of this execution, or nil
+// unless the statement ran with WithStats. The tree is a snapshot; read it
+// after draining (or closing) the cursor for final numbers.
+func (r *Rows) Stats() *OpStat {
+	if r.cp == nil || r.ectx.Stats == nil {
+		return nil
+	}
+	return publicStat(plan.BuildReport(r.cp, r.ectx.Stats))
+}
 
 // Next advances to the next row. It returns false at end of stream, on
 // error, on cancellation, or after Close; consult Err afterwards to tell
@@ -99,6 +165,7 @@ func (r *Rows) Next() bool {
 		return false
 	}
 	r.row = row
+	r.emitted++
 	return true
 }
 
@@ -117,26 +184,27 @@ func (r *Rows) Scan(dest ...any) error {
 		return fmt.Errorf("bufferdb: Scan got %d destinations for %d columns", len(dest), len(r.row))
 	}
 	for i, d := range dest {
-		if err := scanValue(d, r.row[i], r.cols[i]); err != nil {
+		if err := scanValue(d, r.row[i], i, r.cols[i]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// scanValue assigns one column value to one destination pointer.
-func scanValue(dest any, v storage.Value, col string) error {
+// scanValue assigns one column value to one destination pointer. Errors
+// name the column by 0-based index and name.
+func scanValue(dest any, v storage.Value, idx int, col string) error {
 	if p, ok := dest.(*any); ok {
 		*p = nativeValue(v)
 		return nil
 	}
 	if v.Kind == storage.TypeNull {
-		return fmt.Errorf("bufferdb: Scan: column %s is NULL; use *any to receive NULLs", col)
+		return fmt.Errorf("bufferdb: Scan: column %d (%s) is NULL; use *any to receive NULLs", idx, col)
 	}
 	switch p := dest.(type) {
 	case *int64:
 		if v.Kind != storage.TypeInt64 {
-			return scanMismatch(col, v, "int64")
+			return scanMismatch(idx, col, v, "int64")
 		}
 		*p = v.I
 	case *float64:
@@ -146,28 +214,28 @@ func scanValue(dest any, v storage.Value, col string) error {
 		case storage.TypeInt64:
 			*p = float64(v.I)
 		default:
-			return scanMismatch(col, v, "float64")
+			return scanMismatch(idx, col, v, "float64")
 		}
 	case *string:
 		*p = v.String()
 	case *bool:
 		if v.Kind != storage.TypeBool {
-			return scanMismatch(col, v, "bool")
+			return scanMismatch(idx, col, v, "bool")
 		}
 		*p = v.Bool()
 	case *time.Time:
 		if v.Kind != storage.TypeDate {
-			return scanMismatch(col, v, "time.Time")
+			return scanMismatch(idx, col, v, "time.Time")
 		}
 		*p = time.Unix(v.I*86400, 0).UTC()
 	default:
-		return fmt.Errorf("bufferdb: Scan: unsupported destination type %T for column %s", dest, col)
+		return fmt.Errorf("bufferdb: Scan: unsupported destination type %T for column %d (%s)", dest, idx, col)
 	}
 	return nil
 }
 
-func scanMismatch(col string, v storage.Value, want string) error {
-	return fmt.Errorf("bufferdb: Scan: column %s has kind %v, destination wants %s", col, v.Kind, want)
+func scanMismatch(idx int, col string, v storage.Value, want string) error {
+	return fmt.Errorf("bufferdb: Scan: column %d (%s) has kind %v, destination wants %s", idx, col, v.Kind, want)
 }
 
 // Err returns the error, if any, that ended iteration. A query that ran to
@@ -186,14 +254,22 @@ func (r *Rows) Close() error {
 func (r *Rows) fail(err error) {
 	r.err = err
 	r.row = nil
+	metricErrors(Engine(r.engineLabel)).Inc()
 	_ = r.close()
 }
 
-// close shuts the operator tree down once.
+// close shuts the operator tree down once and settles the cursor's metrics.
 func (r *Rows) close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
-	return r.op.Close(r.ectx)
+	err := r.op.Close(r.ectx)
+	if !r.metricsDone {
+		r.metricsDone = true
+		e := Engine(r.engineLabel)
+		metricRows(e).Add(r.emitted)
+		metricLatency(e).Observe(time.Since(r.started).Seconds())
+	}
+	return err
 }
