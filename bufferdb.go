@@ -55,6 +55,14 @@ type Options struct {
 	// wrapped in a gather (exchange) operator after plan refinement;
 	// results are byte-identical to the sequential plan for any value.
 	Parallelism int
+	// MemoryLimit caps the bytes all concurrently executing queries may
+	// hold in tracked allocations (hash tables, sort buffers, buffer
+	// arrays, exchange queues). 0 disables process-wide tracking; queries
+	// then only track when they carry a WithMemoryBudget of their own.
+	MemoryLimit int64
+	// Admission bounds concurrent query execution; the zero value disables
+	// admission control. See AdmissionConfig.
+	Admission AdmissionConfig
 }
 
 // Engine names an execution model for WithEngine.
@@ -91,6 +99,24 @@ type QueryOptions struct {
 	// CollectStats attaches a per-operator stats collector to the
 	// execution; read the result through Rows.Stats.
 	CollectStats bool
+	// MemoryBudget caps this query's tracked allocations in bytes
+	// (0 = no per-query cap; the database MemoryLimit still applies).
+	MemoryBudget int64
+	// Timeout bounds the query's wall clock from admission through
+	// execution; expiry surfaces a wrapped ErrDeadlineExceeded.
+	Timeout time.Duration
+	// Deadline is the absolute form of Timeout; Timeout wins if both are
+	// set. The zero time means no deadline.
+	Deadline time.Time
+	// AdmissionWait overrides the database's admission WaitTimeout for
+	// this query (0 keeps the database default).
+	AdmissionWait time.Duration
+	// NoAdmission exempts this query from admission control — for
+	// operational queries that must run even on a saturated server.
+	NoAdmission bool
+	// FaultInjector injects deterministic faults at operator boundaries
+	// for testing; nil (the default) costs nothing. See NewFaultInjector.
+	FaultInjector *FaultInjector
 }
 
 // QueryOption is a functional per-statement option.
@@ -130,6 +156,40 @@ func WithStats() QueryOption {
 	return func(o *QueryOptions) { o.CollectStats = true }
 }
 
+// WithMemoryBudget caps this query's tracked allocations at n bytes;
+// exceeding it fails the query with a wrapped ErrMemoryBudgetExceeded.
+func WithMemoryBudget(n int64) QueryOption {
+	return func(o *QueryOptions) { o.MemoryBudget = n }
+}
+
+// WithTimeout bounds the query's wall clock, covering any admission wait;
+// expiry surfaces a wrapped ErrDeadlineExceeded.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(o *QueryOptions) { o.Timeout = d }
+}
+
+// WithDeadline is the absolute form of WithTimeout.
+func WithDeadline(t time.Time) QueryOption {
+	return func(o *QueryOptions) { o.Deadline = t }
+}
+
+// WithAdmissionWait overrides how long this query may queue for an
+// execution slot before being shed with ErrServerBusy.
+func WithAdmissionWait(d time.Duration) QueryOption {
+	return func(o *QueryOptions) { o.AdmissionWait = d }
+}
+
+// WithoutAdmission exempts this query from admission control.
+func WithoutAdmission() QueryOption {
+	return func(o *QueryOptions) { o.NoAdmission = true }
+}
+
+// WithFaultInjector attaches a deterministic fault injector to this
+// query's execution — a testing hook; see NewFaultInjector.
+func WithFaultInjector(fi *FaultInjector) QueryOption {
+	return func(o *QueryOptions) { o.FaultInjector = fi }
+}
+
 // applyOptions folds functional options into a QueryOptions value.
 func applyOptions(opts []QueryOption) QueryOptions {
 	var qo QueryOptions
@@ -154,6 +214,12 @@ type DB struct {
 	cm  *codemodel.Catalog
 
 	cal *calibration
+
+	// mem is the process-wide memory tracker (nil when Options.MemoryLimit
+	// is 0); every query's tracker is its child. adm is the admission
+	// controller (nil when disabled). Both are shared by WithEngine views.
+	mem *exec.MemTracker
+	adm *admission
 }
 
 // calibration is the lazily-computed refinement threshold, shared by every
@@ -198,13 +264,24 @@ func OpenTPCH(scaleFactor float64, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{
+	db := &DB{
 		opts: opts,
 		cat:  cat,
 		cm:   codemodel.NewCatalog(),
 		cal:  &calibration{},
-	}, nil
+		adm:  newAdmission(opts.Admission),
+	}
+	if opts.MemoryLimit > 0 {
+		db.mem = exec.NewMemTracker("process", opts.MemoryLimit, nil)
+	}
+	return db, nil
 }
+
+// TrackedBytes reports the bytes currently charged against the database's
+// memory limit by executing queries; 0 when no MemoryLimit is set. Idle
+// databases report 0 — a nonzero value with no query running indicates an
+// accounting leak.
+func (db *DB) TrackedBytes() int64 { return db.mem.Bytes() }
 
 // Tables lists the table names in the database.
 func (db *DB) Tables() []string {
@@ -319,6 +396,9 @@ func (db *DB) queryMaterialized(ctx context.Context, query string, qo QueryOptio
 		res.Rows = append(res.Rows, out)
 	}
 	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	if err := rows.Close(); err != nil {
 		return nil, err
 	}
 	return res, nil

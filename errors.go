@@ -3,6 +3,7 @@ package bufferdb
 import (
 	"errors"
 
+	"bufferdb/internal/exec"
 	"bufferdb/internal/sql"
 	"bufferdb/internal/storage"
 )
@@ -22,4 +23,20 @@ var (
 	ErrBadJoinMethod = sql.ErrBadJoinMethod
 	// ErrRowsClosed is returned by Rows.Scan after the cursor was closed.
 	ErrRowsClosed = errors.New("rows are closed")
+
+	// ErrMemoryBudgetExceeded is wrapped when a query's tracked allocations
+	// overrun its WithMemoryBudget value or the database's MemoryLimit.
+	ErrMemoryBudgetExceeded = exec.ErrMemoryBudgetExceeded
+	// ErrDeadlineExceeded is wrapped when a query's WithTimeout/WithDeadline
+	// clock (or the caller's context deadline) expires mid-execution. The
+	// chain also carries context.DeadlineExceeded.
+	ErrDeadlineExceeded = exec.ErrDeadlineExceeded
+	// ErrServerBusy is wrapped when admission control sheds a query: the
+	// wait queue is full, or no execution slot freed within the wait
+	// timeout.
+	ErrServerBusy = errors.New("server busy")
+	// ErrQueryPanic is wrapped when an operator panics during execution.
+	// The panic is contained — the plan tears down and the process keeps
+	// serving — and the stack is in the error text.
+	ErrQueryPanic = exec.ErrOperatorPanic
 )

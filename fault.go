@@ -1,0 +1,42 @@
+package bufferdb
+
+import "bufferdb/internal/faultinject"
+
+// Fault injection is the testing half of the resource governor: a
+// deterministic, seed-driven way to force errors, panics and latency at
+// operator boundaries inside a running query, so teardown paths, typed
+// error surfacing and leak-freedom can be exercised without touching the
+// engine. Attach an injector to one statement with WithFaultInjector; with
+// none attached the hooks are nil and cost nothing.
+
+// Fault describes one injection rule; see the field docs on the underlying
+// type for matching and scheduling semantics.
+type Fault = faultinject.Fault
+
+// FaultInjector holds a set of fault rules and deterministic scheduling
+// state. Build one with NewFaultInjector; a nil injector is inert.
+type FaultInjector = faultinject.Injector
+
+// Fault kinds for Fault.Kind.
+const (
+	// FaultError makes the matched call return an error wrapping
+	// ErrInjected.
+	FaultError = faultinject.KindError
+	// FaultPanic makes the matched call panic; the engine contains it and
+	// surfaces a wrapped ErrQueryPanic whose chain still carries
+	// ErrInjected.
+	FaultPanic = faultinject.KindPanic
+	// FaultLatency makes the matched call sleep for Fault.Latency.
+	FaultLatency = faultinject.KindLatency
+)
+
+// ErrInjected is the sentinel all injected faults wrap; test with
+// errors.Is to tell injected failures from organic ones.
+var ErrInjected = faultinject.ErrInjected
+
+// NewFaultInjector builds an injector over the given rules. The seed
+// drives probabilistic rules; with Prob zero or one, schedules are exact
+// and the seed is irrelevant.
+func NewFaultInjector(seed uint64, faults ...Fault) *FaultInjector {
+	return faultinject.New(seed, faults...)
+}

@@ -1,0 +1,214 @@
+package bufferdb
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/cpusim"
+	"bufferdb/internal/exec"
+	"bufferdb/internal/plan"
+	"bufferdb/internal/storage"
+)
+
+// streamQuery emits thousands of rows, so a cursor can be abandoned or
+// canceled genuinely mid-stream with exchange workers still producing.
+const streamQuery = `SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity > 10`
+
+// TestGoroutineLeakEarlyClose abandons a parallel cursor after a few rows
+// and asserts every exchange worker exits and every queued chunk's memory
+// charge is returned.
+func TestGoroutineLeakEarlyClose(t *testing.T) {
+	for _, e := range chaosEngines {
+		t.Run(string(e), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			rows, err := chaosDB.QueryStream(context.Background(), streamQuery,
+				WithEngine(e), WithParallelism(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if !rows.Next() {
+					t.Fatalf("stream ended after %d rows: %v", i, rows.Err())
+				}
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatalf("early Close: %v", err)
+			}
+			waitGoroutines(t, base)
+			if got := chaosDB.TrackedBytes(); got != 0 {
+				t.Fatalf("early Close leaked %d tracked bytes", got)
+			}
+		})
+	}
+}
+
+// TestGoroutineLeakCancellation cancels the caller's context mid-drain and
+// asserts the error surfaces through Err, workers exit, and memory settles.
+func TestGoroutineLeakCancellation(t *testing.T) {
+	for _, e := range chaosEngines {
+		t.Run(string(e), func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			rows, err := chaosDB.QueryStream(ctx, streamQuery,
+				WithEngine(e), WithParallelism(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				if !rows.Next() {
+					t.Fatalf("stream ended after %d rows: %v", i, rows.Err())
+				}
+			}
+			cancel()
+			for rows.Next() {
+			}
+			if err := rows.Err(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("want context.Canceled after mid-drain cancel, got %v", err)
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatalf("Close after cancellation: %v", err)
+			}
+			waitGoroutines(t, base)
+			if got := chaosDB.TrackedBytes(); got != 0 {
+				t.Fatalf("cancellation leaked %d tracked bytes", got)
+			}
+		})
+	}
+}
+
+// closeErrOp is a single-row operator whose Close fails, for exercising the
+// cursor's deferred-teardown-error contract without a real plan.
+type closeErrOp struct {
+	emitted  bool
+	closeErr error
+}
+
+func (o *closeErrOp) Open(*exec.Context) error { o.emitted = false; return nil }
+func (o *closeErrOp) Next(*exec.Context) (storage.Row, error) {
+	if o.emitted {
+		return nil, nil
+	}
+	o.emitted = true
+	return storage.Row{storage.NewInt(1)}, nil
+}
+func (o *closeErrOp) Close(*exec.Context) error { return o.closeErr }
+func (o *closeErrOp) Schema() storage.Schema {
+	return storage.Schema{{Name: "v", Type: storage.TypeInt64}}
+}
+func (o *closeErrOp) Children() []exec.Operator { return nil }
+func (o *closeErrOp) Name() string              { return "closeErrOp" }
+func (o *closeErrOp) Module() *codemodel.Module { return nil }
+func (o *closeErrOp) Blocking() bool            { return false }
+
+// TestRowsCloseErrorReporting drains a cursor whose plan fails on teardown:
+// the internal end-of-stream close must defer the error to the consumer's
+// first explicit Close, and the second Close must return nil.
+func TestRowsCloseErrorReporting(t *testing.T) {
+	boom := errors.New("close failed")
+	newRows := func() *Rows {
+		op := &closeErrOp{closeErr: boom}
+		ectx := &exec.Context{}
+		if err := op.Open(ectx); err != nil {
+			t.Fatal(err)
+		}
+		return &Rows{ectx: ectx, op: op, cols: []string{"v"}, schema: op.Schema()}
+	}
+
+	t.Run("drained", func(t *testing.T) {
+		rows := newRows()
+		for rows.Next() {
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatalf("Err after clean drain: %v", err)
+		}
+		if err := rows.Close(); !errors.Is(err, boom) {
+			t.Fatalf("first Close should surface the deferred teardown error, got %v", err)
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatalf("second Close should be nil, got %v", err)
+		}
+	})
+
+	t.Run("abandoned", func(t *testing.T) {
+		rows := newRows()
+		if err := rows.Close(); !errors.Is(err, boom) {
+			t.Fatalf("early Close should report the teardown error, got %v", err)
+		}
+		if err := rows.Close(); err != nil {
+			t.Fatalf("second Close should be nil, got %v", err)
+		}
+	})
+}
+
+// TestGovernorCountersBitIdentical runs the same plan on fresh simulated
+// CPUs with the governor disarmed and armed-but-idle (unlimited tracker, an
+// injector matching no site) and requires bit-identical hardware counters:
+// the governor must never touch the simulation.
+func TestGovernorCountersBitIdentical(t *testing.T) {
+	db := testDB
+	p, err := db.plan(chaosQuery, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(armed bool) cpusim.Counters {
+		cpu, err := cpusim.New(cpusim.DefaultConfig(), db.cm.TextSegmentBytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, err := plan.Build(plan.Clone(p), db.cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ectx := &exec.Context{
+			Catalog:    db.cat,
+			CPU:        cpu,
+			Placements: exec.PlaceCatalog(cpu, db.cat),
+		}
+		if armed {
+			ectx.Mem = exec.NewMemTracker("q", 0, nil)
+			ectx.Fault = NewFaultInjector(99, Fault{Match: "NoSuchOperator", Kind: FaultError})
+		}
+		if _, err := exec.Run(ectx, op); err != nil {
+			t.Fatal(err)
+		}
+		return cpu.Counters()
+	}
+	plain, armed := run(false), run(true)
+	if plain != armed {
+		t.Fatalf("governor perturbed the simulated counters:\nplain %+v\narmed %+v", plain, armed)
+	}
+}
+
+// BenchmarkGovernorOverhead compares end-to-end query latency with the
+// governor dormant (no limits: every hook is a nil check) against armed
+// (a per-query budget and a no-match injector). The dormant delta versus
+// the pre-governor engine is the headline number; run with -benchtime
+// sufficient for <2% resolution.
+func BenchmarkGovernorOverhead(b *testing.B) {
+	ctx := context.Background()
+	const q = `SELECT SUM(o_totalprice), COUNT(*) FROM lineitem, orders
+	 WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1995-06-17'`
+	for _, bc := range []struct {
+		name string
+		opts []QueryOption
+	}{
+		{"off", nil},
+		{"on", []QueryOption{
+			WithMemoryBudget(1 << 40),
+			WithFaultInjector(NewFaultInjector(1, Fault{Match: "NoSuchOperator", Kind: FaultError})),
+		}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := testDB.Query(ctx, q, bc.opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

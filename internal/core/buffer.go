@@ -9,6 +9,7 @@ import (
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/exec"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
 
@@ -37,10 +38,12 @@ type Buffer struct {
 	module *codemodel.Module
 	label  byte
 	stats  *exec.OpStats
+	fault  *faultinject.Point
 
-	buf []storage.Row
-	pos int
-	eof bool
+	buf     []storage.Row
+	memUsed int64
+	pos     int
+	eof     bool
 
 	// arrayRegion is the simulated address of the pointer array.
 	arrayRegion uint64
@@ -69,6 +72,15 @@ func (b *Buffer) Open(ctx *exec.Context) error {
 	if err := b.Child.Open(ctx); err != nil {
 		return err
 	}
+	b.fault = ctx.FaultPoint(b.Name() + ":next")
+	ctx.ShrinkMem(b.memUsed) // reopen without Close: release stale charge
+	b.memUsed = 0
+	// The pointer array is the buffer's only retained allocation: Size
+	// references at 8 bytes each, held until Close.
+	if err := ctx.GrowMem(int64(b.Size) * 8); err != nil {
+		return err
+	}
+	b.memUsed = int64(b.Size) * 8
 	if b.buf == nil {
 		b.buf = make([]storage.Row, 0, b.Size)
 	} else {
@@ -130,6 +142,9 @@ func (b *Buffer) Next(ctx *exec.Context) (out storage.Row, err error) {
 	if ctx.Trace != nil {
 		ctx.Trace.Record(b.label, b.Name())
 	}
+	if err := b.fault.Fire(); err != nil {
+		return nil, err
+	}
 	if b.pos >= len(b.buf) {
 		if b.eof {
 			return nil, nil
@@ -163,6 +178,8 @@ const serveUops = 12
 func (b *Buffer) Close(ctx *exec.Context) error {
 	b.opened = false
 	b.buf = nil
+	ctx.ShrinkMem(b.memUsed)
+	b.memUsed = 0
 	return b.Child.Close(ctx)
 }
 
@@ -212,6 +229,9 @@ func (b *CopyBuffer) Next(ctx *exec.Context) (out storage.Row, err error) {
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(b.label, b.Name())
+	}
+	if err := b.fault.Fire(); err != nil {
+		return nil, err
 	}
 	if b.pos >= len(b.buf) {
 		if b.eof {

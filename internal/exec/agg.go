@@ -7,6 +7,7 @@ import (
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/expr"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
 
@@ -27,10 +28,12 @@ type Aggregate struct {
 	module *codemodel.Module
 	label  byte
 	stats  *OpStats
+	fault  *faultinject.Point
 	schema storage.Schema
 
 	groups       map[string]*aggGroup
 	order        []string
+	memUsed      int64
 	pos          int
 	done         bool
 	opened       bool
@@ -85,8 +88,11 @@ func (a *Aggregate) Open(ctx *Context) error {
 	if err := a.Child.Open(ctx); err != nil {
 		return err
 	}
+	a.fault = ctx.FaultPoint(a.Name() + ":next")
 	a.groups = make(map[string]*aggGroup)
 	a.order = nil
+	ctx.ShrinkMem(a.memUsed) // reopen without Close: release stale charges
+	a.memUsed = 0
 	a.pos, a.done = 0, false
 	if ctx.CPU != nil && a.tableRegion == 0 {
 		a.tableBuckets = 1 << 12
@@ -111,6 +117,9 @@ func (a *Aggregate) groupAddr(key string) uint64 {
 // consume drains the child, folding every row into its group.
 func (a *Aggregate) consume(ctx *Context) error {
 	for {
+		if err := ctx.Canceled(); err != nil {
+			return err
+		}
 		row, err := a.Child.Next(ctx)
 		if err != nil {
 			return err
@@ -129,6 +138,14 @@ func (a *Aggregate) consume(ctx *Context) error {
 		key := keyVals.String()
 		grp, ok := a.groups[key]
 		if !ok {
+			// Each new group retains its key string, key row, and one
+			// accumulator per aggregate for the life of the operator.
+			charge := int64(len(key)) + int64(keyVals.ByteSize()) +
+				int64(len(a.Aggs))*hashEntryOverhead
+			if err := ctx.GrowMem(charge); err != nil {
+				return err
+			}
+			a.memUsed += charge
 			grp = &aggGroup{keyVals: keyVals, accs: make([]expr.Accumulator, len(a.Aggs))}
 			for i, spec := range a.Aggs {
 				acc, err := expr.NewAccumulator(spec)
@@ -176,6 +193,9 @@ func (a *Aggregate) Next(ctx *Context) (res storage.Row, err error) {
 	if ctx.Trace != nil {
 		ctx.Trace.Record(a.label, a.Name())
 	}
+	if err := a.fault.Fire(); err != nil {
+		return nil, err
+	}
 	if !a.done {
 		if err := a.consume(ctx); err != nil {
 			return nil, err
@@ -215,6 +235,8 @@ func (a *Aggregate) Close(ctx *Context) error {
 	a.opened = false
 	a.groups = nil
 	a.order = nil
+	ctx.ShrinkMem(a.memUsed)
+	a.memUsed = 0
 	return a.Child.Close(ctx)
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"bufferdb/internal/codemodel"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
 
@@ -45,6 +46,8 @@ type Exchange struct {
 	pos   int           // next row within chunk
 
 	stats  *OpStats
+	fault  *faultinject.Point
+	mem    *MemTracker // gather-side handle for releasing queued chunks
 	opened bool
 }
 
@@ -81,6 +84,8 @@ func (e *Exchange) Open(ctx *Context) error {
 		defer e.stats.EndOpen(ctx, e.stats.Begin(ctx))
 	}
 	e.cur, e.chunk, e.pos = 0, nil, 0
+	e.fault = ctx.FaultPoint(e.Name() + ":next")
+	e.mem = ctx.Mem
 	e.parallel = ctx.CPU == nil && ctx.Trace == nil
 	e.opened = true
 	if !e.parallel {
@@ -99,13 +104,22 @@ func (e *Exchange) Open(ctx *Context) error {
 		e.wg.Add(1)
 		// Each worker owns a private Context: its own branch-outcome
 		// stream and cancellation tick, sharing only the read-only
-		// catalog, the caller's cancellation context and (if enabled) the
-		// stats collector, whose registration path is mutex-guarded and
-		// whose per-operator slots are each written by one worker only.
-		wctx := &Context{Catalog: ctx.Catalog, Ctx: ctx.Ctx, Stats: ctx.Stats}
+		// catalog, the caller's cancellation context, the (mutex-guarded)
+		// memory tracker and fault injector, and (if enabled) the stats
+		// collector, whose registration path is mutex-guarded and whose
+		// per-operator slots are each written by one worker only.
+		wctx := &Context{Catalog: ctx.Catalog, Ctx: ctx.Ctx, Stats: ctx.Stats, Mem: ctx.Mem, Fault: ctx.Fault}
 		go func(part Operator, w *exchangeWorker) {
 			defer e.wg.Done()
 			defer close(w.out)
+			// Contain worker panics: the recover runs before close(w.out)
+			// (defers are LIFO), so the gather always observes w.err after
+			// the channel closes.
+			defer func() {
+				if r := recover(); r != nil {
+					w.err = PanicError(part.Name(), r)
+				}
+			}()
 			w.err = e.drainPartition(wctx, part, w.out)
 		}(part, w)
 	}
@@ -115,21 +129,29 @@ func (e *Exchange) Open(ctx *Context) error {
 // drainPartition runs one partition subtree to completion, sending chunks
 // until EOF, error, or shutdown.
 func (e *Exchange) drainPartition(ctx *Context, part Operator, out chan<- []storage.Row) error {
-	if err := part.Open(ctx); err != nil {
+	if err := CallOpen(ctx, part); err != nil {
 		return err
 	}
-	defer part.Close(ctx)
+	defer CallClose(ctx, part)
 	chunk := make([]storage.Row, 0, exchangeChunk)
-	flush := func() bool {
+	// Each queued chunk is charged against the query's budget before the
+	// send and released by the gather (or the shutdown drain) on receive, so
+	// tracked bytes bound the bytes actually parked in channels.
+	flush := func() (stopped bool, err error) {
 		if len(chunk) == 0 {
-			return true
+			return false, nil
+		}
+		bytes := RowsBytes(chunk)
+		if err := ctx.GrowMem(bytes); err != nil {
+			return false, err
 		}
 		select {
 		case out <- chunk:
 			chunk = make([]storage.Row, 0, exchangeChunk)
-			return true
+			return false, nil
 		case <-e.stop:
-			return false
+			ctx.ShrinkMem(bytes) // never handed off; return the charge
+			return true, nil
 		}
 	}
 	for {
@@ -141,14 +163,14 @@ func (e *Exchange) drainPartition(ctx *Context, part Operator, out chan<- []stor
 			return err
 		}
 		if row == nil {
-			if !flush() {
-				return nil
-			}
-			return nil
+			_, err := flush()
+			return err
 		}
 		chunk = append(chunk, row)
-		if len(chunk) == exchangeChunk && !flush() {
-			return nil
+		if len(chunk) == exchangeChunk {
+			if stopped, err := flush(); stopped || err != nil {
+				return err
+			}
 		}
 	}
 }
@@ -160,6 +182,9 @@ func (e *Exchange) Next(ctx *Context) (out storage.Row, err error) {
 	}
 	if e.stats != nil {
 		defer e.stats.EndNext(ctx, e.stats.Begin(ctx), &out)
+	}
+	if err := e.fault.Fire(); err != nil {
+		return nil, err
 	}
 	if e.parallel {
 		return e.nextParallel()
@@ -210,6 +235,7 @@ func (e *Exchange) nextParallel() (storage.Row, error) {
 		w := e.workers[e.cur]
 		chunk, ok := <-w.out
 		if ok {
+			e.mem.Shrink(RowsBytes(chunk))
 			e.chunk, e.pos = chunk, 0
 			continue
 		}
@@ -232,9 +258,11 @@ func (e *Exchange) shutdown() {
 		return
 	}
 	e.stopOnce.Do(func() { close(e.stop) })
-	// Drain so workers blocked on a full channel observe the stop.
+	// Drain so workers blocked on a full channel observe the stop,
+	// releasing the budget charge of every chunk still queued.
 	for _, w := range e.workers {
-		for range w.out {
+		for chunk := range w.out {
+			e.mem.Shrink(RowsBytes(chunk))
 		}
 	}
 	e.wg.Wait()

@@ -13,11 +13,13 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/cpusim"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
 
@@ -76,6 +78,15 @@ type Context struct {
 	// execution (see StatsCollector). Operators cache their handle at Open
 	// via StatsFor, so a nil collector costs one branch per invocation.
 	Stats *StatsCollector
+	// Mem, when non-nil, is this execution's memory tracker: allocating
+	// operators charge retained bytes through GrowMem and a query that
+	// outgrows its budget aborts with ErrMemoryBudgetExceeded. Nil runs
+	// unaccounted at zero cost.
+	Mem *MemTracker
+	// Fault, when non-nil, arms deterministic fault injection: operators
+	// resolve their sites at Open via FaultPoint and fire them on the hot
+	// path. Nil (the production configuration) costs one branch at Open.
+	Fault *faultinject.Injector
 
 	// bitsState seeds the pseudo-random data-branch outcome stream.
 	bitsState uint64
@@ -103,9 +114,55 @@ func (c *Context) Canceled() error {
 		return nil
 	}
 	if err := c.Ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("exec: %w: %w", ErrDeadlineExceeded, err)
+		}
 		return fmt.Errorf("exec: query canceled: %w", err)
 	}
 	return nil
+}
+
+// CanceledNow is Canceled without the polling throttle: it consults Ctx.Err
+// on every call. Batch-at-a-time operators use it — one check per ~1024-row
+// batch is already sparse, and throttling on top of batch granularity could
+// let a short query outrun its own deadline without ever noticing.
+func (c *Context) CanceledNow() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("exec: %w: %w", ErrDeadlineExceeded, err)
+		}
+		return fmt.Errorf("exec: query canceled: %w", err)
+	}
+	return nil
+}
+
+// GrowMem charges n retained bytes against the execution's memory tracker;
+// inert (and branch-cheap) when no tracker is attached.
+func (c *Context) GrowMem(n int64) error {
+	if c.Mem == nil {
+		return nil
+	}
+	return c.Mem.Grow(n)
+}
+
+// ShrinkMem returns n bytes to the execution's memory tracker.
+func (c *Context) ShrinkMem(n int64) {
+	if c.Mem != nil {
+		c.Mem.Shrink(n)
+	}
+}
+
+// FaultPoint resolves a fault-injection site against the execution's
+// injector; nil when injection is off or nothing matches the site, so
+// operators pay one branch per invocation, exactly like the stats handle.
+func (c *Context) FaultPoint(site string) *faultinject.Point {
+	if c.Fault == nil {
+		return nil
+	}
+	return c.Fault.Point(site)
 }
 
 // StatsFor registers the operator behind key with this execution's stats
@@ -278,20 +335,23 @@ func (t *Tracer) Legend() map[byte]string { return t.labels }
 // Run drives a plan to completion and returns all result rows. It opens,
 // drains and closes the root operator. When ctx carries a cancellation
 // context, the pull loop polls it and aborts with an error wrapping the
-// context's, closing the plan on the way out.
+// context's, closing the plan on the way out. Panics anywhere in the
+// operator tree are contained: the plan is torn down and the error wraps
+// ErrOperatorPanic.
 func Run(ctx *Context, root Operator) ([]storage.Row, error) {
-	if err := root.Open(ctx); err != nil {
+	if err := CallOpen(ctx, root); err != nil {
+		_ = CallClose(ctx, root)
 		return nil, err
 	}
 	var out []storage.Row
 	for {
 		if err := ctx.Canceled(); err != nil {
-			_ = root.Close(ctx)
+			_ = CallClose(ctx, root)
 			return nil, err
 		}
-		row, err := root.Next(ctx)
+		row, err := CallNext(ctx, root)
 		if err != nil {
-			_ = root.Close(ctx)
+			_ = CallClose(ctx, root)
 			return nil, err
 		}
 		if row == nil {

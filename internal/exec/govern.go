@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"bufferdb/internal/storage"
+)
+
+// ErrDeadlineExceeded is the sentinel wrapped when a query's deadline
+// expires mid-execution. The wrapped chain also carries
+// context.DeadlineExceeded, so both errors.Is tests hold.
+var ErrDeadlineExceeded = errors.New("query deadline exceeded")
+
+// ErrOperatorPanic is the sentinel wrapped when an operator panics inside a
+// drive loop or an exchange worker. The panic is contained: the plan tears
+// down, goroutines exit, and the query surfaces a typed error instead of
+// crashing the process.
+var ErrOperatorPanic = errors.New("operator panicked")
+
+// PanicError converts a recovered panic value into the typed, wrapped error
+// the drive loops surface. When the panic value is itself an error (the
+// fault injector's PanicValue, a runtime error, …) it stays on the unwrap
+// chain so callers can still errors.Is against it.
+func PanicError(name string, recovered any) error {
+	if err, ok := recovered.(error); ok {
+		return fmt.Errorf("exec: %w in %s: %w\n%s", ErrOperatorPanic, name, err, debug.Stack())
+	}
+	return fmt.Errorf("exec: %w in %s: %v\n%s", ErrOperatorPanic, name, recovered, debug.Stack())
+}
+
+// CallOpen invokes op.Open, converting a panic into a wrapped
+// ErrOperatorPanic.
+func CallOpen(ctx *Context, op Operator) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = PanicError(op.Name(), r)
+		}
+	}()
+	return op.Open(ctx)
+}
+
+// CallNext invokes op.Next, converting a panic into a wrapped
+// ErrOperatorPanic.
+func CallNext(ctx *Context, op Operator) (row storage.Row, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			row, err = nil, PanicError(op.Name(), r)
+		}
+	}()
+	return op.Next(ctx)
+}
+
+// CallClose invokes op.Close, converting a panic into a wrapped
+// ErrOperatorPanic — teardown must never take the process down with it.
+func CallClose(ctx *Context, op Operator) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = PanicError(op.Name(), r)
+		}
+	}()
+	return op.Close(ctx)
+}

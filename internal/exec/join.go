@@ -5,8 +5,14 @@ import (
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/expr"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
+
+// hashEntryOverhead approximates the per-row bookkeeping of the Go map
+// bucket and row-slice header a hash join or aggregate retains alongside
+// the tuple bytes it charges to the memory tracker.
+const hashEntryOverhead = 48
 
 // keyEval evaluates a join key expression, enforcing the engine's rule that
 // equi-join keys are BIGINT-typed (all TPC-H keys are).
@@ -37,6 +43,7 @@ type NestLoopJoin struct {
 	module *codemodel.Module
 	label  byte
 	stats  *OpStats
+	fault  *faultinject.Point
 	arena  *Arena
 	schema storage.Schema
 
@@ -72,6 +79,7 @@ func (j *NestLoopJoin) Open(ctx *Context) error {
 	if err := j.Inner.Open(ctx); err != nil {
 		return err
 	}
+	j.fault = ctx.FaultPoint(j.Name() + ":next")
 	j.arena = NewArena(ctx.CPU)
 	j.outerRow = nil
 	j.opened = true
@@ -88,6 +96,9 @@ func (j *NestLoopJoin) Next(ctx *Context) (res storage.Row, err error) {
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(j.label, j.Name())
+	}
+	if err := j.fault.Fire(); err != nil {
+		return nil, err
 	}
 	for {
 		if j.outerRow == nil {
@@ -179,10 +190,13 @@ type HashJoin struct {
 	probeModule *codemodel.Module
 	label       byte
 	stats       *OpStats
+	fault       *faultinject.Point
+	buildFault  *faultinject.Point
 	arena       *Arena
 	schema      storage.Schema
 
 	table        map[int64][]storage.Row
+	memUsed      int64
 	bucketRegion uint64
 	bucketCount  uint64
 
@@ -232,8 +246,12 @@ func (j *HashJoin) Open(ctx *Context) error {
 	if err := j.Inner.Open(ctx); err != nil {
 		return err
 	}
+	j.fault = ctx.FaultPoint(j.Name() + ":next")
+	j.buildFault = ctx.FaultPoint(j.Name() + ":build")
 	j.arena = NewArena(ctx.CPU)
 	j.table = make(map[int64][]storage.Row)
+	ctx.ShrinkMem(j.memUsed) // reopen without Close: release stale charges
+	j.memUsed = 0
 	j.current, j.outerRow = nil, nil
 	j.currentPos = 0
 
@@ -245,6 +263,14 @@ func (j *HashJoin) Open(ctx *Context) error {
 	}
 	buildArena := NewArena(ctx.CPU)
 	for {
+		// The build is a blocking loop: poll cancellation and deadlines so
+		// a large build aborts promptly instead of outliving its query.
+		if err := ctx.Canceled(); err != nil {
+			return err
+		}
+		if err := j.buildFault.Fire(); err != nil {
+			return err
+		}
 		row, err := j.Inner.Next(ctx)
 		if err != nil {
 			return err
@@ -260,6 +286,11 @@ func (j *HashJoin) Open(ctx *Context) error {
 		if !ok {
 			continue
 		}
+		charge := int64(row.ByteSize()) + hashEntryOverhead
+		if err := ctx.GrowMem(charge); err != nil {
+			return err
+		}
+		j.memUsed += charge
 		j.table[key] = append(j.table[key], row)
 		// Copy the tuple into hash-table memory and link the bucket.
 		ctx.Write(buildArena.Alloc(row.ByteSize()), row.ByteSize())
@@ -279,6 +310,9 @@ func (j *HashJoin) Next(ctx *Context) (res storage.Row, err error) {
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(j.label, j.Name())
+	}
+	if err := j.fault.Fire(); err != nil {
+		return nil, err
 	}
 	for {
 		if j.currentPos < len(j.current) {
@@ -318,6 +352,8 @@ func (j *HashJoin) Next(ctx *Context) (res storage.Row, err error) {
 func (j *HashJoin) Close(ctx *Context) error {
 	j.opened = false
 	j.table = nil
+	ctx.ShrinkMem(j.memUsed)
+	j.memUsed = 0
 	err1 := j.Outer.Close(ctx)
 	err2 := j.Inner.Close(ctx)
 	if err1 != nil {
@@ -359,6 +395,7 @@ type MergeJoin struct {
 	module *codemodel.Module
 	label  byte
 	stats  *OpStats
+	fault  *faultinject.Point
 	arena  *Arena
 	schema storage.Schema
 
@@ -401,6 +438,7 @@ func (j *MergeJoin) Open(ctx *Context) error {
 	if err := j.Right.Open(ctx); err != nil {
 		return err
 	}
+	j.fault = ctx.FaultPoint(j.Name() + ":next")
 	j.arena = NewArena(ctx.CPU)
 	j.leftRow, j.rightRow, j.group = nil, nil, nil
 	j.groupPos, j.rightDone = 0, false
@@ -480,6 +518,9 @@ func (j *MergeJoin) Next(ctx *Context) (res storage.Row, err error) {
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(j.label, j.Name())
+	}
+	if err := j.fault.Fire(); err != nil {
+		return nil, err
 	}
 	// Prime inputs on the first call.
 	if j.leftRow == nil && j.group == nil && !j.rightDone {

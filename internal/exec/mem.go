@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bufferdb/internal/storage"
+)
+
+// ErrMemoryBudgetExceeded is the sentinel wrapped by every memory-budget
+// rejection. The dynamic error names the tracker, the request and the
+// budget; callers test errors.Is(err, ErrMemoryBudgetExceeded).
+var ErrMemoryBudgetExceeded = errors.New("memory budget exceeded")
+
+// MemTracker is a hierarchical memory accountant: every allocating operator
+// charges the bytes it retains (buffer pointer arrays, hash tables, sort
+// buffers, exchange queues) against its execution's tracker, which in turn
+// charges its parent — typically a per-query tracker under a process-wide
+// one, mirroring the MonetDB/X100-style per-operator memory discipline.
+//
+// Grow returns a typed error instead of allocating past the limit, so a
+// query that outgrows its budget fails cleanly while the memory it did
+// charge is returned on operator Close (or, as a backstop, by ReleaseAll
+// when the cursor shuts down).
+//
+// A MemTracker is safe for concurrent use — exchange workers charge their
+// parent query's tracker from multiple goroutines. A nil *MemTracker is
+// inert: every method is a no-op, which is what keeps the governor off the
+// hot path when no limits are configured.
+type MemTracker struct {
+	name   string
+	limit  int64 // 0 = unlimited (accounting only)
+	parent *MemTracker
+
+	mu   sync.Mutex
+	used int64
+	peak int64
+}
+
+// NewMemTracker builds a tracker. limit 0 tracks without bounding; parent
+// may be nil (a root tracker, e.g. the process-wide one).
+func NewMemTracker(name string, limit int64, parent *MemTracker) *MemTracker {
+	return &MemTracker{name: name, limit: limit, parent: parent}
+}
+
+// Grow charges n bytes, propagating to the parent. On rejection — by this
+// tracker's limit or any ancestor's — nothing is charged anywhere and the
+// returned error wraps ErrMemoryBudgetExceeded.
+func (t *MemTracker) Grow(n int64) error {
+	if t == nil || n == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	if t.limit > 0 && t.used+n > t.limit {
+		used, limit := t.used, t.limit
+		t.mu.Unlock()
+		return fmt.Errorf("exec: %w: %s needs %d bytes with %d of %d in use",
+			ErrMemoryBudgetExceeded, t.name, n, used, limit)
+	}
+	t.used += n
+	if t.used > t.peak {
+		t.peak = t.used
+	}
+	t.mu.Unlock()
+	if err := t.parent.Grow(n); err != nil {
+		t.mu.Lock()
+		t.used -= n
+		t.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Shrink returns n bytes to the tracker and its ancestors.
+func (t *MemTracker) Shrink(n int64) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.used -= n
+	if t.used < 0 {
+		// Over-shrink indicates an accounting bug; clamp rather than let a
+		// later query borrow phantom headroom.
+		n += t.used
+		t.used = 0
+	}
+	t.mu.Unlock()
+	t.parent.Shrink(n)
+}
+
+// Bytes reports the currently charged bytes.
+func (t *MemTracker) Bytes() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.used
+}
+
+// Peak reports the high-water mark.
+func (t *MemTracker) Peak() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peak
+}
+
+// ReleaseAll returns every charged byte to the ancestors and zeroes the
+// tracker — the cursor-shutdown backstop that guarantees a failed (or
+// panicked) query leaks nothing into the process-wide accounting even when
+// some operator never reached Close.
+func (t *MemTracker) ReleaseAll() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	n := t.used
+	t.used = 0
+	t.mu.Unlock()
+	if n > 0 {
+		t.parent.Shrink(n)
+	}
+}
+
+// RowsBytes sums the byte sizes of a row slice — the charge unit for
+// exchange chunks and other retained row batches.
+func RowsBytes(rows []storage.Row) int64 {
+	var n int64
+	for _, r := range rows {
+		n += int64(r.ByteSize())
+	}
+	return n
+}

@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestMemTrackerBudget(t *testing.T) {
+	q := NewMemTracker("query", 100, nil)
+	if err := q.Grow(60); err != nil {
+		t.Fatalf("Grow(60): %v", err)
+	}
+	if err := q.Grow(50); !errors.Is(err, ErrMemoryBudgetExceeded) {
+		t.Fatalf("Grow past budget: got %v, want ErrMemoryBudgetExceeded", err)
+	}
+	if got := q.Bytes(); got != 60 {
+		t.Fatalf("rejected Grow changed accounting: %d, want 60", got)
+	}
+	q.Shrink(60)
+	if got := q.Bytes(); got != 0 {
+		t.Fatalf("Bytes after Shrink = %d, want 0", got)
+	}
+	if got := q.Peak(); got != 60 {
+		t.Fatalf("Peak = %d, want 60", got)
+	}
+}
+
+func TestMemTrackerHierarchy(t *testing.T) {
+	proc := NewMemTracker("process", 100, nil)
+	a := NewMemTracker("a", 0, proc)
+	b := NewMemTracker("b", 0, proc)
+	if err := a.Grow(70); err != nil {
+		t.Fatalf("a.Grow: %v", err)
+	}
+	// b is unbudgeted but the parent rejects; nothing may stick anywhere.
+	if err := b.Grow(40); !errors.Is(err, ErrMemoryBudgetExceeded) {
+		t.Fatalf("parent limit not enforced: %v", err)
+	}
+	if got := b.Bytes(); got != 0 {
+		t.Fatalf("failed child charge stuck: %d", got)
+	}
+	if got := proc.Bytes(); got != 70 {
+		t.Fatalf("process bytes = %d, want 70", got)
+	}
+	a.ReleaseAll()
+	if got := proc.Bytes(); got != 0 {
+		t.Fatalf("ReleaseAll left %d bytes on the parent", got)
+	}
+}
+
+func TestMemTrackerNilInert(t *testing.T) {
+	var tr *MemTracker
+	if err := tr.Grow(1 << 40); err != nil {
+		t.Fatalf("nil Grow: %v", err)
+	}
+	tr.Shrink(5)
+	tr.ReleaseAll()
+	if tr.Bytes() != 0 || tr.Peak() != 0 {
+		t.Fatalf("nil tracker reported usage")
+	}
+}
+
+func TestMemTrackerConcurrent(t *testing.T) {
+	proc := NewMemTracker("process", 0, nil)
+	q := NewMemTracker("query", 0, proc)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := q.Grow(16); err != nil {
+					t.Errorf("Grow: %v", err)
+					return
+				}
+			}
+			for i := 0; i < 1000; i++ {
+				q.Shrink(16)
+			}
+		}()
+	}
+	wg.Wait()
+	if q.Bytes() != 0 || proc.Bytes() != 0 {
+		t.Fatalf("concurrent grow/shrink left %d/%d bytes", q.Bytes(), proc.Bytes())
+	}
+}
+
+func TestMemTrackerOverShrinkClamps(t *testing.T) {
+	proc := NewMemTracker("process", 0, nil)
+	q := NewMemTracker("query", 0, proc)
+	if err := q.Grow(10); err != nil {
+		t.Fatal(err)
+	}
+	q.Shrink(25) // accounting bug upstream: must clamp, not go negative
+	if got := q.Bytes(); got != 0 {
+		t.Fatalf("Bytes = %d, want 0", got)
+	}
+	if got := proc.Bytes(); got != 0 {
+		t.Fatalf("parent Bytes = %d, want 0", got)
+	}
+}

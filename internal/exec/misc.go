@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"bufferdb/internal/codemodel"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
 
@@ -17,12 +18,14 @@ type Material struct {
 	module *codemodel.Module
 	label  byte
 	stats  *OpStats
+	fault  *faultinject.Point
 
-	rows   []storage.Row
-	addrs  []uint64
-	pos    int
-	filled bool
-	opened bool
+	rows    []storage.Row
+	addrs   []uint64
+	memUsed int64
+	pos     int
+	filled  bool
+	opened  bool
 }
 
 // NewMaterial constructs the operator; module may be nil.
@@ -42,7 +45,10 @@ func (m *Material) Open(ctx *Context) error {
 	if err := m.Child.Open(ctx); err != nil {
 		return err
 	}
+	m.fault = ctx.FaultPoint(m.Name() + ":next")
 	m.rows, m.addrs = nil, nil
+	ctx.ShrinkMem(m.memUsed) // reopen without Close: release stale charges
+	m.memUsed = 0
 	m.pos, m.filled = 0, false
 	m.opened = true
 	return nil
@@ -59,9 +65,15 @@ func (m *Material) Next(ctx *Context) (out storage.Row, err error) {
 	if ctx.Trace != nil {
 		ctx.Trace.Record(m.label, m.Name())
 	}
+	if err := m.fault.Fire(); err != nil {
+		return nil, err
+	}
 	if !m.filled {
 		arena := NewArena(ctx.CPU)
 		for {
+			if err := ctx.Canceled(); err != nil {
+				return nil, err
+			}
 			row, err := m.Child.Next(ctx)
 			if err != nil {
 				return nil, err
@@ -69,6 +81,10 @@ func (m *Material) Next(ctx *Context) (out storage.Row, err error) {
 			if row == nil {
 				break
 			}
+			if err := ctx.GrowMem(int64(row.ByteSize())); err != nil {
+				return nil, err
+			}
+			m.memUsed += int64(row.ByteSize())
 			addr := arena.Alloc(row.ByteSize())
 			ctx.Write(addr, row.ByteSize())
 			ctx.ExecModule(m.module, ctx.DataBits(true))
@@ -91,6 +107,8 @@ func (m *Material) Next(ctx *Context) (out storage.Row, err error) {
 func (m *Material) Close(ctx *Context) error {
 	m.opened = false
 	m.rows, m.addrs = nil, nil
+	ctx.ShrinkMem(m.memUsed)
+	m.memUsed = 0
 	return m.Child.Close(ctx)
 }
 

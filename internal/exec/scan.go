@@ -6,6 +6,7 @@ import (
 	"bufferdb/internal/btree"
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/expr"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
 
@@ -24,6 +25,7 @@ type SeqScan struct {
 	module *codemodel.Module
 	label  byte
 	stats  *OpStats
+	fault  *faultinject.Point
 
 	pos    int
 	end    int
@@ -54,6 +56,7 @@ func (s *SeqScan) Open(ctx *Context) error {
 	if s.stats != nil {
 		defer s.stats.EndOpen(ctx, s.stats.Begin(ctx))
 	}
+	s.fault = ctx.FaultPoint(s.Name() + ":next")
 	s.pos, s.end = 0, s.Table.NumRows()
 	if s.Span != nil {
 		s.pos, s.end = s.Span.Start, s.Span.End
@@ -73,6 +76,9 @@ func (s *SeqScan) Next(ctx *Context) (out storage.Row, err error) {
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(s.label, s.Name())
+	}
+	if err := s.fault.Fire(); err != nil {
+		return nil, err
 	}
 	for s.pos < s.end {
 		// A selective filter can reject long stretches without returning;
@@ -191,6 +197,7 @@ type IndexLookup struct {
 	module *codemodel.Module
 	label  byte
 	stats  *OpStats
+	fault  *faultinject.Point
 
 	rids    []int
 	pos     int
@@ -216,6 +223,7 @@ func (s *IndexLookup) Open(ctx *Context) error {
 	if s.stats != nil {
 		defer s.stats.EndOpen(ctx, s.stats.Begin(ctx))
 	}
+	s.fault = ctx.FaultPoint(s.Name() + ":next")
 	s.ia.place(ctx)
 	s.rids = nil
 	s.pos = 0
@@ -256,6 +264,9 @@ func (s *IndexLookup) Next(ctx *Context) (out storage.Row, err error) {
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(s.label, s.Name())
+	}
+	if err := s.fault.Fire(); err != nil {
+		return nil, err
 	}
 	if s.pos == 0 {
 		// Model the root-to-leaf descent on the first fetch of a rescan.
@@ -303,6 +314,7 @@ type IndexFullScan struct {
 	Filter expr.Expr // optional
 	label  byte
 	stats  *OpStats
+	fault  *faultinject.Point
 
 	cursor *btree.Cursor
 	opened bool
@@ -326,6 +338,7 @@ func (s *IndexFullScan) Open(ctx *Context) error {
 	if s.stats != nil {
 		defer s.stats.EndOpen(ctx, s.stats.Begin(ctx))
 	}
+	s.fault = ctx.FaultPoint(s.Name() + ":next")
 	s.ia.place(ctx)
 	s.cursor = s.ia.tree.Min()
 	s.opened = true
@@ -342,6 +355,9 @@ func (s *IndexFullScan) Next(ctx *Context) (out storage.Row, err error) {
 	}
 	if ctx.Trace != nil {
 		ctx.Trace.Record(s.label, s.Name())
+	}
+	if err := s.fault.Fire(); err != nil {
+		return nil, err
 	}
 	for {
 		if err := ctx.Canceled(); err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/expr"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
 
@@ -28,13 +29,15 @@ type Sort struct {
 	module *codemodel.Module
 	label  byte
 	stats  *OpStats
+	fault  *faultinject.Point
 
-	rows   []storage.Row
-	keys   [][]storage.Value
-	addrs  []uint64
-	pos    int
-	sorted bool
-	opened bool
+	rows    []storage.Row
+	keys    [][]storage.Value
+	addrs   []uint64
+	memUsed int64
+	pos     int
+	sorted  bool
+	opened  bool
 }
 
 // NewSort constructs the operator; module may be nil.
@@ -54,7 +57,10 @@ func (s *Sort) Open(ctx *Context) error {
 	if err := s.Child.Open(ctx); err != nil {
 		return err
 	}
+	s.fault = ctx.FaultPoint(s.Name() + ":next")
 	s.rows, s.keys, s.addrs = nil, nil, nil
+	ctx.ShrinkMem(s.memUsed) // reopen without Close: release stale charges
+	s.memUsed = 0
 	s.pos, s.sorted = 0, false
 	s.opened = true
 	return nil
@@ -65,6 +71,9 @@ func (s *Sort) Open(ctx *Context) error {
 func (s *Sort) fill(ctx *Context) error {
 	arena := NewArena(ctx.CPU)
 	for {
+		if err := ctx.Canceled(); err != nil {
+			return err
+		}
 		row, err := s.Child.Next(ctx)
 		if err != nil {
 			return err
@@ -81,6 +90,10 @@ func (s *Sort) fill(ctx *Context) error {
 			keys[i] = v
 		}
 		ctx.ExecModule(s.module, ctx.DataBits(true))
+		if err := ctx.GrowMem(int64(row.ByteSize())); err != nil {
+			return err
+		}
+		s.memUsed += int64(row.ByteSize())
 		addr := arena.Alloc(row.ByteSize())
 		ctx.Write(addr, row.ByteSize())
 		s.rows = append(s.rows, row)
@@ -147,6 +160,9 @@ func (s *Sort) Next(ctx *Context) (out storage.Row, err error) {
 	if ctx.Trace != nil {
 		ctx.Trace.Record(s.label, s.Name())
 	}
+	if err := s.fault.Fire(); err != nil {
+		return nil, err
+	}
 	if !s.sorted {
 		if err := s.fill(ctx); err != nil {
 			return nil, err
@@ -166,6 +182,8 @@ func (s *Sort) Next(ctx *Context) (out storage.Row, err error) {
 func (s *Sort) Close(ctx *Context) error {
 	s.opened = false
 	s.rows, s.keys, s.addrs = nil, nil, nil
+	ctx.ShrinkMem(s.memUsed)
+	s.memUsed = 0
 	return s.Child.Close(ctx)
 }
 

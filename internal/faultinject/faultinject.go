@@ -1,0 +1,205 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// harness for the execution engines. An Injector carries a list of fault
+// rules; operators acquire a Point for each named injection site at Open
+// (via exec.Context.FaultPoint) and call Fire on their hot path. A site
+// with no matching rule costs one nil check; an execution with no injector
+// attached costs the same — the harness is strictly zero-overhead when
+// disabled, like the stats collector.
+//
+// Determinism: a rule fires on a schedule derived only from the rule's own
+// hit counter (After/Every) or from a splitmix64 stream seeded by the
+// injector seed and the site name (Prob). Two runs with the same plan, the
+// same injector configuration and the same seed inject the same faults at
+// the same invocations, which is what lets the chaos suite replay a failure.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error. Chaos tests
+// assert errors.Is(err, ErrInjected) end to end through the facade.
+var ErrInjected = errors.New("injected fault")
+
+// Kind selects what a firing rule does.
+type Kind int
+
+const (
+	// KindError makes Fire return an error wrapping ErrInjected.
+	KindError Kind = iota
+	// KindPanic makes Fire panic with a *PanicValue. The engines' drive
+	// loops convert it (like any other panic) into a typed error.
+	KindPanic
+	// KindLatency makes Fire sleep for the rule's Latency and return nil —
+	// for driving deadline and cancellation paths.
+	KindLatency
+)
+
+// String names the kind for messages.
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindLatency:
+		return "latency"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// PanicValue is the value KindPanic panics with, so tests can tell an
+// injected panic apart from a genuine engine bug in recovered output.
+type PanicValue struct {
+	Site string
+}
+
+// Error makes an injected panic, once recovered and wrapped, also satisfy
+// errors.Is(err, ErrInjected) when the recovery path preserves the value.
+func (p *PanicValue) Error() string {
+	return fmt.Sprintf("injected panic at %s", p.Site)
+}
+
+// Unwrap links the panic value to ErrInjected.
+func (p *PanicValue) Unwrap() error { return ErrInjected }
+
+// Fault is one injection rule. The zero Match matches every site; otherwise
+// a site matches when it contains Match as a substring (site names are
+// "<operator name>:<point>", e.g. "HashJoin(l_orderkey = o_orderkey):next").
+type Fault struct {
+	// Match is a substring selecting the sites this rule arms.
+	Match string
+	// Kind is what happens when the rule fires.
+	Kind Kind
+	// After skips the first After matching invocations (counted across all
+	// sites the rule matches), so a fault can land mid-stream rather than
+	// on the first tuple.
+	After uint64
+	// Every fires on every Every-th invocation past After; 0 fires exactly
+	// once (at invocation After).
+	Every uint64
+	// Prob, when > 0, gates each scheduled firing by a deterministic
+	// pseudo-random draw in [0,1) from the injector's seeded stream.
+	Prob float64
+	// Latency is the sleep duration for KindLatency rules.
+	Latency time.Duration
+}
+
+// rule is an armed Fault with its invocation counter.
+type rule struct {
+	Fault
+	hits  atomic.Uint64
+	fired atomic.Uint64
+}
+
+// Injector holds the armed rules for one execution. It is safe for
+// concurrent use: exchange workers share their parent's injector.
+type Injector struct {
+	seed  uint64
+	rules []*rule
+}
+
+// New builds an injector over the given rules.
+func New(seed uint64, faults ...Fault) *Injector {
+	in := &Injector{seed: seed}
+	for _, f := range faults {
+		in.rules = append(in.rules, &rule{Fault: f})
+	}
+	return in
+}
+
+// Fired reports how many faults the injector has triggered so far, summed
+// over all rules (latency firings included).
+func (in *Injector) Fired() uint64 {
+	if in == nil {
+		return 0
+	}
+	var n uint64
+	for _, r := range in.rules {
+		n += r.fired.Load()
+	}
+	return n
+}
+
+// Point is the armed per-site handle operators keep on their struct: the
+// subset of rules matching the site. A nil *Point (no matching rules, or no
+// injector) fires nothing and costs one branch.
+type Point struct {
+	site  string
+	seed  uint64
+	rules []*rule
+}
+
+// Point resolves a site name against the injector's rules, returning nil
+// when nothing matches — so disabled sites stay off the hot path entirely.
+func (in *Injector) Point(site string) *Point {
+	if in == nil {
+		return nil
+	}
+	var matched []*rule
+	for _, r := range in.rules {
+		if r.Match == "" || strings.Contains(site, r.Match) {
+			matched = append(matched, r)
+		}
+	}
+	if len(matched) == 0 {
+		return nil
+	}
+	return &Point{site: site, seed: in.seed, rules: matched}
+}
+
+// Fire evaluates the point's rules in order; the first rule whose schedule
+// is due triggers. Nil receivers are inert.
+func (p *Point) Fire() error {
+	if p == nil {
+		return nil
+	}
+	for _, r := range p.rules {
+		n := r.hits.Add(1) - 1
+		if n < r.After {
+			continue
+		}
+		if r.Every > 0 {
+			if (n-r.After)%r.Every != 0 {
+				continue
+			}
+		} else if n != r.After {
+			continue
+		}
+		if r.Prob > 0 && splitmix(p.seed^hashSite(p.site)^n) >= r.Prob {
+			continue
+		}
+		r.fired.Add(1)
+		switch r.Kind {
+		case KindPanic:
+			panic(&PanicValue{Site: p.site})
+		case KindLatency:
+			time.Sleep(r.Latency)
+		default:
+			return fmt.Errorf("faultinject: %w at %s (invocation %d)", ErrInjected, p.site, n)
+		}
+	}
+	return nil
+}
+
+// hashSite folds a site name into the seed stream (FNV-1a).
+func hashSite(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+// splitmix maps a 64-bit state to a uniform float64 in [0,1).
+func splitmix(x uint64) float64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

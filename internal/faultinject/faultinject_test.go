@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPointResolution(t *testing.T) {
+	in := New(1, Fault{Match: "HashJoin", Kind: KindError})
+	if p := in.Point("SeqScan(lineitem):next"); p != nil {
+		t.Fatalf("non-matching site resolved to a live point")
+	}
+	if p := in.Point("HashJoin(a = b):next"); p == nil {
+		t.Fatalf("matching site resolved to nil")
+	}
+	var nilInj *Injector
+	if p := nilInj.Point("anything"); p != nil {
+		t.Fatalf("nil injector handed out a point")
+	}
+	var nilPoint *Point
+	if err := nilPoint.Fire(); err != nil {
+		t.Fatalf("nil point fired: %v", err)
+	}
+}
+
+func TestErrorSchedule(t *testing.T) {
+	in := New(1, Fault{Match: "scan", Kind: KindError, After: 3})
+	p := in.Point("scan:next")
+	for i := 0; i < 3; i++ {
+		if err := p.Fire(); err != nil {
+			t.Fatalf("fired early at invocation %d: %v", i, err)
+		}
+	}
+	err := p.Fire()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("invocation 3: got %v, want ErrInjected", err)
+	}
+	// Every unset: fires exactly once.
+	for i := 0; i < 10; i++ {
+		if err := p.Fire(); err != nil {
+			t.Fatalf("one-shot rule fired again: %v", err)
+		}
+	}
+	if got := in.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d, want 1", got)
+	}
+}
+
+func TestEverySchedule(t *testing.T) {
+	in := New(1, Fault{Kind: KindError, After: 1, Every: 2})
+	p := in.Point("x")
+	var pattern []bool
+	for i := 0; i < 7; i++ {
+		pattern = append(pattern, p.Fire() != nil)
+	}
+	want := []bool{false, true, false, true, false, true, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("invocation %d: fired=%v, want %v (pattern %v)", i, pattern[i], want[i], pattern)
+		}
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	in := New(1, Fault{Kind: KindPanic})
+	p := in.Point("agg:next")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("KindPanic did not panic")
+		}
+		pv, ok := r.(*PanicValue)
+		if !ok {
+			t.Fatalf("panicked with %T, want *PanicValue", r)
+		}
+		if !errors.Is(pv, ErrInjected) {
+			t.Fatalf("panic value does not unwrap to ErrInjected")
+		}
+	}()
+	_ = p.Fire()
+}
+
+func TestLatencyKind(t *testing.T) {
+	in := New(1, Fault{Kind: KindLatency, Latency: 10 * time.Millisecond, Every: 1})
+	p := in.Point("scan")
+	start := time.Now()
+	if err := p.Fire(); err != nil {
+		t.Fatalf("latency rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("latency fire returned after %v, want >= 10ms", d)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	run := func() []bool {
+		in := New(42, Fault{Kind: KindError, Every: 1, Prob: 0.5})
+		p := in.Point("scan:next")
+		var out []bool
+		for i := 0; i < 64; i++ {
+			out = append(out, p.Fire() != nil)
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different schedules at invocation %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("Prob=0.5 fired %d/%d times; schedule is not probabilistic", fired, len(a))
+	}
+}

@@ -40,6 +40,18 @@ type Gauge struct {
 // Set stores the gauge's value.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add moves the gauge by delta (negative to decrease), atomically with
+// respect to concurrent Add and Set calls.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the gauge's value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 

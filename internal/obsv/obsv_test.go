@@ -27,6 +27,32 @@ func TestCounterGauge(t *testing.T) {
 	if got := g.Value(); got != -1 {
 		t.Fatalf("gauge = %g, want -1", got)
 	}
+	g.Add(3)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge after Add = %g, want 1.5", got)
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("load")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			g.Add(1)
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8 {
+		t.Fatalf("gauge = %g after 8 net increments, want 8", got)
+	}
 }
 
 func TestHistogramBuckets(t *testing.T) {

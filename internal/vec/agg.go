@@ -8,6 +8,7 @@ import (
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/exec"
 	"bufferdb/internal/expr"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
 
@@ -24,9 +25,11 @@ type HashAggregate struct {
 	module *codemodel.Module
 	schema storage.Schema
 	stats  *exec.OpStats
+	fault  *faultinject.Point
 
 	groups       map[string]*aggGroup
 	order        []string
+	memUsed      int64
 	pos          int
 	done         bool
 	emittedEmpty bool
@@ -83,8 +86,11 @@ func (a *HashAggregate) Open(ctx *exec.Context) error {
 	if err := a.Child.Open(ctx); err != nil {
 		return err
 	}
+	a.fault = ctx.FaultPoint(a.Name() + ":next")
 	a.groups = make(map[string]*aggGroup)
 	a.order = nil
+	ctx.ShrinkMem(a.memUsed) // reopen without Close: release stale charges
+	a.memUsed = 0
 	a.pos, a.done, a.emittedEmpty = 0, false, false
 	a.out.open(ctx, a.size)
 	if ctx.CPU != nil && a.tableRegion == 0 {
@@ -110,6 +116,9 @@ func (a *HashAggregate) groupAddr(key string) uint64 {
 // consume drains the child batch by batch, folding every row into its group.
 func (a *HashAggregate) consume(ctx *exec.Context) error {
 	for {
+		if err := ctx.CanceledNow(); err != nil {
+			return err
+		}
 		in, err := a.Child.NextBatch(ctx)
 		if err != nil {
 			return err
@@ -130,6 +139,14 @@ func (a *HashAggregate) consume(ctx *exec.Context) error {
 			key := keyVals.String()
 			grp, ok := a.groups[key]
 			if !ok {
+				// Each new group retains its key string, key row, and one
+				// accumulator per aggregate for the life of the operator.
+				charge := int64(len(key)) + int64(keyVals.ByteSize()) +
+					int64(len(a.Aggs))*hashEntryOverhead
+				if err := ctx.GrowMem(charge); err != nil {
+					return err
+				}
+				a.memUsed += charge
 				grp = &aggGroup{keyVals: keyVals, accs: make([]expr.Accumulator, len(a.Aggs))}
 				for i, spec := range a.Aggs {
 					acc, err := expr.NewAccumulator(spec)
@@ -175,6 +192,9 @@ func (a *HashAggregate) NextBatch(ctx *exec.Context) (res Batch, err error) {
 	}
 	if a.stats != nil {
 		defer a.stats.EndBatch(ctx, a.stats.Begin(ctx), (*[]storage.Row)(&res))
+	}
+	if err := a.fault.Fire(); err != nil {
+		return nil, err
 	}
 	if !a.done {
 		if err := a.consume(ctx); err != nil {
@@ -226,6 +246,8 @@ func (a *HashAggregate) Close(ctx *exec.Context) error {
 	a.opened = false
 	a.groups = nil
 	a.order = nil
+	ctx.ShrinkMem(a.memUsed)
+	a.memUsed = 0
 	return a.Child.Close(ctx)
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"bufferdb/internal/exec"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
 
@@ -33,6 +34,8 @@ type Exchange struct {
 	wg       sync.WaitGroup
 
 	stats  *exec.OpStats
+	fault  *faultinject.Point
+	mem    *exec.MemTracker // gather-side handle for releasing queued batches
 	opened bool
 }
 
@@ -63,6 +66,8 @@ func (e *Exchange) Open(ctx *exec.Context) error {
 		defer e.stats.EndOpen(ctx, e.stats.Begin(ctx))
 	}
 	e.cur = 0
+	e.fault = ctx.FaultPoint(e.Name() + ":next")
+	e.mem = ctx.Mem
 	e.parallel = ctx.CPU == nil && ctx.Trace == nil
 	e.opened = true
 	if !e.parallel {
@@ -77,10 +82,19 @@ func (e *Exchange) Open(ctx *exec.Context) error {
 		e.wg.Add(1)
 		// Workers share the stats collector: registration is mutex-guarded
 		// and each partition operator's slot is written by its worker only.
-		wctx := &exec.Context{Catalog: ctx.Catalog, Ctx: ctx.Ctx, Stats: ctx.Stats}
+		// The memory tracker and fault injector are likewise safe to share.
+		wctx := &exec.Context{Catalog: ctx.Catalog, Ctx: ctx.Ctx, Stats: ctx.Stats, Mem: ctx.Mem, Fault: ctx.Fault}
 		go func(part Operator, w *exchangeWorker) {
 			defer e.wg.Done()
 			defer close(w.out)
+			// Contain worker panics: the recover runs before close(w.out)
+			// (defers are LIFO), so the gather always observes w.err after
+			// the channel closes.
+			defer func() {
+				if r := recover(); r != nil {
+					w.err = exec.PanicError(part.Name(), r)
+				}
+			}()
 			w.err = e.drainPartition(wctx, part, w.out)
 		}(part, w)
 	}
@@ -90,12 +104,12 @@ func (e *Exchange) Open(ctx *exec.Context) error {
 // drainPartition runs one partition subtree to completion, copying and
 // sending each batch until EOF, error, or shutdown.
 func (e *Exchange) drainPartition(ctx *exec.Context, part Operator, out chan<- Batch) error {
-	if err := part.Open(ctx); err != nil {
+	if err := CallOpen(ctx, part); err != nil {
 		return err
 	}
-	defer part.Close(ctx)
+	defer CallClose(ctx, part)
 	for {
-		if err := ctx.Canceled(); err != nil {
+		if err := ctx.CanceledNow(); err != nil {
 			return err
 		}
 		batch, err := part.NextBatch(ctx)
@@ -106,12 +120,19 @@ func (e *Exchange) drainPartition(ctx *exec.Context, part Operator, out chan<- B
 			return nil
 		}
 		// The producer reuses the batch slice; copy before crossing the
-		// channel (row references are stable, the slice is not).
+		// channel (row references are stable, the slice is not). Each
+		// queued batch is charged against the query's budget before the
+		// send and released by the gather (or the shutdown drain).
 		owned := make(Batch, len(batch))
 		copy(owned, batch)
+		bytes := exec.RowsBytes(owned)
+		if err := ctx.GrowMem(bytes); err != nil {
+			return err
+		}
 		select {
 		case out <- owned:
 		case <-e.stop:
+			ctx.ShrinkMem(bytes) // never handed off; return the charge
 			return nil
 		}
 	}
@@ -124,6 +145,9 @@ func (e *Exchange) NextBatch(ctx *exec.Context) (out Batch, err error) {
 	}
 	if e.stats != nil {
 		defer e.stats.EndBatch(ctx, e.stats.Begin(ctx), (*[]storage.Row)(&out))
+	}
+	if err := e.fault.Fire(); err != nil {
+		return nil, err
 	}
 	if e.parallel {
 		return e.nextParallel()
@@ -166,6 +190,7 @@ func (e *Exchange) nextParallel() (Batch, error) {
 		w := e.workers[e.cur]
 		batch, ok := <-w.out
 		if ok {
+			e.mem.Shrink(exec.RowsBytes(batch))
 			return batch, nil
 		}
 		if w.err != nil {
@@ -182,8 +207,11 @@ func (e *Exchange) shutdown() {
 		return
 	}
 	e.stopOnce.Do(func() { close(e.stop) })
+	// Drain so workers blocked on a full channel observe the stop,
+	// releasing the budget charge of every batch still queued.
 	for _, w := range e.workers {
-		for range w.out {
+		for batch := range w.out {
+			e.mem.Shrink(exec.RowsBytes(batch))
 		}
 	}
 	e.wg.Wait()

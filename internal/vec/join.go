@@ -6,8 +6,14 @@ import (
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/exec"
 	"bufferdb/internal/expr"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
+
+// hashEntryOverhead approximates the per-row bookkeeping (map bucket and
+// row-slice header) a hash join or aggregate retains alongside the tuple
+// bytes. Mirrors exec.hashEntryOverhead.
+const hashEntryOverhead = 48
 
 // keyEval evaluates a join key expression, enforcing the engine's rule that
 // equi-join keys are BIGINT-typed (all TPC-H keys are).
@@ -42,8 +48,11 @@ type HashJoin struct {
 	arena       *exec.Arena
 	schema      storage.Schema
 	stats       *exec.OpStats
+	fault       *faultinject.Point
+	buildFault  *faultinject.Point
 
 	table        map[int64][]storage.Row
+	memUsed      int64
 	bucketRegion uint64
 	bucketCount  uint64
 
@@ -98,8 +107,12 @@ func (j *HashJoin) Open(ctx *exec.Context) error {
 	if err := j.Inner.Open(ctx); err != nil {
 		return err
 	}
+	j.fault = ctx.FaultPoint(j.Name() + ":next")
+	j.buildFault = ctx.FaultPoint(j.Name() + ":build")
 	j.arena = exec.NewArena(ctx.CPU)
 	j.table = make(map[int64][]storage.Row)
+	ctx.ShrinkMem(j.memUsed) // reopen without Close: release stale charges
+	j.memUsed = 0
 	j.out.open(ctx, j.size)
 	j.outerBatch, j.outerRow, j.matches = nil, nil, nil
 	j.outerPos, j.matchPos = 0, 0
@@ -111,6 +124,14 @@ func (j *HashJoin) Open(ctx *exec.Context) error {
 	}
 	buildArena := exec.NewArena(ctx.CPU)
 	for {
+		// The build is a blocking loop: poll cancellation and deadlines so
+		// a large build aborts promptly instead of outliving its query.
+		if err := ctx.CanceledNow(); err != nil {
+			return err
+		}
+		if err := j.buildFault.Fire(); err != nil {
+			return err
+		}
 		in, err := j.Inner.NextBatch(ctx)
 		if err != nil {
 			return err
@@ -128,6 +149,11 @@ func (j *HashJoin) Open(ctx *exec.Context) error {
 			if !ok {
 				continue
 			}
+			charge := int64(row.ByteSize()) + hashEntryOverhead
+			if err := ctx.GrowMem(charge); err != nil {
+				return err
+			}
+			j.memUsed += charge
 			j.table[key] = append(j.table[key], row)
 			// Copy the tuple into hash-table memory and link the bucket.
 			ctx.Write(buildArena.Alloc(row.ByteSize()), row.ByteSize())
@@ -146,6 +172,9 @@ func (j *HashJoin) NextBatch(ctx *exec.Context) (res Batch, err error) {
 	}
 	if j.stats != nil {
 		defer j.stats.EndBatch(ctx, j.stats.Begin(ctx), (*[]storage.Row)(&res))
+	}
+	if err := j.fault.Fire(); err != nil {
+		return nil, err
 	}
 	j.out.reset()
 	j.bits = j.bits[:0]
@@ -198,6 +227,8 @@ func (j *HashJoin) NextBatch(ctx *exec.Context) (res Batch, err error) {
 func (j *HashJoin) Close(ctx *exec.Context) error {
 	j.opened = false
 	j.table = nil
+	ctx.ShrinkMem(j.memUsed)
+	j.memUsed = 0
 	err1 := j.Outer.Close(ctx)
 	err2 := j.Inner.Close(ctx)
 	if err1 != nil {

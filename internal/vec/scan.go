@@ -6,6 +6,7 @@ import (
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/exec"
 	"bufferdb/internal/expr"
+	"bufferdb/internal/faultinject"
 	"bufferdb/internal/storage"
 )
 
@@ -22,6 +23,7 @@ type SeqScan struct {
 
 	module *codemodel.Module
 	stats  *exec.OpStats
+	fault  *faultinject.Point
 
 	out    batchBuf
 	bits   []uint64
@@ -53,6 +55,7 @@ func (s *SeqScan) Open(ctx *exec.Context) error {
 	if s.stats != nil {
 		defer s.stats.EndOpen(ctx, s.stats.Begin(ctx))
 	}
+	s.fault = ctx.FaultPoint(s.Name() + ":next")
 	s.out.open(ctx, s.size)
 	s.pos, s.end = 0, s.Table.NumRows()
 	if s.Span != nil {
@@ -71,7 +74,10 @@ func (s *SeqScan) NextBatch(ctx *exec.Context) (out Batch, err error) {
 	if s.stats != nil {
 		defer s.stats.EndBatch(ctx, s.stats.Begin(ctx), (*[]storage.Row)(&out))
 	}
-	if err := ctx.Canceled(); err != nil {
+	if err := ctx.CanceledNow(); err != nil {
+		return nil, err
+	}
+	if err := s.fault.Fire(); err != nil {
 		return nil, err
 	}
 	s.out.reset()

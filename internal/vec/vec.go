@@ -99,17 +99,52 @@ func (b *batchBuf) take() Batch {
 	return b.rows
 }
 
+// CallOpen invokes op.Open, converting a panic into a wrapped
+// exec.ErrOperatorPanic.
+func CallOpen(ctx *exec.Context, op Operator) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.PanicError(op.Name(), r)
+		}
+	}()
+	return op.Open(ctx)
+}
+
+// CallNextBatch invokes op.NextBatch, converting a panic into a wrapped
+// exec.ErrOperatorPanic.
+func CallNextBatch(ctx *exec.Context, op Operator) (batch Batch, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			batch, err = nil, exec.PanicError(op.Name(), r)
+		}
+	}()
+	return op.NextBatch(ctx)
+}
+
+// CallClose invokes op.Close, converting a panic into a wrapped
+// exec.ErrOperatorPanic — teardown must never take the process down.
+func CallClose(ctx *exec.Context, op Operator) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.PanicError(op.Name(), r)
+		}
+	}()
+	return op.Close(ctx)
+}
+
 // Run drives a block-oriented plan to completion and returns all result
-// rows. It opens, drains and closes the root operator.
+// rows. It opens, drains and closes the root operator, containing panics
+// from any operator in the tree.
 func Run(ctx *exec.Context, root Operator) ([]storage.Row, error) {
-	if err := root.Open(ctx); err != nil {
+	if err := CallOpen(ctx, root); err != nil {
+		_ = CallClose(ctx, root)
 		return nil, err
 	}
 	var out []storage.Row
 	for {
-		batch, err := root.NextBatch(ctx)
+		batch, err := CallNextBatch(ctx, root)
 		if err != nil {
-			_ = root.Close(ctx)
+			_ = CallClose(ctx, root)
 			return nil, err
 		}
 		if len(batch) == 0 {
@@ -117,7 +152,7 @@ func Run(ctx *exec.Context, root Operator) ([]storage.Row, error) {
 		}
 		out = append(out, batch...)
 	}
-	if err := root.Close(ctx); err != nil {
+	if err := CallClose(ctx, root); err != nil {
 		return nil, err
 	}
 	return out, nil

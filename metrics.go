@@ -14,6 +14,15 @@ import (
 //	bufferdb_rows_emitted_total{engine="..."}  rows handed to consumers
 //	bufferdb_query_seconds{engine="..."}       wall-clock latency histogram
 //
+// The resource governor adds failure-class counters and two load gauges:
+//
+//	bufferdb_queries_rejected_total{engine="..."}  shed by admission control
+//	bufferdb_queries_timeout_total{engine="..."}   deadline expiries
+//	bufferdb_queries_oom_total{engine="..."}       memory-budget overruns
+//	bufferdb_queries_panic_total{engine="..."}     contained operator panics
+//	bufferdb_admitted_queries                      queries holding a slot now
+//	bufferdb_mem_tracked_bytes                     bytes charged to MemoryLimit
+//
 // Metrics cover Query, QueryStream, prepared statements and the deprecated
 // wrappers alike — they all share the same execution path.
 
@@ -35,6 +44,37 @@ func metricRows(e Engine) *obsv.Counter {
 // metricLatency returns the query-latency histogram for an engine.
 func metricLatency(e Engine) *obsv.Histogram {
 	return obsv.Default.Histogram(fmt.Sprintf(`bufferdb_query_seconds{engine=%q}`, engineLabel(e)), obsv.DefLatencyBounds)
+}
+
+// metricRejected counts queries shed by admission control.
+func metricRejected(e Engine) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf(`bufferdb_queries_rejected_total{engine=%q}`, engineLabel(e)))
+}
+
+// metricTimeout counts queries that hit their deadline.
+func metricTimeout(e Engine) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf(`bufferdb_queries_timeout_total{engine=%q}`, engineLabel(e)))
+}
+
+// metricOOM counts queries that overran a memory budget.
+func metricOOM(e Engine) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf(`bufferdb_queries_oom_total{engine=%q}`, engineLabel(e)))
+}
+
+// metricPanic counts queries that failed on a contained operator panic.
+func metricPanic(e Engine) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf(`bufferdb_queries_panic_total{engine=%q}`, engineLabel(e)))
+}
+
+// metricAdmitted gauges the queries currently holding an admission slot.
+func metricAdmitted() *obsv.Gauge {
+	return obsv.Default.Gauge(`bufferdb_admitted_queries`)
+}
+
+// metricTrackedBytes gauges the bytes charged against the database
+// MemoryLimit; updated as each query settles.
+func metricTrackedBytes() *obsv.Gauge {
+	return obsv.Default.Gauge(`bufferdb_mem_tracked_bytes`)
 }
 
 // engineLabel normalizes an engine name for metric labels.

@@ -2,6 +2,7 @@ package bufferdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -36,6 +37,19 @@ type Rows struct {
 	err    error
 	closed bool
 
+	// closeErr retains an operator-teardown error from an internal close
+	// (end-of-stream in Next) so the consumer's first explicit Close still
+	// surfaces it; the second Close returns nil.
+	closeErr error
+
+	// Governor state settled exactly once in close(): the per-query memory
+	// tracker, the deadline cancel func, the admission controller holding
+	// this query's slot, and the owning DB (for the tracked-bytes gauge).
+	mem    *exec.MemTracker
+	cancel context.CancelFunc
+	adm    *admission
+	db     *DB
+
 	// cp is the analyzed compilation (operator→node map) when the
 	// statement ran with WithStats; Stats reads it back.
 	cp *plan.CompiledPlan
@@ -65,7 +79,9 @@ func (db *DB) queryStream(ctx context.Context, query string, qo QueryOptions) (*
 	return db.execPlan(ctx, p, qo)
 }
 
-// execPlan compiles an already-planned statement and starts executing it.
+// execPlan compiles an already-planned statement and starts executing it
+// under the resource governor: the query passes admission control, runs
+// under its deadline and memory budget, and contains operator panics.
 // Prepared statements enter here with a cloned cached plan.
 func (db *DB) execPlan(ctx context.Context, p *plan.Node, qo QueryOptions) (*Rows, error) {
 	label, engine, err := db.planEngine(qo)
@@ -73,6 +89,42 @@ func (db *DB) execPlan(ctx context.Context, p *plan.Node, qo QueryOptions) (*Row
 		return nil, err
 	}
 	metricQueries(label).Inc()
+
+	// The deadline clock starts before admission: a query stuck in the
+	// wait queue is still burning its caller's patience.
+	cancel := context.CancelFunc(func() {})
+	if qo.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, qo.Timeout)
+	} else if !qo.Deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, qo.Deadline)
+	}
+
+	adm := db.adm
+	if qo.NoAdmission {
+		adm = nil
+	}
+	if err := adm.acquire(ctx, qo.AdmissionWait); err != nil {
+		cancel()
+		classifyError(label, err)
+		metricErrors(label).Inc()
+		return nil, err
+	}
+	if adm != nil {
+		metricAdmitted().Add(1)
+	}
+	// From here on, any failure must return the slot, stop the clock and
+	// release tracked memory before surfacing.
+	bail := func(mem *exec.MemTracker, err error) (*Rows, error) {
+		mem.ReleaseAll()
+		if adm != nil {
+			adm.release()
+			metricAdmitted().Add(-1)
+		}
+		cancel()
+		classifyError(label, err)
+		metricErrors(label).Inc()
+		return nil, err
+	}
 
 	var op exec.Operator
 	var cp *plan.CompiledPlan
@@ -85,16 +137,25 @@ func (db *DB) execPlan(ctx context.Context, p *plan.Node, qo QueryOptions) (*Row
 		op, err = plan.Compile(p, nil, engine)
 	}
 	if err != nil {
-		metricErrors(label).Inc()
-		return nil, err
+		return bail(nil, err)
 	}
-	ectx := &exec.Context{Catalog: db.cat, Ctx: ctx}
+
+	// The query tracker is a child of the process tracker; with neither a
+	// per-query budget nor a database limit it stays nil and every
+	// operator hook is a single nil check.
+	var mem *exec.MemTracker
+	if qo.MemoryBudget > 0 || db.mem != nil {
+		mem = exec.NewMemTracker("query", qo.MemoryBudget, db.mem)
+	}
+	ectx := &exec.Context{Catalog: db.cat, Ctx: ctx, Mem: mem, Fault: qo.FaultInjector}
 	if qo.CollectStats {
 		ectx.Stats = exec.NewStatsCollector()
 	}
-	if err := op.Open(ectx); err != nil {
-		metricErrors(label).Inc()
-		return nil, err
+	if err := exec.CallOpen(ectx, op); err != nil {
+		// Tear down whatever Open built before failing; a partially opened
+		// tree may already hold goroutines and tracked memory.
+		_ = exec.CallClose(ectx, op)
+		return bail(mem, err)
 	}
 	schema := p.Schema()
 	cols := make([]string, len(schema))
@@ -106,10 +167,28 @@ func (db *DB) execPlan(ctx context.Context, p *plan.Node, qo QueryOptions) (*Row
 		op:          op,
 		cols:        cols,
 		schema:      schema,
+		mem:         mem,
+		cancel:      cancel,
+		adm:         adm,
+		db:          db,
 		cp:          cp,
 		engineLabel: string(label),
 		started:     time.Now(),
 	}, nil
+}
+
+// classifyError feeds the failure-class counters from a query error.
+func classifyError(e Engine, err error) {
+	switch {
+	case errors.Is(err, ErrServerBusy):
+		metricRejected(e).Inc()
+	case errors.Is(err, exec.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		metricTimeout(e).Inc()
+	case errors.Is(err, exec.ErrMemoryBudgetExceeded):
+		metricOOM(e).Inc()
+	case errors.Is(err, exec.ErrOperatorPanic):
+		metricPanic(e).Inc()
+	}
 }
 
 // QueryContext is QueryStream with an options struct. At most one
@@ -154,14 +233,16 @@ func (r *Rows) Next() bool {
 		r.fail(err)
 		return false
 	}
-	row, err := r.op.Next(r.ectx)
+	row, err := exec.CallNext(r.ectx, r.op)
 	if err != nil {
 		r.fail(err)
 		return false
 	}
 	if row == nil {
 		r.row = nil
-		_ = r.close()
+		// End of stream: tear down now, deferring any teardown error to
+		// the consumer's explicit Close.
+		r.closeErr = r.close()
 		return false
 	}
 	r.row = row
@@ -244,9 +325,16 @@ func scanMismatch(idx int, col string, v storage.Value, want string) error {
 func (r *Rows) Err() error { return r.err }
 
 // Close releases the executing plan. It is idempotent and safe after
-// exhaustion; abandoning a stream mid-way is exactly what it is for.
+// exhaustion; abandoning a stream mid-way is exactly what it is for. The
+// first Close reports any operator-teardown error — including one deferred
+// from the internal end-of-stream close — later calls return nil.
 func (r *Rows) Close() error {
 	r.row = nil
+	if r.closed {
+		err := r.closeErr
+		r.closeErr = nil
+		return err
+	}
 	return r.close()
 }
 
@@ -254,17 +342,35 @@ func (r *Rows) Close() error {
 func (r *Rows) fail(err error) {
 	r.err = err
 	r.row = nil
-	metricErrors(Engine(r.engineLabel)).Inc()
+	e := Engine(r.engineLabel)
+	classifyError(e, err)
+	metricErrors(e).Inc()
 	_ = r.close()
 }
 
-// close shuts the operator tree down once and settles the cursor's metrics.
+// close shuts the operator tree down once, returns the query's governor
+// resources (tracked memory, deadline timer, admission slot), and settles
+// the cursor's metrics.
 func (r *Rows) close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
-	err := r.op.Close(r.ectx)
+	err := exec.CallClose(r.ectx, r.op)
+	// Operators release their charges in Close; ReleaseAll only mops up
+	// after a teardown path that lost track (e.g. a panicking Close).
+	r.mem.ReleaseAll()
+	if r.cancel != nil {
+		r.cancel()
+	}
+	if r.adm != nil {
+		r.adm.release()
+		metricAdmitted().Add(-1)
+		r.adm = nil
+	}
+	if r.db != nil && r.db.mem != nil {
+		metricTrackedBytes().Set(float64(r.db.mem.Bytes()))
+	}
 	if !r.metricsDone {
 		r.metricsDone = true
 		e := Engine(r.engineLabel)

@@ -69,6 +69,9 @@ func (s *Stmt) Query(ctx context.Context) (*Result, error) {
 	if err := rows.Err(); err != nil {
 		return nil, err
 	}
+	if err := rows.Close(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
