@@ -258,7 +258,9 @@ func (db *DB) planEngine(qo QueryOptions) (Engine, plan.Engine, error) {
 }
 
 // OpenTPCH generates a TPC-H database at the given scale factor (the paper
-// evaluates at 0.2; 0.01–0.05 is comfortable for interactive use).
+// evaluates at 0.2; 0.01–0.05 is comfortable for interactive use). A scale
+// factor that is zero, negative, NaN or infinite is rejected with a wrapped
+// ErrBadScaleFactor rather than generating an empty or garbage catalog.
 func OpenTPCH(scaleFactor float64, opts Options) (*DB, error) {
 	cat, err := tpch.Generate(tpch.Config{ScaleFactor: scaleFactor, Seed: opts.Seed})
 	if err != nil {
@@ -282,6 +284,27 @@ func OpenTPCH(scaleFactor float64, opts Options) (*DB, error) {
 // databases report 0 — a nonzero value with no query running indicates an
 // accounting leak.
 func (db *DB) TrackedBytes() int64 { return db.mem.Bytes() }
+
+// ReserveMemory charges n bytes of subsystem memory — server-side plan and
+// result caches, wire buffers — against the database's MemoryLimit, so
+// caches built on top of the engine compete with executing queries for the
+// same budget instead of growing outside it. The returned release function
+// returns the bytes; it is idempotent. With no MemoryLimit configured the
+// reservation is accepted untracked. A rejected reservation wraps
+// ErrMemoryBudgetExceeded.
+func (db *DB) ReserveMemory(name string, n int64) (release func(), err error) {
+	if db.mem == nil {
+		return func() {}, nil
+	}
+	t := exec.NewMemTracker(name, 0, db.mem)
+	if err := t.Grow(n); err != nil {
+		return nil, err
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() { t.Shrink(n) })
+	}, nil
+}
 
 // Tables lists the table names in the database.
 func (db *DB) Tables() []string {

@@ -2,7 +2,9 @@ package bufferdb
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -28,8 +30,13 @@ func TestOpenAndCatalog(t *testing.T) {
 	if _, err := testDB.RowCount("ghost"); err == nil {
 		t.Error("RowCount of missing table succeeded")
 	}
-	if _, err := OpenTPCH(-1, Options{}); err == nil {
-		t.Error("negative scale factor accepted")
+	for _, sf := range []float64{-1, 0, math.NaN(), math.Inf(1)} {
+		_, err := OpenTPCH(sf, Options{})
+		if err == nil {
+			t.Errorf("scale factor %v accepted", sf)
+		} else if !errors.Is(err, ErrBadScaleFactor) {
+			t.Errorf("scale factor %v: error %v does not wrap ErrBadScaleFactor", sf, err)
+		}
 	}
 }
 

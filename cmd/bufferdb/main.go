@@ -1,10 +1,17 @@
 // Command bufferdb is an interactive SQL shell over a generated TPC-H
-// database, with the paper's buffering plan refinement on by default.
+// database, with the paper's buffering plan refinement on by default. With
+// -connect it becomes a network client: the same shell drives a remote
+// bufferdbd daemon over the wire protocol instead of an embedded engine.
 //
 // Usage:
 //
-//	bufferdb -sf 0.01                  # interactive shell
+//	bufferdb -sf 0.01                  # interactive shell, embedded engine
 //	bufferdb -q "SELECT COUNT(*) FROM lineitem"
+//	bufferdb -connect localhost:7687   # shell against a bufferdbd daemon
+//
+// Ctrl-C cancels the statement in flight — locally through its context,
+// remotely as a wire Cancel frame that frees the daemon's admission slot —
+// and returns to the prompt instead of killing the shell.
 //
 // Shell meta-commands:
 //
@@ -13,17 +20,24 @@
 //	\profile <sql>   run both plans on the simulated CPU and compare
 //	\tables          list tables
 //	\q               quit
+//
+// Over -connect only \tables and \q are available; the plan-introspection
+// commands need the embedded engine.
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
 
 	"bufferdb"
+	"bufferdb/internal/client"
 )
 
 func main() {
@@ -34,8 +48,16 @@ func main() {
 		engine  = flag.String("engine", "", "execution engine for -q (volcano or vec; default: the database's)")
 		analyze = flag.Bool("analyze", false, "with -q: EXPLAIN ANALYZE — print the per-operator stats table instead of rows")
 		metrics = flag.Bool("metrics", false, "after -q: dump the process metrics registry (Prometheus text format)")
+		connect = flag.String("connect", "", "address of a bufferdbd daemon; queries run remotely instead of in-process")
 	)
 	flag.Parse()
+
+	ints := newInterrupts()
+
+	if *connect != "" {
+		remoteMain(ints, *connect, *query, *engine, *noParse, *analyze, *metrics)
+		return
+	}
 
 	db, err := bufferdb.OpenTPCH(*sf, bufferdb.Options{DisableRefinement: *noParse})
 	if err != nil {
@@ -48,11 +70,13 @@ func main() {
 			opts = append(opts, bufferdb.WithEngine(bufferdb.Engine(*engine)))
 		}
 		q := strings.TrimSuffix(strings.TrimSpace(*query), ";")
+		ctx, stop := ints.queryContext()
 		if *analyze {
-			err = runAnalyze(db, q, opts...)
+			err = runAnalyze(ctx, db, q, opts...)
 		} else {
-			err = runQuery(db, q, opts...)
+			err = runQuery(ctx, db, q, opts...)
 		}
+		stop()
 		if err != nil {
 			fatal(err)
 		}
@@ -64,7 +88,77 @@ func main() {
 		return
 	}
 
-	fmt.Printf("bufferdb — TPC-H SF %g loaded (%v). End statements with ';', \\q quits.\n", *sf, db.Tables())
+	fmt.Printf("bufferdb — TPC-H SF %g loaded (%v). End statements with ';', \\q quits, Ctrl-C cancels.\n", *sf, db.Tables())
+	repl(ints, func(q string) error {
+		ctx, stop := ints.queryContext()
+		defer stop()
+		return runQuery(ctx, db, q)
+	}, func(cmd string) bool { return metaCommand(ints, db, cmd) })
+}
+
+// remoteMain is the -connect entry point: the shell (or -q) drives a
+// bufferdbd daemon through internal/client.
+func remoteMain(ints *interrupts, addr, query, engine string, noRefine, analyze, metrics bool) {
+	if analyze {
+		fatal(errors.New("-analyze needs the embedded engine; it is not available with -connect"))
+	}
+	if metrics {
+		fatal(errors.New("-metrics is local-only; scrape the daemon's -http sidecar /metrics instead"))
+	}
+	c, err := client.Dial(addr, client.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	var opts []client.Option
+	if engine != "" {
+		opts = append(opts, client.WithEngine(engine))
+	}
+	if noRefine {
+		opts = append(opts, client.WithoutRefinement())
+	}
+	run := func(q string) error {
+		ctx, stop := ints.queryContext()
+		defer stop()
+		res, err := c.QueryAll(ctx, strings.TrimSuffix(strings.TrimSpace(q), ";"), opts...)
+		if err != nil {
+			return err
+		}
+		printResult(res.Columns, res.Rows)
+		return nil
+	}
+
+	if query != "" {
+		if err := run(query); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("bufferdb — connected to %s (%s). End statements with ';', \\q quits, Ctrl-C cancels.\n", addr, c.ServerInfo())
+	repl(ints, run, func(cmd string) bool {
+		switch cmd {
+		case "\\q", "\\quit":
+			return true
+		case "\\tables":
+			tabs, err := c.Tables(context.Background())
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			for _, t := range tabs {
+				fmt.Printf("  %-12s %10d rows\n", t.Name, t.Rows)
+			}
+		default:
+			fmt.Println("commands over -connect: \\tables, \\q")
+		}
+		return false
+	})
+}
+
+// repl drives the line loop shared by the local and remote shells.
+func repl(ints *interrupts, run func(q string) error, meta func(cmd string) bool) {
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
@@ -74,15 +168,19 @@ func main() {
 		trimmed := strings.TrimSpace(line)
 		switch {
 		case pending.Len() == 0 && strings.HasPrefix(trimmed, "\\"):
-			if done := metaCommand(db, trimmed); done {
+			if done := meta(trimmed); done {
 				return
 			}
 		default:
 			pending.WriteString(line)
 			pending.WriteByte('\n')
 			if strings.HasSuffix(trimmed, ";") {
-				if err := runQuery(db, pending.String()); err != nil {
-					fmt.Println("error:", err)
+				if err := run(pending.String()); err != nil {
+					if errors.Is(err, context.Canceled) {
+						fmt.Println("canceled")
+					} else {
+						fmt.Println("error:", err)
+					}
 				}
 				pending.Reset()
 			}
@@ -91,8 +189,45 @@ func main() {
 	}
 }
 
+// interrupts owns the process's SIGINT stream so Ctrl-C cancels the
+// statement in flight instead of killing the shell.
+type interrupts struct {
+	ch chan os.Signal
+}
+
+func newInterrupts() *interrupts {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	return &interrupts{ch: ch}
+}
+
+// queryContext returns a context canceled by the next Ctrl-C. The stop
+// function releases the watcher; call it as soon as the statement
+// finishes so a later Ctrl-C doesn't act on a dead query. Interrupts
+// delivered between statements are drained, not replayed.
+func (in *interrupts) queryContext() (context.Context, func()) {
+	select {
+	case <-in.ch:
+	default:
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-in.ch:
+			cancel()
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	return ctx, func() {
+		once.Do(func() { close(done) })
+		cancel()
+	}
+}
+
 // metaCommand handles backslash commands; returns true to quit.
-func metaCommand(db *bufferdb.DB, cmd string) bool {
+func metaCommand(ints *interrupts, db *bufferdb.DB, cmd string) bool {
 	switch {
 	case cmd == "\\q" || cmd == "\\quit":
 		return true
@@ -112,7 +247,10 @@ func metaCommand(db *bufferdb.DB, cmd string) bool {
 		fmt.Println("-- refined plan:")
 		fmt.Print(refined)
 	case strings.HasPrefix(cmd, "\\analyze "):
-		if err := runAnalyze(db, strings.TrimPrefix(cmd, "\\analyze ")); err != nil {
+		ctx, stop := ints.queryContext()
+		err := runAnalyze(ctx, db, strings.TrimPrefix(cmd, "\\analyze "))
+		stop()
+		if err != nil {
 			fmt.Println("error:", err)
 		}
 	case strings.HasPrefix(cmd, "\\profile "):
@@ -134,8 +272,8 @@ func metaCommand(db *bufferdb.DB, cmd string) bool {
 
 // runAnalyze executes a statement instrumented on the simulated CPU and
 // prints the per-operator stats table.
-func runAnalyze(db *bufferdb.DB, q string, opts ...bufferdb.QueryOption) error {
-	a, err := db.ExplainAnalyze(context.Background(), strings.TrimSuffix(strings.TrimSpace(q), ";"), opts...)
+func runAnalyze(ctx context.Context, db *bufferdb.DB, q string, opts ...bufferdb.QueryOption) error {
+	a, err := db.ExplainAnalyze(ctx, strings.TrimSuffix(strings.TrimSpace(q), ";"), opts...)
 	if err != nil {
 		return err
 	}
@@ -144,16 +282,23 @@ func runAnalyze(db *bufferdb.DB, q string, opts ...bufferdb.QueryOption) error {
 }
 
 // runQuery executes a statement and prints a bounded result table.
-func runQuery(db *bufferdb.DB, q string, opts ...bufferdb.QueryOption) error {
-	res, err := db.Query(context.Background(), strings.TrimSuffix(strings.TrimSpace(q), ";"), opts...)
+func runQuery(ctx context.Context, db *bufferdb.DB, q string, opts ...bufferdb.QueryOption) error {
+	res, err := db.Query(ctx, strings.TrimSuffix(strings.TrimSpace(q), ";"), opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Println(strings.Join(res.Columns, " | "))
+	printResult(res.Columns, res.Rows)
+	return nil
+}
+
+// printResult renders a materialized result, bounded to keep the terminal
+// usable.
+func printResult(cols []string, rows [][]any) {
+	fmt.Println(strings.Join(cols, " | "))
 	const maxRows = 50
-	for i, row := range res.Rows {
+	for i, row := range rows {
 		if i == maxRows {
-			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			fmt.Printf("... (%d more rows)\n", len(rows)-maxRows)
 			break
 		}
 		parts := make([]string, len(row))
@@ -162,8 +307,7 @@ func runQuery(db *bufferdb.DB, q string, opts ...bufferdb.QueryOption) error {
 		}
 		fmt.Println(strings.Join(parts, " | "))
 	}
-	fmt.Printf("(%d rows)\n", len(res.Rows))
-	return nil
+	fmt.Printf("(%d rows)\n", len(rows))
 }
 
 func fatal(err error) {

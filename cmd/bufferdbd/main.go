@@ -1,0 +1,147 @@
+// Command bufferdbd is the bufferdb network daemon: it generates (or
+// loads) a TPC-H database, applies the resource-governor limits from its
+// flags, and serves the internal/wire protocol on a TCP listener until
+// SIGINT/SIGTERM, when it drains gracefully. A sidecar HTTP listener
+// exposes the process metrics registry and liveness/readiness probes.
+//
+// Usage:
+//
+//	bufferdbd -listen :7687 -http :7688 -scale 0.1 \
+//	    -max-concurrent 8 -max-queued 64 -memory-limit 268435456
+//
+// Sidecar endpoints:
+//
+//	/metrics   Prometheus text-format dump of the metrics registry
+//	/healthz   liveness: 200 once the process is up
+//	/readyz    readiness: 200 after the database is loaded and the
+//	           listener is accepting; 503 during startup and drain
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"bufferdb"
+	"bufferdb/internal/server"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":7687", "wire-protocol listen address")
+		httpAddr  = flag.String("http", "", "sidecar HTTP listen address for /metrics, /healthz, /readyz (empty = no sidecar)")
+		scale     = flag.Float64("scale", 0.01, "TPC-H scale factor")
+		seed      = flag.Uint64("seed", 0, "TPC-H generation seed (0 = default)")
+		noRefine  = flag.Bool("no-refine", false, "disable buffering plan refinement")
+		par       = flag.Int("parallelism", 0, "default partitioned-scan fan-out (<2 = sequential)")
+		memLimit  = flag.Int64("memory-limit", 0, "process-wide tracked-memory cap in bytes (0 = unlimited)")
+		maxConc   = flag.Int("max-concurrent", 0, "admission: max concurrently executing queries (0 = unlimited)")
+		maxQueued = flag.Int("max-queued", 0, "admission: max queries queued for a slot")
+		admWait   = flag.Duration("admission-wait", 0, "admission: max time a query queues before shedding (0 = caller's context)")
+		stmtCache = flag.Int("stmt-cache", 0, "prepared-statement LRU entries (0 = default 64, negative disables)")
+		resCache  = flag.Int64("result-cache", 0, "result-reuse cache budget in encoded bytes (0 disables)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before force-closing connections")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "bufferdbd: ", log.LstdFlags)
+
+	start := time.Now()
+	db, err := bufferdb.OpenTPCH(*scale, bufferdb.Options{
+		Seed:              *seed,
+		DisableRefinement: *noRefine,
+		Parallelism:       *par,
+		MemoryLimit:       *memLimit,
+		Admission: bufferdb.AdmissionConfig{
+			MaxConcurrent: *maxConc,
+			MaxQueued:     *maxQueued,
+			WaitTimeout:   *admWait,
+		},
+	})
+	if err != nil {
+		logger.Fatalf("open: %v", err)
+	}
+	logger.Printf("TPC-H SF %g loaded in %v (tables: %v)", *scale, time.Since(start).Round(time.Millisecond), db.Tables())
+
+	srv, err := server.New(server.Config{
+		DB:               db,
+		StmtCacheEntries: *stmtCache,
+		ResultCacheBytes: *resCache,
+		Info:             fmt.Sprintf("bufferdbd sf=%g", *scale),
+		Logf:             logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("server: %v", err)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+
+	// ready flips on once the wire listener accepts and off when the drain
+	// starts, so orchestrators stop routing before connections die.
+	var ready atomic.Bool
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := bufferdb.WriteMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			if !ready.Load() {
+				http.Error(w, "not ready", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ready")
+		})
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: mux}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Fatalf("http sidecar: %v", err)
+			}
+		}()
+		logger.Printf("sidecar http on %s (/metrics /healthz /readyz)", *httpAddr)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	ready.Store(true)
+	logger.Printf("serving wire protocol on %s", l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("received %v, draining (budget %v)", s, *drain)
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	ready.Store(false)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && err != server.ErrServerClosed {
+		logger.Printf("serve: %v", err)
+	}
+	if httpSrv != nil {
+		_ = httpSrv.Shutdown(context.Background())
+	}
+	logger.Printf("bye (tracked bytes at exit: %d)", db.TrackedBytes())
+}

@@ -6,6 +6,7 @@ import (
 	"bufferdb/internal/exec"
 	"bufferdb/internal/sql"
 	"bufferdb/internal/storage"
+	"bufferdb/internal/tpch"
 )
 
 // Sentinel errors returned (wrapped) by the facade. Test with errors.Is;
@@ -21,6 +22,9 @@ var (
 	// "", "hash", "nestloop", "merge". It is detected at plan time, before
 	// any execution starts.
 	ErrBadJoinMethod = sql.ErrBadJoinMethod
+	// ErrBadScaleFactor is wrapped when OpenTPCH is given a scale factor
+	// that cannot generate a catalog: zero, negative, NaN or infinite.
+	ErrBadScaleFactor = tpch.ErrBadScaleFactor
 	// ErrRowsClosed is returned by Rows.Scan after the cursor was closed.
 	ErrRowsClosed = errors.New("rows are closed")
 

@@ -1,0 +1,469 @@
+// Package client is the Go client for bufferdbd: a connection pool over
+// the internal/wire protocol with streaming results, per-query context
+// cancellation propagated as Cancel frames, prepared statements, and
+// retry-with-backoff when admission control sheds a query.
+//
+// Server-side sentinel errors cross the wire as stable codes and surface
+// here wrapping the same sentinels the embedded engine returns —
+// errors.Is(err, bufferdb.ErrServerBusy) works identically against a
+// remote daemon and an in-process DB.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bufferdb"
+	"bufferdb/internal/wire"
+)
+
+// Config tunes a Client. The zero value is usable.
+type Config struct {
+	// MaxConns caps the pooled connections (and therefore the queries this
+	// client runs concurrently). 0 = 4.
+	MaxConns int
+	// DialTimeout bounds each TCP dial + handshake. 0 = 5s.
+	DialTimeout time.Duration
+	// BusyRetries is how many times a query shed with ErrServerBusy is
+	// retried before the error surfaces. 0 = 3; negative disables retry.
+	BusyRetries int
+	// RetryBackoff is the initial backoff before the first busy retry; it
+	// doubles per attempt. 0 = 10ms.
+	RetryBackoff time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 4
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.BusyRetries == 0 {
+		c.BusyRetries = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
+	}
+	return c
+}
+
+// ErrClosed is returned for operations on a closed Client.
+var ErrClosed = errors.New("client: closed")
+
+// ServerError is a terminal error frame from the daemon. Its Unwrap chain
+// carries the engine sentinel matching the wire code, so errors.Is against
+// bufferdb.ErrServerBusy, ErrDeadlineExceeded, ErrMemoryBudgetExceeded,
+// ErrQueryPanic and context.Canceled behaves as it does in-process.
+type ServerError struct {
+	Code wire.Code
+	Msg  string
+}
+
+// Error renders the code and the server's message.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("client: server error (%s): %s", e.Code, e.Msg)
+}
+
+// Unwrap maps the stable code back to engine sentinels.
+func (e *ServerError) Unwrap() []error {
+	switch e.Code {
+	case wire.CodeBusy:
+		return []error{bufferdb.ErrServerBusy}
+	case wire.CodeDeadline:
+		return []error{bufferdb.ErrDeadlineExceeded, context.DeadlineExceeded}
+	case wire.CodeOOM:
+		return []error{bufferdb.ErrMemoryBudgetExceeded}
+	case wire.CodePanic:
+		return []error{bufferdb.ErrQueryPanic}
+	case wire.CodeCanceled:
+		return []error{context.Canceled}
+	}
+	return nil
+}
+
+// Option tunes one statement.
+type Option func(*wire.QueryOpts)
+
+// WithEngine selects the execution engine ("volcano" or "vec").
+func WithEngine(name string) Option {
+	return func(o *wire.QueryOpts) { o.Engine = name }
+}
+
+// WithParallelism overrides the scan fan-out server-side.
+func WithParallelism(workers int) Option {
+	return func(o *wire.QueryOpts) { o.Parallelism = int32(workers) }
+}
+
+// WithTimeout bounds the query's wall clock server-side; expiry surfaces
+// an error wrapping bufferdb.ErrDeadlineExceeded.
+func WithTimeout(d time.Duration) Option {
+	return func(o *wire.QueryOpts) { o.TimeoutMS = d.Milliseconds() }
+}
+
+// WithoutRefinement runs the conventional (unbuffered) plan.
+func WithoutRefinement() Option {
+	return func(o *wire.QueryOpts) { o.DisableRefinement = true }
+}
+
+// WithoutResultCache opts this statement out of the server's result-reuse
+// cache.
+func WithoutResultCache() Option {
+	return func(o *wire.QueryOpts) { o.NoResultCache = true }
+}
+
+func buildOpts(opts []Option) wire.QueryOpts {
+	var o wire.QueryOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Client is a pooled connection to one bufferdbd. Safe for concurrent use;
+// each in-flight query occupies one pooled connection.
+type Client struct {
+	addr string
+	cfg  Config
+
+	// sem bounds total live connections: acquire a token, then reuse an
+	// idle connection or dial.
+	sem chan struct{}
+
+	mu     sync.Mutex
+	idle   []*conn
+	closed bool
+
+	// ServerInfo is the daemon's HelloOK identification string, from the
+	// first successful handshake.
+	serverInfo string
+}
+
+// Dial connects to a bufferdbd at addr, performing one handshake eagerly
+// so misconfiguration fails fast.
+func Dial(addr string, cfg Config) (*Client, error) {
+	c := &Client{addr: addr, cfg: cfg.withDefaults()}
+	c.sem = make(chan struct{}, c.cfg.MaxConns)
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.idle = append(c.idle, cn)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// ServerInfo returns the daemon's handshake identification string.
+func (c *Client) ServerInfo() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.serverInfo
+}
+
+// Close closes the client and its idle connections. Connections checked
+// out by in-flight queries close as those queries finish.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	idle := c.idle
+	c.idle = nil
+	c.mu.Unlock()
+	for _, cn := range idle {
+		cn.close()
+	}
+	return nil
+}
+
+// dial opens and handshakes one connection.
+func (c *Client) dial() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cn := &conn{c: nc, br: bufio.NewReaderSize(nc, 64<<10), bw: bufio.NewWriterSize(nc, 32<<10), stmts: map[string]uint64{}}
+	_ = nc.SetDeadline(time.Now().Add(c.cfg.DialTimeout))
+	info, err := cn.handshake()
+	_ = nc.SetDeadline(time.Time{})
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake with %s: %w", c.addr, err)
+	}
+	c.mu.Lock()
+	c.serverInfo = info
+	c.mu.Unlock()
+	return cn, nil
+}
+
+// acquire checks a connection out of the pool, dialing if no idle one
+// exists.
+func (c *Client) acquire(ctx context.Context) (*conn, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("client: waiting for a connection: %w", ctx.Err())
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.sem
+		return nil, ErrClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cn, nil
+	}
+	c.mu.Unlock()
+	cn, err := c.dial()
+	if err != nil {
+		<-c.sem
+		return nil, err
+	}
+	return cn, nil
+}
+
+// release returns a connection to the pool; a broken connection (or a
+// closed client) closes it instead.
+func (c *Client) release(cn *conn) {
+	c.mu.Lock()
+	if cn.broken || c.closed {
+		c.mu.Unlock()
+		cn.close()
+	} else {
+		c.idle = append(c.idle, cn)
+		c.mu.Unlock()
+	}
+	<-c.sem
+}
+
+// Query sends a statement and returns a streaming cursor. The context
+// cancels the query server-side (a Cancel frame) as well as client-side.
+// Queries shed by admission control retry with exponential backoff up to
+// Config.BusyRetries times before the busy error surfaces.
+func (c *Client) Query(ctx context.Context, sql string, opts ...Option) (*Rows, error) {
+	o := buildOpts(opts)
+	return c.withBusyRetry(ctx, func() (*Rows, error) {
+		cn, err := c.acquire(ctx)
+		if err != nil {
+			return nil, err
+		}
+		var b wire.Builder
+		b.Opts(o)
+		b.String(sql)
+		return c.startStream(ctx, cn, wire.TQuery, b.Bytes())
+	})
+}
+
+// QueryAll runs a statement and materializes the whole result.
+func (c *Client) QueryAll(ctx context.Context, sql string, opts ...Option) (*Result, error) {
+	rows, err := c.Query(ctx, sql, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return collect(rows)
+}
+
+// Result is a fully materialized result set.
+type Result struct {
+	Columns []string
+	Rows    [][]any
+}
+
+func collect(rows *Rows) (*Result, error) {
+	defer rows.Close()
+	res := &Result{Columns: rows.Columns()}
+	for rows.Next() {
+		row := rows.Row()
+		res.Rows = append(res.Rows, append([]any(nil), row...))
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return res, rows.Close()
+}
+
+// withBusyRetry runs attempt, retrying (with doubling backoff) while the
+// error wraps ErrServerBusy and the retry budget lasts.
+func (c *Client) withBusyRetry(ctx context.Context, attempt func() (*Rows, error)) (*Rows, error) {
+	backoff := c.cfg.RetryBackoff
+	for try := 0; ; try++ {
+		rows, err := attempt()
+		if err == nil || try >= c.cfg.BusyRetries || !errors.Is(err, bufferdb.ErrServerBusy) {
+			return rows, err
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("client: canceled during busy backoff: %w", ctx.Err())
+		}
+		backoff *= 2
+	}
+}
+
+// startStream writes a request frame on cn and consumes the response head:
+// either an immediate error (connection back to the pool, typed error out)
+// or a Columns frame opening a row stream.
+func (c *Client) startStream(ctx context.Context, cn *conn, t wire.Type, payload []byte) (*Rows, error) {
+	if err := cn.write(t, payload); err != nil {
+		cn.broken = true
+		c.release(cn)
+		return nil, fmt.Errorf("client: send %s: %w", t, err)
+	}
+	ft, p, err := cn.read()
+	if err != nil {
+		cn.broken = true
+		c.release(cn)
+		return nil, fmt.Errorf("client: read response: %w", err)
+	}
+	switch ft {
+	case wire.TError:
+		serr := decodeError(p)
+		c.release(cn)
+		return nil, serr
+	case wire.TColumns:
+		r := wire.NewReader(p)
+		n := int(r.U32())
+		cols := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			cols = append(cols, r.String())
+		}
+		if err := r.Err(); err != nil {
+			cn.broken = true
+			c.release(cn)
+			return nil, err
+		}
+		rows := &Rows{c: c, cn: cn, ctx: ctx, cols: cols, watchStop: make(chan struct{}), watchDone: make(chan struct{})}
+		go rows.watchCancel()
+		return rows, nil
+	default:
+		cn.broken = true
+		c.release(cn)
+		return nil, fmt.Errorf("client: unexpected %s frame as response head", ft)
+	}
+}
+
+// decodeError parses a TError payload.
+func decodeError(p []byte) *ServerError {
+	r := wire.NewReader(p)
+	code := wire.Code(r.U16())
+	msg := r.String()
+	if err := r.Err(); err != nil {
+		return &ServerError{Code: wire.CodeProtocol, Msg: "malformed error frame"}
+	}
+	return &ServerError{Code: code, Msg: msg}
+}
+
+// TableInfo is one catalog table, as reported by the daemon.
+type TableInfo struct {
+	Name string
+	Rows uint64
+}
+
+// Tables lists the daemon's catalog.
+func (c *Client) Tables(ctx context.Context) ([]TableInfo, error) {
+	cn, err := c.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := cn.write(wire.TTables, nil); err != nil {
+		cn.broken = true
+		c.release(cn)
+		return nil, err
+	}
+	ft, p, err := cn.read()
+	if err != nil || ft != wire.TTablesOK {
+		cn.broken = true
+		c.release(cn)
+		if err == nil {
+			if ft == wire.TError {
+				return nil, decodeError(p)
+			}
+			err = fmt.Errorf("client: unexpected %s frame", ft)
+		}
+		return nil, err
+	}
+	r := wire.NewReader(p)
+	n := int(r.U32())
+	out := make([]TableInfo, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, TableInfo{Name: r.String(), Rows: r.U64()})
+	}
+	c.release(cn)
+	return out, r.Err()
+}
+
+// conn is one pooled protocol connection. At most one request/response
+// exchange is in flight on a conn at a time; the write mutex exists only
+// for the Cancel frame, which a watcher goroutine sends while the main
+// flow is reading the stream.
+type conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	wmu sync.Mutex
+
+	// stmts maps plan cache keys to this connection's server-side
+	// statement ids.
+	stmts map[string]uint64
+
+	broken bool
+}
+
+func (cn *conn) close() { cn.c.Close() }
+
+func (cn *conn) handshake() (info string, err error) {
+	var b wire.Builder
+	b.U32(wire.Magic)
+	b.U8(wire.Version)
+	if err := cn.write(wire.THello, b.Bytes()); err != nil {
+		return "", err
+	}
+	ft, p, err := cn.read()
+	if err != nil {
+		return "", err
+	}
+	switch ft {
+	case wire.THelloOK:
+		r := wire.NewReader(p)
+		_ = r.U8() // version
+		info = r.String()
+		return info, r.Err()
+	case wire.TError:
+		return "", decodeError(p)
+	default:
+		return "", fmt.Errorf("unexpected %s frame", ft)
+	}
+}
+
+func (cn *conn) write(t wire.Type, payload []byte) error {
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	if err := wire.WriteFrame(cn.bw, t, payload); err != nil {
+		return err
+	}
+	return cn.bw.Flush()
+}
+
+func (cn *conn) read() (wire.Type, []byte, error) {
+	return wire.ReadFrame(cn.br)
+}

@@ -1,0 +1,208 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"context"
+
+	"bufferdb/internal/wire"
+)
+
+// drainTimeout bounds how long Close waits for the server's terminal frame
+// after sending a Cancel before declaring the connection unusable.
+const drainTimeout = 5 * time.Second
+
+// Rows is a streaming result cursor over a pooled connection:
+//
+//	rows, err := c.Query(ctx, sql)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    use(rows.Row())
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// The cursor owns its connection until the stream terminates (Done, a
+// server error, or Close), then returns it to the pool. Not safe for
+// concurrent use. Canceling the query's context mid-stream sends a Cancel
+// frame; the server frees the query's admission slot and tracked memory
+// and terminates the stream.
+type Rows struct {
+	c   *Client
+	cn  *conn
+	ctx context.Context
+
+	cols  []string
+	batch [][]any
+	next  int
+	cur   []any
+
+	total    uint64
+	err      error
+	finished bool // terminal frame consumed, conn released
+	closed   bool
+
+	watchStop chan struct{}
+	watchDone chan struct{}
+}
+
+// watchCancel propagates context cancellation as a Cancel frame while the
+// stream is live.
+func (r *Rows) watchCancel() {
+	defer close(r.watchDone)
+	select {
+	case <-r.ctx.Done():
+		_ = r.cn.write(wire.TCancel, nil)
+	case <-r.watchStop:
+	}
+}
+
+// stopWatch tears the cancel watcher down exactly once.
+func (r *Rows) stopWatch() {
+	select {
+	case <-r.watchStop:
+	default:
+		close(r.watchStop)
+	}
+	<-r.watchDone
+}
+
+// Columns names the result attributes. The slice is shared; treat it as
+// read-only.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Row returns the current row's native Go values (int64, float64, string,
+// bool, time.Time, nil). The slice is reused by Next; copy it to retain.
+func (r *Rows) Row() []any { return r.cur }
+
+// Err reports the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Total returns the server-reported row count after a complete drain.
+func (r *Rows) Total() uint64 { return r.total }
+
+// Next advances the cursor. It returns false at end of stream, on error,
+// or after Close; consult Err to tell completion from failure.
+func (r *Rows) Next() bool {
+	if r.closed || r.finished || r.err != nil {
+		return false
+	}
+	for {
+		if r.next < len(r.batch) {
+			r.cur = r.batch[r.next]
+			r.next++
+			return true
+		}
+		ft, p, err := r.cn.read()
+		if err != nil {
+			r.fail(fmt.Errorf("client: read row stream: %w", err), true)
+			return false
+		}
+		switch ft {
+		case wire.TRowBatch:
+			if !r.decodeBatch(p) {
+				return false
+			}
+		case wire.TDone:
+			rd := wire.NewReader(p)
+			r.total = rd.U64()
+			r.settle(nil)
+			return false
+		case wire.TError:
+			serr := decodeError(p)
+			// If our own context died, report that; the server's Canceled
+			// code is just its echo.
+			if r.ctx.Err() != nil && serr.Code == wire.CodeCanceled {
+				r.settle(fmt.Errorf("client: query canceled: %w", r.ctx.Err()))
+			} else {
+				r.settle(serr)
+			}
+			return false
+		default:
+			r.fail(fmt.Errorf("client: unexpected %s frame in row stream", ft), true)
+			return false
+		}
+	}
+}
+
+// decodeBatch unpacks a RowBatch frame into the cursor's buffer.
+func (r *Rows) decodeBatch(p []byte) bool {
+	rd := wire.NewReader(p)
+	n := int(rd.U32())
+	r.batch = r.batch[:0]
+	r.next = 0
+	for i := 0; i < n; i++ {
+		row := make([]any, len(r.cols))
+		for j := range row {
+			row[j] = rd.Value()
+		}
+		r.batch = append(r.batch, row)
+	}
+	if err := rd.Err(); err != nil {
+		r.fail(fmt.Errorf("client: malformed row batch: %w", err), true)
+		return false
+	}
+	return true
+}
+
+// settle ends the stream cleanly: the terminal frame was consumed, so the
+// connection is in a known state and returns to the pool.
+func (r *Rows) settle(err error) {
+	r.err = err
+	r.cur = nil
+	r.finished = true
+	r.stopWatch()
+	r.c.release(r.cn)
+}
+
+// fail ends the stream on a transport error; the connection is poisoned.
+func (r *Rows) fail(err error, broken bool) {
+	r.err = err
+	r.cur = nil
+	r.finished = true
+	r.stopWatch()
+	r.cn.broken = broken
+	r.c.release(r.cn)
+}
+
+// Close releases the cursor. Mid-stream it cancels the query server-side
+// and drains to the terminal frame so the connection can be pooled again;
+// a drain that stalls past drainTimeout closes the connection instead.
+// Close is idempotent and does not disturb Err.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.finished {
+		return nil
+	}
+	r.stopWatch()
+	if err := r.cn.write(wire.TCancel, nil); err != nil {
+		r.fail2(err)
+		return nil
+	}
+	_ = r.cn.c.SetReadDeadline(time.Now().Add(drainTimeout))
+	for {
+		ft, _, err := r.cn.read()
+		if err != nil {
+			r.fail2(err)
+			return nil
+		}
+		if ft == wire.TDone || ft == wire.TError {
+			break
+		}
+	}
+	_ = r.cn.c.SetReadDeadline(time.Time{})
+	r.finished = true
+	r.c.release(r.cn)
+	return nil
+}
+
+// fail2 is Close's teardown for an unusable connection: no error surfacing
+// (the consumer abandoned the stream), just poison and release.
+func (r *Rows) fail2(error) {
+	r.finished = true
+	r.cn.broken = true
+	r.c.release(r.cn)
+}

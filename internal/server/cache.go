@@ -1,0 +1,221 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"bufferdb"
+)
+
+// stmtOverheadBytes is the flat cost charged per cached prepared statement
+// on top of its SQL text: the planned tree, schema and bookkeeping. Plans
+// here are small (tens of operator nodes); the estimate errs high so the
+// cache competes honestly with executing queries for the memory limit.
+const stmtOverheadBytes = 32 << 10
+
+// stmtCache is a shared LRU of prepared statements keyed by SQL text plus
+// the plan-shaping options (see wire.QueryOpts.CacheKey). Sessions prepare
+// through it so N clients preparing the same hot statement plan it once;
+// bufferdb.Stmt is safe for concurrent use, so one entry serves concurrent
+// executions. Every entry charges the database's MemoryLimit through
+// ReserveMemory; when the reservation is refused the statement is handed
+// out uncached rather than failing the prepare.
+type stmtCache struct {
+	db  *bufferdb.DB
+	max int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type stmtEntry struct {
+	key     string
+	stmt    *bufferdb.Stmt
+	release func()
+}
+
+// newStmtCache builds a cache bounded to max entries; max <= 0 disables
+// caching (get always builds).
+func newStmtCache(db *bufferdb.DB, max int) *stmtCache {
+	return &stmtCache{db: db, max: max, entries: map[string]*list.Element{}, order: list.New()}
+}
+
+// get returns the cached statement for key, building and inserting it on a
+// miss. Concurrent misses on the same key may both build; the second insert
+// wins and the loser's plan is simply garbage (never double-charged,
+// because only the inserted entry holds a reservation).
+func (c *stmtCache) get(key string, build func() (*bufferdb.Stmt, error)) (*bufferdb.Stmt, error) {
+	if c.max <= 0 {
+		return build()
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		st := el.Value.(*stmtEntry).stmt
+		c.mu.Unlock()
+		metricCache("stmt", "hits").Inc()
+		return st, nil
+	}
+	c.mu.Unlock()
+	metricCache("stmt", "misses").Inc()
+
+	st, err := build()
+	if err != nil {
+		return nil, err
+	}
+	release, err := c.db.ReserveMemory("stmt-cache", int64(len(key))+stmtOverheadBytes)
+	if err != nil {
+		// The memory limit is saturated: serve the statement uncached.
+		return st, nil
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		// Lost a race with a concurrent prepare; keep the winner.
+		cached := el.Value.(*stmtEntry).stmt
+		c.mu.Unlock()
+		release()
+		return cached, nil
+	}
+	c.entries[key] = c.order.PushFront(&stmtEntry{key: key, stmt: st, release: release})
+	var evicted []*stmtEntry
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		e := back.Value.(*stmtEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		evicted = append(evicted, e)
+	}
+	c.mu.Unlock()
+	for _, e := range evicted {
+		e.release()
+		metricCache("stmt", "evictions").Inc()
+	}
+	return st, nil
+}
+
+// close releases every reservation; the cache is unusable afterwards.
+func (c *stmtCache) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		el.Value.(*stmtEntry).release()
+	}
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+}
+
+// cachedResult is one result cache entry: the column header plus the
+// already-encoded row-batch frames, ready to replay to any client. Batches
+// are immutable once stored, so an entry may be served concurrently with
+// (or after) its own eviction.
+type cachedResult struct {
+	cols    []string
+	batches [][]byte
+	rows    uint64
+	size    int64
+	release func()
+}
+
+// resultCache is the opt-in bounded reuse cache for repeated identical
+// read-only queries (every statement the engine accepts is read-only). It
+// stores encoded batches keyed like the statement cache, bounded both per
+// entry and in total, with every byte charged against the database's
+// MemoryLimit.
+type resultCache struct {
+	db       *bufferdb.DB
+	budget   int64 // total encoded bytes; <= 0 disables
+	maxEntry int64 // largest single result worth caching
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List
+	total   int64
+}
+
+func newResultCache(db *bufferdb.DB, budget, maxEntry int64) *resultCache {
+	if maxEntry <= 0 {
+		maxEntry = budget / 8
+	}
+	return &resultCache{
+		db: db, budget: budget, maxEntry: maxEntry,
+		entries: map[string]*list.Element{}, order: list.New(),
+	}
+}
+
+func (c *resultCache) enabled() bool { return c.budget > 0 }
+
+// get returns the entry for key, bumping its recency.
+func (c *resultCache) get(key string) (*cachedResult, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		metricCache("result", "misses").Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	metricCache("result", "hits").Inc()
+	return el.Value.(*resultKeyed).res, true
+}
+
+type resultKeyed struct {
+	key string
+	res *cachedResult
+}
+
+// put inserts a freshly-streamed result, evicting least-recently-used
+// entries until the budget holds. Results over the per-entry cap, or that
+// the memory limit refuses, are dropped silently.
+func (c *resultCache) put(key string, res *cachedResult) {
+	if !c.enabled() || res.size > c.maxEntry {
+		return
+	}
+	release, err := c.db.ReserveMemory("result-cache", res.size)
+	if err != nil {
+		return
+	}
+	res.release = release
+
+	c.mu.Lock()
+	if _, ok := c.entries[key]; ok {
+		// A concurrent execution already cached this key.
+		c.mu.Unlock()
+		release()
+		return
+	}
+	c.entries[key] = c.order.PushFront(&resultKeyed{key: key, res: res})
+	c.total += res.size
+	var evicted []*cachedResult
+	for c.total > c.budget && c.order.Len() > 1 {
+		back := c.order.Back()
+		e := back.Value.(*resultKeyed)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.total -= e.res.size
+		evicted = append(evicted, e.res)
+	}
+	c.mu.Unlock()
+	for _, r := range evicted {
+		r.release()
+		metricCache("result", "evictions").Inc()
+	}
+}
+
+// close releases every reservation; the cache is unusable afterwards.
+func (c *resultCache) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if e, ok := el.Value.(*resultKeyed); ok && e.res.release != nil {
+			e.res.release()
+		}
+	}
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+	c.total = 0
+}

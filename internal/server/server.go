@@ -1,0 +1,296 @@
+// Package server is bufferdb's network serving layer: a TCP server
+// speaking the internal/wire protocol over a resident *bufferdb.DB. Every
+// session's statements run through the engine's existing resource governor
+// — admission control, deadlines, memory budgets, panic containment — and
+// the sentinel errors those layers produce cross the connection as stable
+// typed error codes. The server adds the two reuse layers a long-lived
+// daemon makes worthwhile: a shared LRU of prepared statements keyed by
+// SQL text, and an opt-in bounded cache replaying encoded result streams
+// for repeated identical read-only queries, both charged against the
+// database's MemoryLimit.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bufferdb"
+	"bufferdb/internal/wire"
+)
+
+// Config configures a Server. DB is the only required field.
+type Config struct {
+	// DB is the resident database every session queries.
+	DB *bufferdb.DB
+
+	// StmtCacheEntries bounds the shared prepared-statement LRU. 0 selects
+	// the default (64); negative disables the cache (every prepare plans).
+	StmtCacheEntries int
+
+	// ResultCacheBytes enables the result-reuse cache with a total budget
+	// of encoded result bytes; 0 (the default) disables it — reuse of
+	// whole results is opt-in.
+	ResultCacheBytes int64
+	// ResultCacheMaxEntry caps one cached result's encoded size
+	// (0 = ResultCacheBytes/8).
+	ResultCacheMaxEntry int64
+
+	// BatchRows bounds the rows packed into one RowBatch frame
+	// (0 = 256); frames also flush early at ~64 KiB of payload.
+	BatchRows int
+
+	// Info is the free-form server identification echoed in HelloOK.
+	Info string
+
+	// Logf receives connection-level diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+
+	// FaultHook, when set, attaches a fault injector to every statement
+	// whose SQL it returns non-nil for. It exists so the chaos suite can
+	// drive the fault-injection harness through the network path; nil in
+	// production. Statements with an injector bypass both reuse caches.
+	FaultHook func(sql string) *bufferdb.FaultInjector
+}
+
+// Server accepts connections and serves sessions until Shutdown.
+type Server struct {
+	cfg     Config
+	db      *bufferdb.DB
+	stmts   *stmtCache
+	results *resultCache
+
+	// ctx is canceled by Shutdown; every session context and in-flight
+	// query context descends from it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// New builds a Server over a resident database.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	stmtEntries := cfg.StmtCacheEntries
+	if stmtEntries == 0 {
+		stmtEntries = 64
+	}
+	if cfg.BatchRows <= 0 {
+		cfg.BatchRows = 256
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		db:        cfg.DB,
+		stmts:     newStmtCache(cfg.DB, stmtEntries),
+		results:   newResultCache(cfg.DB, cfg.ResultCacheBytes, cfg.ResultCacheMaxEntry),
+		ctx:       ctx,
+		cancel:    cancel,
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[net.Conn]struct{}{},
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ErrServerClosed is returned by Serve after Shutdown, mirroring
+// net/http.ErrServerClosed.
+var ErrServerClosed = errors.New("server: closed")
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts sessions on l until Shutdown closes it. Like
+// net/http.Server.Serve it blocks, returning ErrServerClosed on a clean
+// shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		l.Close()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+
+		metricConnections().Inc()
+		metricConnsOpen().Add(1)
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				metricConnsOpen().Add(-1)
+				s.wg.Done()
+			}()
+			newSession(s, conn).run()
+		}()
+	}
+}
+
+// Shutdown stops accepting, cancels every in-flight query (which frees
+// admission slots and drives tracked memory back to zero), and waits for
+// sessions to drain. If ctx expires first, remaining connections are
+// force-closed and Shutdown waits for their sessions to unwind before
+// returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+
+	// Cancel session + query contexts: blocked queries fail promptly and
+	// sessions send a shutdown error frame before exiting.
+	s.cancel()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	// Sessions are gone; return the cache reservations so an idle
+	// post-shutdown process charges nothing against the memory limit.
+	s.stmts.close()
+	s.results.close()
+	return err
+}
+
+// buildStmt plans a statement with the wire options applied, going through
+// the shared LRU when the options are cache-compatible. Statements carrying
+// a timeout or a fault injector stay private to their session: the timeout
+// is baked into the prepared options (it must not leak to other clients),
+// and injectors are test instruments.
+func (s *Server) buildStmt(sql string, o wire.QueryOpts, fi *bufferdb.FaultInjector) (*bufferdb.Stmt, error) {
+	build := func() (*bufferdb.Stmt, error) {
+		return s.db.Prepare(sql, queryOptions(o, fi)...)
+	}
+	if o.TimeoutMS != 0 || fi != nil {
+		return build()
+	}
+	return s.stmts.get(o.CacheKey(sql), build)
+}
+
+// queryOptions translates wire options into engine options.
+func queryOptions(o wire.QueryOpts, fi *bufferdb.FaultInjector) []bufferdb.QueryOption {
+	var opts []bufferdb.QueryOption
+	if o.Engine != "" {
+		opts = append(opts, bufferdb.WithEngine(bufferdb.Engine(o.Engine)))
+	}
+	if o.Parallelism != 0 {
+		opts = append(opts, bufferdb.WithParallelism(int(o.Parallelism)))
+	}
+	if o.TimeoutMS > 0 {
+		opts = append(opts, bufferdb.WithTimeout(time.Duration(o.TimeoutMS)*time.Millisecond))
+	}
+	if o.DisableRefinement {
+		opts = append(opts, bufferdb.WithoutRefinement())
+	}
+	if fi != nil {
+		opts = append(opts, bufferdb.WithFaultInjector(fi))
+	}
+	return opts
+}
+
+// errorCode classifies a query error into its stable wire code. The order
+// matters: a deadline expiry also satisfies context cancellation, and a
+// shutdown cancellation must not masquerade as a client cancel.
+func (s *Server) errorCode(err error) wire.Code {
+	switch {
+	case errors.Is(err, bufferdb.ErrServerBusy):
+		return wire.CodeBusy
+	case errors.Is(err, bufferdb.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return wire.CodeDeadline
+	case errors.Is(err, bufferdb.ErrMemoryBudgetExceeded):
+		return wire.CodeOOM
+	case errors.Is(err, bufferdb.ErrQueryPanic):
+		return wire.CodePanic
+	case errors.Is(err, context.Canceled):
+		if s.ctx.Err() != nil {
+			return wire.CodeShutdown
+		}
+		return wire.CodeCanceled
+	default:
+		return wire.CodeQuery
+	}
+}
+
+// Addr is a convenience for tests: the first listener's address.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for l := range s.listeners {
+		return l.Addr()
+	}
+	return nil
+}
+
+// String identifies the server in logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("bufferdbd(stmt-cache=%d, result-cache=%dB)",
+		s.stmts.max, s.results.budget)
+}

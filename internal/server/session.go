@@ -1,0 +1,487 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"bufferdb"
+	"bufferdb/internal/wire"
+)
+
+// batchBytes flushes a RowBatch frame early once its payload reaches this
+// size, regardless of the row count, so wide rows don't build huge frames.
+const batchBytes = 64 << 10
+
+// handshakeTimeout bounds how long a fresh connection may sit silent
+// before its Hello arrives.
+const handshakeTimeout = 10 * time.Second
+
+// frame is one decoded incoming frame.
+type frame struct {
+	t       wire.Type
+	payload []byte
+}
+
+// session serves one connection. All writes happen on the session
+// goroutine; a dedicated reader goroutine decodes incoming frames into the
+// frames channel so the session can notice Cancel frames and disconnects
+// while a result is streaming.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	bw   *bufio.Writer
+
+	// frames delivers decoded client frames; the reader goroutine closes
+	// it on read error or disconnect.
+	frames chan frame
+
+	// stmts maps session-local statement ids to their prepared handles.
+	// The handles themselves may be shared through the server's LRU.
+	stmts  map[uint64]*prepared
+	nextID uint64
+}
+
+// prepared is a session's handle on a prepared statement.
+type prepared struct {
+	sql  string
+	opts wire.QueryOpts
+	stmt *bufferdb.Stmt
+}
+
+func newSession(s *Server, conn net.Conn) *session {
+	return &session{
+		srv:    s,
+		conn:   conn,
+		bw:     bufio.NewWriterSize(conn, 32<<10),
+		frames: make(chan frame, 1),
+		stmts:  map[uint64]*prepared{},
+	}
+}
+
+// readLoop decodes frames off the connection until it fails, then closes
+// the frames channel — which the session observes as a disconnect.
+func (ss *session) readLoop() {
+	defer close(ss.frames)
+	for {
+		t, p, err := wire.ReadFrame(ss.conn)
+		if err != nil {
+			return
+		}
+		ss.frames <- frame{t, p}
+	}
+}
+
+// run drives the session: handshake, then one request at a time until
+// disconnect, protocol error or server shutdown.
+func (ss *session) run() {
+	defer func() {
+		ss.conn.Close()
+		// Unblock the reader if it is parked on a send.
+		for range ss.frames {
+		}
+	}()
+	go ss.readLoop()
+
+	if err := ss.handshake(); err != nil {
+		ss.srv.logf("server: %s: handshake: %v", ss.conn.RemoteAddr(), err)
+		return
+	}
+
+	for {
+		select {
+		case <-ss.srv.ctx.Done():
+			_ = ss.sendError(wire.CodeShutdown, "server shutting down")
+			return
+		case f, ok := <-ss.frames:
+			if !ok {
+				return
+			}
+			if err := ss.dispatch(f); err != nil {
+				ss.srv.logf("server: %s: %v", ss.conn.RemoteAddr(), err)
+				return
+			}
+		}
+	}
+}
+
+// handshake expects Hello as the very first frame and answers HelloOK.
+func (ss *session) handshake() error {
+	_ = ss.conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	var f frame
+	var ok bool
+	select {
+	case f, ok = <-ss.frames:
+		if !ok {
+			return fmt.Errorf("connection closed before Hello")
+		}
+	case <-ss.srv.ctx.Done():
+		return context.Cause(ss.srv.ctx)
+	}
+	_ = ss.conn.SetReadDeadline(time.Time{})
+	if f.t != wire.THello {
+		_ = ss.sendError(wire.CodeProtocol, fmt.Sprintf("expected Hello, got %s", f.t))
+		return fmt.Errorf("first frame was %s", f.t)
+	}
+	r := wire.NewReader(f.payload)
+	magic, version := r.U32(), r.U8()
+	if err := r.Err(); err != nil {
+		_ = ss.sendError(wire.CodeProtocol, "malformed Hello")
+		return err
+	}
+	if magic != wire.Magic {
+		_ = ss.sendError(wire.CodeProtocol, "bad magic")
+		return fmt.Errorf("bad magic 0x%08x", magic)
+	}
+	if version != wire.Version {
+		_ = ss.sendError(wire.CodeProtocol, fmt.Sprintf("unsupported protocol version %d", version))
+		return fmt.Errorf("unsupported version %d", version)
+	}
+	var b wire.Builder
+	b.U8(wire.Version)
+	b.String(ss.srv.cfg.Info)
+	return ss.send(wire.THelloOK, b.Bytes())
+}
+
+// dispatch handles one request frame. A nil return keeps the session
+// alive; an error tears the connection down (protocol violations, dead
+// sockets).
+func (ss *session) dispatch(f frame) error {
+	switch f.t {
+	case wire.TQuery:
+		r := wire.NewReader(f.payload)
+		opts := r.Opts()
+		sql := r.String()
+		if err := r.Err(); err != nil {
+			_ = ss.sendError(wire.CodeProtocol, "malformed Query")
+			return err
+		}
+		return ss.runAdhoc(sql, opts)
+
+	case wire.TPrepare:
+		r := wire.NewReader(f.payload)
+		opts := r.Opts()
+		sql := r.String()
+		if err := r.Err(); err != nil {
+			_ = ss.sendError(wire.CodeProtocol, "malformed Prepare")
+			return err
+		}
+		return ss.prepare(sql, opts)
+
+	case wire.TExecute:
+		r := wire.NewReader(f.payload)
+		id := r.U64()
+		if err := r.Err(); err != nil {
+			_ = ss.sendError(wire.CodeProtocol, "malformed Execute")
+			return err
+		}
+		return ss.execute(id)
+
+	case wire.TCloseStmt:
+		r := wire.NewReader(f.payload)
+		id := r.U64()
+		if err := r.Err(); err != nil {
+			_ = ss.sendError(wire.CodeProtocol, "malformed CloseStmt")
+			return err
+		}
+		delete(ss.stmts, id)
+		return nil
+
+	case wire.TTables:
+		return ss.tables()
+
+	case wire.TCancel:
+		// A cancel that raced the end of its stream; nothing to abort.
+		return nil
+
+	default:
+		_ = ss.sendError(wire.CodeProtocol, fmt.Sprintf("unexpected %s frame", f.t))
+		return fmt.Errorf("unexpected %s frame", f.t)
+	}
+}
+
+// prepare plans a statement and hands back its session-local id.
+func (ss *session) prepare(sql string, opts wire.QueryOpts) error {
+	var fi *bufferdb.FaultInjector
+	if ss.srv.cfg.FaultHook != nil {
+		fi = ss.srv.cfg.FaultHook(sql)
+	}
+	st, err := ss.srv.buildStmt(sql, opts, fi)
+	if err != nil {
+		return ss.sendQueryError(err)
+	}
+	ss.nextID++
+	id := ss.nextID
+	ss.stmts[id] = &prepared{sql: sql, opts: opts, stmt: st}
+	var b wire.Builder
+	b.U64(id)
+	return ss.send(wire.TPrepared, b.Bytes())
+}
+
+// execute runs a prepared statement by id.
+func (ss *session) execute(id uint64) error {
+	ps, ok := ss.stmts[id]
+	if !ok {
+		return ss.sendError(wire.CodeUnknownStmt, fmt.Sprintf("unknown statement id %d", id))
+	}
+	metricQueries("prepared").Inc()
+	metricInFlight().Add(1)
+	defer metricInFlight().Add(-1)
+
+	qctx, qcancel := context.WithCancel(ss.srv.ctx)
+	defer qcancel()
+	rows, err := ps.stmt.QueryStream(qctx)
+	if err != nil {
+		return ss.sendQueryError(err)
+	}
+	return ss.stream(qcancel, rows, nil)
+}
+
+// runAdhoc serves a Query frame: through the result cache when it is
+// enabled and the statement qualifies, else by planning and executing.
+func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
+	var fi *bufferdb.FaultInjector
+	if ss.srv.cfg.FaultHook != nil {
+		fi = ss.srv.cfg.FaultHook(sql)
+	}
+
+	cacheable := ss.srv.results.enabled() && !opts.NoResultCache && fi == nil
+	key := opts.CacheKey(sql)
+	if cacheable {
+		if res, ok := ss.srv.results.get(key); ok {
+			metricQueries("cached").Inc()
+			return ss.replay(res)
+		}
+	}
+
+	metricQueries("adhoc").Inc()
+	metricInFlight().Add(1)
+	defer metricInFlight().Add(-1)
+
+	qctx, qcancel := context.WithCancel(ss.srv.ctx)
+	defer qcancel()
+	rows, err := ss.srv.db.QueryStream(qctx, sql, queryOptions(opts, fi)...)
+	if err != nil {
+		return ss.sendQueryError(err)
+	}
+	var collect *cachedResult
+	if cacheable {
+		collect = &cachedResult{}
+	}
+	err = ss.stream(qcancel, rows, collect)
+	if err == nil && collect != nil && collect.complete() {
+		ss.srv.results.put(key, collect)
+	}
+	return err
+}
+
+// complete reports whether a collected result finished streaming (an
+// aborted or overflowing collection zeroes itself out).
+func (r *cachedResult) complete() bool { return r != nil && r.cols != nil }
+
+// stream drives a Rows cursor onto the wire: Columns, RowBatch*, then Done
+// or a terminal Error frame. While streaming, a watcher goroutine owns the
+// incoming frame channel so a Cancel frame — or the channel closing on
+// disconnect — cancels the query context, which frees its admission slot
+// and returns its tracked memory. The returned error is session-fatal;
+// query failures are reported to the client and return nil.
+func (ss *session) stream(qcancel context.CancelFunc, rows *bufferdb.Rows, collect *cachedResult) error {
+	defer rows.Close()
+
+	// Watch for Cancel / disconnect / stray frames while we stream.
+	stop := make(chan struct{})
+	watch := make(chan watchEvent, 1)
+	go func() {
+		select {
+		case f, ok := <-ss.frames:
+			if !ok {
+				watch <- watchDisconnect
+			} else if f.t == wire.TCancel {
+				watch <- watchCancel
+			} else {
+				watch <- watchProtocol
+			}
+			qcancel()
+		case <-stop:
+			watch <- watchNone
+		}
+	}()
+	settle := func() watchEvent {
+		close(stop)
+		return <-watch
+	}
+
+	cols := rows.Columns()
+	var b wire.Builder
+	b.U32(uint32(len(cols)))
+	for _, c := range cols {
+		b.String(c)
+	}
+	if err := ss.send(wire.TColumns, b.Bytes()); err != nil {
+		settle()
+		return err
+	}
+	if collect != nil {
+		collect.cols = append([]string(nil), cols...)
+	}
+
+	dest := make([]any, len(cols))
+	ptrs := make([]any, len(cols))
+	for i := range dest {
+		ptrs[i] = &dest[i]
+	}
+
+	var total uint64
+	var batch wire.Builder
+	var inBatch uint32
+	flush := func() error {
+		if inBatch == 0 {
+			return nil
+		}
+		payload := batch.Bytes()
+		binary.BigEndian.PutUint32(payload[:4], inBatch)
+		if collect != nil {
+			if collect.size += int64(len(payload)); collect.size > ss.srv.results.maxEntry {
+				collect.cols = nil // too big to cache; stop collecting
+				collect.batches = nil
+				collect = nil
+			} else {
+				collect.batches = append(collect.batches, append([]byte(nil), payload...))
+				collect.rows += uint64(inBatch)
+			}
+		}
+		err := ss.send(wire.TRowBatch, payload)
+		batch.Reset()
+		inBatch = 0
+		return err
+	}
+	batch.U32(0) // row-count placeholder, patched in flush
+
+	for rows.Next() {
+		if err := rows.Scan(ptrs...); err != nil {
+			// Scan of *any never fails on engine-produced rows; treat a
+			// failure as a query error.
+			settle()
+			return ss.sendQueryError(err)
+		}
+		for _, v := range dest {
+			if err := batch.Value(v); err != nil {
+				settle()
+				return ss.sendQueryError(err)
+			}
+		}
+		inBatch++
+		total++
+		if int(inBatch) >= ss.srv.cfg.BatchRows || batch.Len() >= batchBytes {
+			if err := flush(); err != nil {
+				settle()
+				return err
+			}
+			batch.U32(0)
+		}
+	}
+
+	ev := settle()
+	switch ev {
+	case watchDisconnect:
+		// No one is listening; just unwind (rows.Close in the defer).
+		return fmt.Errorf("client disconnected mid-stream")
+	case watchProtocol:
+		_ = ss.sendError(wire.CodeProtocol, "frame other than Cancel during result stream")
+		return fmt.Errorf("frame other than Cancel during result stream")
+	}
+
+	if err := rows.Err(); err != nil {
+		return ss.sendQueryError(err)
+	}
+	if ev == watchCancel {
+		// The query finished before the cancel landed; report the cancel
+		// anyway — the client stopped caring about this result.
+		return ss.sendError(wire.CodeCanceled, "query canceled")
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := rows.Close(); err != nil {
+		return ss.sendQueryError(err)
+	}
+	var done wire.Builder
+	done.U64(total)
+	return ss.send(wire.TDone, done.Bytes())
+}
+
+// watchEvent is what the stream watcher observed.
+type watchEvent int
+
+const (
+	watchNone watchEvent = iota
+	watchCancel
+	watchDisconnect
+	watchProtocol
+)
+
+// replay streams a cached result: header, stored batches, done.
+func (ss *session) replay(res *cachedResult) error {
+	var b wire.Builder
+	b.U32(uint32(len(res.cols)))
+	for _, c := range res.cols {
+		b.String(c)
+	}
+	if err := ss.send(wire.TColumns, b.Bytes()); err != nil {
+		return err
+	}
+	for _, batch := range res.batches {
+		if err := ss.send(wire.TRowBatch, batch); err != nil {
+			return err
+		}
+	}
+	var done wire.Builder
+	done.U64(res.rows)
+	return ss.send(wire.TDone, done.Bytes())
+}
+
+// tables answers a Tables frame from the catalog.
+func (ss *session) tables() error {
+	names := ss.srv.db.Tables()
+	var b wire.Builder
+	b.U32(uint32(len(names)))
+	for _, n := range names {
+		rows, err := ss.srv.db.RowCount(n)
+		if err != nil {
+			rows = 0
+		}
+		b.String(n)
+		b.U64(uint64(rows))
+	}
+	return ss.send(wire.TTablesOK, b.Bytes())
+}
+
+// send writes one frame and flushes it.
+func (ss *session) send(t wire.Type, payload []byte) error {
+	if err := wire.WriteFrame(ss.bw, t, payload); err != nil {
+		return err
+	}
+	if err := ss.bw.Flush(); err != nil {
+		return err
+	}
+	metricBytesSent().Add(uint64(len(payload) + 5))
+	return nil
+}
+
+// sendQueryError reports a failed statement with its stable code; the
+// session stays alive.
+func (ss *session) sendQueryError(err error) error {
+	return ss.sendError(ss.srv.errorCode(err), err.Error())
+}
+
+// sendError writes a terminal Error frame and counts it.
+func (ss *session) sendError(code wire.Code, msg string) error {
+	metricQueryErrors(code).Inc()
+	var b wire.Builder
+	b.U16(uint16(code))
+	b.String(msg)
+	return ss.send(wire.TError, b.Bytes())
+}

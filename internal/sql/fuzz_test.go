@@ -1,6 +1,9 @@
 package sql
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // FuzzParse asserts the parser never panics: any input either parses or
 // returns an error. Run with `go test -fuzz FuzzParse ./internal/sql` to
@@ -24,10 +27,14 @@ func FuzzParse(f *testing.F) {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, input string) {
-		// Must not panic; errors are fine.
+		// Must not panic; errors are fine, but every error must locate
+		// itself with a byte offset so clients can point at the input.
 		stmt, err := Parse(input)
 		if err == nil && stmt == nil {
 			t.Error("nil statement without error")
+		}
+		if err != nil && !strings.Contains(err.Error(), "offset") {
+			t.Errorf("parse error carries no offset: %v", err)
 		}
 		if err == nil {
 			// A parsed statement must render without panicking either.

@@ -1,0 +1,96 @@
+package sql
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// offsetRE extracts the byte offset a parse or lex error reports.
+var offsetRE = regexp.MustCompile(`offset (\d+)`)
+
+// TestParseErrorCases pins down the parser's error surface for the inputs
+// most likely to come off a network connection half-typed: trailing input
+// after a complete statement and unterminated string literals. Every error
+// must carry a byte offset inside the input, and the message must name the
+// failure so a remote client's error frame is actionable on its own.
+func TestParseErrorCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		wantMsg string // substring of the error text
+	}{
+		{
+			// Not "FROM t garbage" — that parses as a table alias.
+			name:    "trailing literal",
+			input:   "SELECT a FROM t WHERE a = 1 2",
+			wantMsg: "trailing input",
+		},
+		{
+			name:    "second statement after semicolon",
+			input:   "SELECT a FROM t; SELECT b FROM u",
+			wantMsg: "trailing input",
+		},
+		{
+			name:    "trailing closing paren",
+			input:   "SELECT a FROM t)",
+			wantMsg: "trailing input",
+		},
+		{
+			name:    "trailing number",
+			input:   "SELECT COUNT(*) FROM t LIMIT 1 2",
+			wantMsg: "trailing input",
+		},
+		{
+			name:    "unterminated string",
+			input:   "SELECT 'abc FROM t",
+			wantMsg: "unterminated string",
+		},
+		{
+			name:    "unterminated string with escaped quote",
+			input:   "SELECT 'it''s",
+			wantMsg: "unterminated string",
+		},
+		{
+			name:    "unterminated empty string at end",
+			input:   "SELECT a FROM t WHERE s = '",
+			wantMsg: "unterminated string",
+		},
+		{
+			name:    "bare quote",
+			input:   "'",
+			wantMsg: "unterminated string",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stmt, err := Parse(tc.input)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded: %+v", tc.input, stmt)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("Parse(%q) error %q does not mention %q", tc.input, err, tc.wantMsg)
+			}
+			m := offsetRE.FindStringSubmatch(err.Error())
+			if m == nil {
+				t.Fatalf("Parse(%q) error carries no offset: %v", tc.input, err)
+			}
+			off, convErr := strconv.Atoi(m[1])
+			if convErr != nil || off < 0 || off > len(tc.input) {
+				t.Fatalf("Parse(%q) reports offset %s outside the input (len %d)",
+					tc.input, m[1], len(tc.input))
+			}
+		})
+	}
+}
+
+// TestParseTrailingSemicolonOK pins the one legal trailer: a single
+// terminating semicolon parses cleanly.
+func TestParseTrailingSemicolonOK(t *testing.T) {
+	for _, q := range []string{"SELECT a FROM t;", "SELECT a FROM t ; "} {
+		if _, err := Parse(q); err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+	}
+}

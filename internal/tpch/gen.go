@@ -1,11 +1,18 @@
 package tpch
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"bufferdb/internal/btree"
 	"bufferdb/internal/storage"
 )
+
+// ErrBadScaleFactor is the sentinel wrapped when Generate is given a scale
+// factor that cannot produce a catalog: zero, negative, NaN or infinite.
+// Test with errors.Is; the dynamic error carries the offending value.
+var ErrBadScaleFactor = errors.New("bad scale factor")
 
 // Config controls data generation.
 type Config struct {
@@ -69,8 +76,11 @@ var (
 // part and orders, plus a non-unique foreign-key index on
 // lineitem(l_orderkey) — the access paths the paper's join plans use.
 func Generate(cfg Config) (*storage.Catalog, error) {
-	if cfg.ScaleFactor <= 0 {
-		return nil, fmt.Errorf("tpch: scale factor must be positive, got %v", cfg.ScaleFactor)
+	// NaN fails every comparison, so test for the valid range rather than
+	// the invalid one: only a positive finite factor passes.
+	if !(cfg.ScaleFactor > 0) || math.IsInf(cfg.ScaleFactor, 0) || math.IsNaN(cfg.ScaleFactor) {
+		return nil, fmt.Errorf("tpch: %w: must be a positive finite number, got %v",
+			ErrBadScaleFactor, cfg.ScaleFactor)
 	}
 	seed := cfg.Seed
 	if seed == 0 {

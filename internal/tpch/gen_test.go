@@ -1,6 +1,8 @@
 package tpch
 
 import (
+	"errors"
+	"math"
 	"testing"
 
 	"bufferdb/internal/btree"
@@ -26,11 +28,15 @@ func table(t *testing.T, name string) *storage.Table {
 }
 
 func TestGenerateRejectsBadScale(t *testing.T) {
-	if _, err := Generate(Config{ScaleFactor: 0}); err == nil {
-		t.Error("SF 0 accepted")
-	}
-	if _, err := Generate(Config{ScaleFactor: -1}); err == nil {
-		t.Error("negative SF accepted")
+	for _, sf := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		_, err := Generate(Config{ScaleFactor: sf})
+		if err == nil {
+			t.Errorf("SF %v accepted", sf)
+			continue
+		}
+		if !errors.Is(err, ErrBadScaleFactor) {
+			t.Errorf("SF %v: error %v does not wrap ErrBadScaleFactor", sf, err)
+		}
 	}
 }
 

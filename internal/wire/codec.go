@@ -1,0 +1,260 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Builder appends protocol primitives to a growing payload. The zero value
+// is ready to use; Bytes returns the accumulated payload.
+type Builder struct {
+	buf []byte
+}
+
+// Bytes returns the built payload.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// Len returns the current payload size.
+func (b *Builder) Len() int { return len(b.buf) }
+
+// Reset empties the builder, keeping its capacity.
+func (b *Builder) Reset() { b.buf = b.buf[:0] }
+
+// U8 appends a byte.
+func (b *Builder) U8(v byte) { b.buf = append(b.buf, v) }
+
+// U16 appends a big-endian uint16.
+func (b *Builder) U16(v uint16) { b.buf = binary.BigEndian.AppendUint16(b.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (b *Builder) U32(v uint32) { b.buf = binary.BigEndian.AppendUint32(b.buf, v) }
+
+// U64 appends a big-endian uint64.
+func (b *Builder) U64(v uint64) { b.buf = binary.BigEndian.AppendUint64(b.buf, v) }
+
+// I64 appends a big-endian int64 (two's complement).
+func (b *Builder) I64(v int64) { b.U64(uint64(v)) }
+
+// F64 appends a float64 as IEEE-754 bits.
+func (b *Builder) F64(v float64) { b.U64(math.Float64bits(v)) }
+
+// String appends a uint32 length prefix and the string's bytes.
+func (b *Builder) String(s string) {
+	b.U32(uint32(len(s)))
+	b.buf = append(b.buf, s...)
+}
+
+// Reader consumes protocol primitives from a payload. Errors are sticky:
+// after the first malformed read every later read returns the zero value,
+// and Err reports the failure once at the end — mirroring bufio.Scanner's
+// usage pattern so per-field error checks don't litter the decoders.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(p []byte) *Reader { return &Reader{buf: p} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the unread byte count.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated payload reading %s at offset %d", what, r.off)
+	}
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() byte {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	if r.err != nil || r.off+2 > len(r.buf) {
+		r.fail("u16")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+// I64 reads a big-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Value kind tags for the row codec. The set mirrors the native Go values
+// the engine's Result rows carry.
+const (
+	valNull  byte = 0
+	valBool  byte = 1
+	valInt   byte = 2
+	valFloat byte = 3
+	valStr   byte = 4
+	valTime  byte = 5 // unix seconds, rendered UTC
+)
+
+// Value appends one row cell: a kind tag plus its encoding. Supported types
+// are exactly the engine's native result values (nil, bool, int64, float64,
+// string, time.Time).
+func (b *Builder) Value(v any) error {
+	switch x := v.(type) {
+	case nil:
+		b.U8(valNull)
+	case bool:
+		b.U8(valBool)
+		if x {
+			b.U8(1)
+		} else {
+			b.U8(0)
+		}
+	case int64:
+		b.U8(valInt)
+		b.I64(x)
+	case float64:
+		b.U8(valFloat)
+		b.F64(x)
+	case string:
+		b.U8(valStr)
+		b.String(x)
+	case time.Time:
+		b.U8(valTime)
+		b.I64(x.Unix())
+	default:
+		return fmt.Errorf("wire: cannot encode value of type %T", v)
+	}
+	return nil
+}
+
+// Value reads one row cell back into its native Go type.
+func (r *Reader) Value() any {
+	switch k := r.U8(); k {
+	case valNull:
+		return nil
+	case valBool:
+		return r.U8() != 0
+	case valInt:
+		return r.I64()
+	case valFloat:
+		return r.F64()
+	case valStr:
+		return r.String()
+	case valTime:
+		return time.Unix(r.I64(), 0).UTC()
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: unknown value kind 0x%02x at offset %d", k, r.off-1)
+		}
+		return nil
+	}
+}
+
+// QueryOpts is the per-statement tuning a client may ship with TQuery and
+// TPrepare. The zero value means "server defaults".
+type QueryOpts struct {
+	// Engine selects the execution engine ("" = server default).
+	Engine string
+	// Parallelism overrides the scan fan-out (0 = server default).
+	Parallelism int32
+	// TimeoutMS bounds the query's wall clock in milliseconds (0 = none).
+	TimeoutMS int64
+	// DisableRefinement runs the conventional (unbuffered) plan.
+	DisableRefinement bool
+	// NoResultCache opts this statement out of the server's result-reuse
+	// cache even when the server has it enabled.
+	NoResultCache bool
+}
+
+// Opt flag bits.
+const (
+	optDisableRefinement byte = 1 << 0
+	optNoResultCache     byte = 1 << 1
+)
+
+// Opts appends an encoded QueryOpts.
+func (b *Builder) Opts(o QueryOpts) {
+	var flags byte
+	if o.DisableRefinement {
+		flags |= optDisableRefinement
+	}
+	if o.NoResultCache {
+		flags |= optNoResultCache
+	}
+	b.U8(flags)
+	b.String(o.Engine)
+	b.U32(uint32(o.Parallelism))
+	b.I64(o.TimeoutMS)
+}
+
+// Opts reads an encoded QueryOpts.
+func (r *Reader) Opts() QueryOpts {
+	flags := r.U8()
+	return QueryOpts{
+		Engine:            r.String(),
+		Parallelism:       int32(r.U32()),
+		TimeoutMS:         r.I64(),
+		DisableRefinement: flags&optDisableRefinement != 0,
+		NoResultCache:     flags&optNoResultCache != 0,
+	}
+}
+
+// CacheKey renders the option fields that shape a plan (not per-execution
+// knobs like the timeout) alongside the SQL text, for the server's
+// statement and result caches.
+func (o QueryOpts) CacheKey(sql string) string {
+	ref := byte('r')
+	if o.DisableRefinement {
+		ref = 'c'
+	}
+	return fmt.Sprintf("%s|%d|%c|%s", o.Engine, o.Parallelism, ref, sql)
+}
