@@ -48,6 +48,7 @@ func main() {
 		admWait   = flag.Duration("admission-wait", 0, "admission: max time a query queues before shedding (0 = caller's context)")
 		stmtCache = flag.Int("stmt-cache", 0, "prepared-statement LRU entries (0 = default 64, negative disables)")
 		resCache  = flag.Int64("result-cache", 0, "result-reuse cache budget in encoded bytes (0 disables)")
+		writeTO   = flag.Duration("write-timeout", 0, "per-frame write deadline guarding against stalled clients (0 = default 30s, negative disables)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before force-closing connections")
 	)
 	flag.Parse()
@@ -74,6 +75,7 @@ func main() {
 		DB:               db,
 		StmtCacheEntries: *stmtCache,
 		ResultCacheBytes: *resCache,
+		WriteTimeout:     *writeTO,
 		Info:             fmt.Sprintf("bufferdbd sf=%g", *scale),
 		Logf:             logger.Printf,
 	})

@@ -342,8 +342,15 @@ func (c *Client) startStream(ctx context.Context, cn *conn, t wire.Type, payload
 	case wire.TColumns:
 		r := wire.NewReader(p)
 		n := int(r.U32())
+		// Each column name costs at least its 4-byte length prefix; bound
+		// the declared count before allocating for it.
+		if n > r.Remaining()/4 {
+			cn.broken = true
+			c.release(cn)
+			return nil, fmt.Errorf("client: malformed Columns frame: %d columns declared in %d payload bytes", n, len(p))
+		}
 		cols := make([]string, 0, n)
-		for i := 0; i < n; i++ {
+		for i := 0; i < n && r.Err() == nil; i++ {
 			cols = append(cols, r.String())
 		}
 		if err := r.Err(); err != nil {
@@ -403,8 +410,13 @@ func (c *Client) Tables(ctx context.Context) ([]TableInfo, error) {
 	}
 	r := wire.NewReader(p)
 	n := int(r.U32())
+	// Each entry costs at least a 4-byte name prefix plus an 8-byte count.
+	if n > r.Remaining()/12 {
+		c.release(cn)
+		return nil, fmt.Errorf("client: malformed TablesOK frame: %d tables declared in %d payload bytes", n, len(p))
+	}
 	out := make([]TableInfo, 0, n)
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && r.Err() == nil; i++ {
 		out = append(out, TableInfo{Name: r.String(), Rows: r.U64()})
 	}
 	c.release(cn)

@@ -1,0 +1,101 @@
+package client_test
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+
+	"bufferdb/internal/client"
+	"bufferdb/internal/wire"
+)
+
+// serveOnce accepts one connection, answers the handshake, waits for the
+// first request frame and hands the connection to respond. It lets tests
+// play a malicious or broken server without a real daemon.
+func serveOnce(t *testing.T, l net.Listener, respond func(conn net.Conn)) {
+	t.Helper()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		if ft, _, err := wire.ReadFrame(conn); err != nil || ft != wire.THello {
+			return
+		}
+		var hello wire.Builder
+		hello.U8(wire.Version)
+		hello.String("fake")
+		if err := wire.WriteFrame(conn, wire.THelloOK, hello.Bytes()); err != nil {
+			return
+		}
+		if _, _, err := wire.ReadFrame(conn); err != nil {
+			return
+		}
+		respond(conn)
+		// Hold the connection open until the client tears it down.
+		_, _, _ = wire.ReadFrame(conn)
+	}()
+}
+
+// TestMalformedCountsRejected asserts the client bounds peer-declared
+// element counts against the payload size instead of trusting them: a
+// 5-byte frame claiming four billion rows must fail fast, not allocate.
+func TestMalformedCountsRejected(t *testing.T) {
+	t.Run("row batch", func(t *testing.T) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		serveOnce(t, l, func(conn net.Conn) {
+			var cols wire.Builder
+			cols.U32(2)
+			cols.String("a")
+			cols.String("b")
+			_ = wire.WriteFrame(conn, wire.TColumns, cols.Bytes())
+			var batch wire.Builder
+			batch.U32(0xFFFF_FFFF) // declared rows
+			batch.U8(0)            // one byte of actual payload
+			_ = wire.WriteFrame(conn, wire.TRowBatch, batch.Bytes())
+		})
+		c, err := client.Dial(l.Addr().String(), client.Config{MaxConns: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		rows, err := c.Query(context.Background(), "SELECT 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rows.Close()
+		if rows.Next() {
+			t.Fatal("Next produced a row from a malformed batch")
+		}
+		if err := rows.Err(); err == nil || !strings.Contains(err.Error(), "malformed row batch") {
+			t.Fatalf("err = %v, want malformed row batch", err)
+		}
+	})
+
+	t.Run("columns", func(t *testing.T) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		serveOnce(t, l, func(conn net.Conn) {
+			var cols wire.Builder
+			cols.U32(0xFFFF_FFFF)
+			_ = wire.WriteFrame(conn, wire.TColumns, cols.Bytes())
+		})
+		c, err := client.Dial(l.Addr().String(), client.Config{MaxConns: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.Query(context.Background(), "SELECT 1"); err == nil || !strings.Contains(err.Error(), "malformed Columns") {
+			t.Fatalf("err = %v, want malformed Columns frame", err)
+		}
+	})
+}

@@ -125,13 +125,25 @@ func (r *Rows) Next() bool {
 	}
 }
 
-// decodeBatch unpacks a RowBatch frame into the cursor's buffer.
+// decodeBatch unpacks a RowBatch frame into the cursor's buffer. The
+// declared row count is bounded against the payload before any per-row
+// allocation — every row costs at least one kind-tag byte per column — so
+// a malformed frame claiming billions of rows is rejected for the price of
+// a division, and the loop stops at the first sticky decode error.
 func (r *Rows) decodeBatch(p []byte) bool {
 	rd := wire.NewReader(p)
 	n := int(rd.U32())
+	minRow := len(r.cols)
+	if minRow < 1 {
+		minRow = 1
+	}
+	if n > rd.Remaining()/minRow {
+		r.fail(fmt.Errorf("client: malformed row batch: %d rows declared in %d payload bytes", n, len(p)), true)
+		return false
+	}
 	r.batch = r.batch[:0]
 	r.next = 0
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && rd.Err() == nil; i++ {
 		row := make([]any, len(r.cols))
 		for j := range row {
 			row[j] = rd.Value()

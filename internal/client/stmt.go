@@ -98,23 +98,34 @@ func (s *Stmt) prepareOn(cn *conn) (uint64, error) {
 	}
 }
 
-// Close forgets the statement on every idle pooled connection. Statements
-// on checked-out connections are forgotten server-side when those sessions
-// end; the handle itself needs no teardown.
+// Close forgets the statement on every idle pooled connection. The idle
+// conns are taken out of the pool while their stmts maps are touched and
+// CloseStmt frames sent — a conn is only ever mutated by its owner, so a
+// concurrent acquire can never share one with an in-flight query — then
+// returned. Statements on checked-out connections are forgotten
+// server-side when those sessions end; the handle itself needs no
+// teardown.
 func (s *Stmt) Close() error {
 	s.c.mu.Lock()
-	idle := append([]*conn(nil), s.c.idle...)
+	idle := s.c.idle
+	s.c.idle = nil
 	s.c.mu.Unlock()
 	for _, cn := range idle {
-		id, ok := cn.stmts[s.key]
-		if !ok {
-			continue
+		if id, ok := cn.stmts[s.key]; ok {
+			delete(cn.stmts, s.key)
+			var b wire.Builder
+			b.U64(id)
+			if err := cn.write(wire.TCloseStmt, b.Bytes()); err != nil {
+				cn.broken = true
+			}
 		}
-		delete(cn.stmts, s.key)
-		var b wire.Builder
-		b.U64(id)
-		if err := cn.write(wire.TCloseStmt, b.Bytes()); err != nil {
-			cn.broken = true
+		s.c.mu.Lock()
+		if cn.broken || s.c.closed {
+			s.c.mu.Unlock()
+			cn.close()
+		} else {
+			s.c.idle = append(s.c.idle, cn)
+			s.c.mu.Unlock()
 		}
 	}
 	return nil

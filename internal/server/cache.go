@@ -115,6 +115,7 @@ type cachedResult struct {
 	batches [][]byte
 	rows    uint64
 	size    int64
+	done    bool // stream reached its TDone frame; only then is it cacheable
 	release func()
 }
 
@@ -137,6 +138,11 @@ type resultCache struct {
 func newResultCache(db *bufferdb.DB, budget, maxEntry int64) *resultCache {
 	if maxEntry <= 0 {
 		maxEntry = budget / 8
+	}
+	if maxEntry > budget {
+		// An entry larger than the whole budget could never be evicted down
+		// to budget (put keeps at least one entry resident).
+		maxEntry = budget
 	}
 	return &resultCache{
 		db: db, budget: budget, maxEntry: maxEntry,

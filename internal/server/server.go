@@ -43,6 +43,13 @@ type Config struct {
 	// (0 = 256); frames also flush early at ~64 KiB of payload.
 	BatchRows int
 
+	// WriteTimeout bounds each outgoing frame write. A client that stops
+	// reading mid-stream would otherwise park the session goroutine forever
+	// on a full TCP buffer, holding its admission slot and tracked memory —
+	// context cancellation cannot unblock a blocked conn.Write. 0 selects
+	// the default (30s); negative disables the deadline.
+	WriteTimeout time.Duration
+
 	// Info is the free-form server identification echoed in HelloOK.
 	Info string
 
@@ -87,6 +94,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.BatchRows <= 0 {
 		cfg.BatchRows = 256
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{

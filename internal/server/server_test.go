@@ -521,6 +521,53 @@ func TestPreparedReuse(t *testing.T) {
 	}
 }
 
+// TestStmtCloseConcurrentWithQueries asserts Stmt.Close is safe while
+// other goroutines run queries on the same pool: Close must only touch
+// connections it has checked out, never one an in-flight query owns
+// (regression: it used to mutate idle conns in place, racing acquire).
+func TestStmtCloseConcurrentWithQueries(t *testing.T) {
+	db := newDB(t, bufferdb.Options{})
+	_, addr := startServer(t, server.Config{DB: db})
+	c := dial(t, addr, client.Config{MaxConns: 4})
+
+	const q = `SELECT COUNT(*) FROM nation`
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := c.Prepare(q)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := st.QueryAll(context.Background()); err != nil {
+					t.Errorf("prepared query: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// One goroutine closes handles for the same SQL in a tight loop: its
+	// Close walks the pool's conns and touches the same per-conn stmts
+	// maps the query workers read while executing.
+	for i := 0; i < 200; i++ {
+		if err := c.Prepare(q).Close(); err != nil {
+			t.Fatalf("stmt close: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The pool stays healthy: a fresh statement still round-trips.
+	if _, err := c.Prepare(aggQuery).QueryAll(context.Background()); err != nil {
+		t.Fatalf("query after concurrent closes: %v", err)
+	}
+}
+
 // TestResultCacheReuse asserts the opt-in result cache replays identical
 // read-only queries byte-for-byte and honors the per-statement opt-out.
 func TestResultCacheReuse(t *testing.T) {

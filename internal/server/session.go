@@ -278,9 +278,11 @@ func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
 	return err
 }
 
-// complete reports whether a collected result finished streaming (an
-// aborted or overflowing collection zeroes itself out).
-func (r *cachedResult) complete() bool { return r != nil && r.cols != nil }
+// complete reports whether a collected result streamed all the way to its
+// TDone frame. Checking the done flag — set only on the success path —
+// keeps canceled, mid-stream-errored and disconnected streams (whose
+// column header was already collected) out of the result cache.
+func (r *cachedResult) complete() bool { return r != nil && r.done }
 
 // stream drives a Rows cursor onto the wire: Columns, RowBatch*, then Done
 // or a terminal Error frame. While streaming, a watcher goroutine owns the
@@ -408,6 +410,9 @@ func (ss *session) stream(qcancel context.CancelFunc, rows *bufferdb.Rows, colle
 	if err := rows.Close(); err != nil {
 		return ss.sendQueryError(err)
 	}
+	if collect != nil {
+		collect.done = true
+	}
 	var done wire.Builder
 	done.U64(total)
 	return ss.send(wire.TDone, done.Bytes())
@@ -459,8 +464,13 @@ func (ss *session) tables() error {
 	return ss.send(wire.TTablesOK, b.Bytes())
 }
 
-// send writes one frame and flushes it.
+// send writes one frame and flushes it. Each send arms a fresh write
+// deadline so a client that stops reading unwinds the session (freeing its
+// admission slot and tracked memory) instead of blocking it forever.
 func (ss *session) send(t wire.Type, payload []byte) error {
+	if d := ss.srv.cfg.WriteTimeout; d > 0 {
+		_ = ss.conn.SetWriteDeadline(time.Now().Add(d))
+	}
 	if err := wire.WriteFrame(ss.bw, t, payload); err != nil {
 		return err
 	}
