@@ -31,6 +31,7 @@ import (
 	"bufferdb/internal/core"
 	"bufferdb/internal/cpusim"
 	"bufferdb/internal/exec"
+	"bufferdb/internal/pager"
 	"bufferdb/internal/plan"
 	"bufferdb/internal/sql"
 	"bufferdb/internal/storage"
@@ -63,6 +64,19 @@ type Options struct {
 	// Admission bounds concurrent query execution; the zero value disables
 	// admission control. See AdmissionConfig.
 	Admission AdmissionConfig
+	// DataDir, when set, backs the database with the persistent storage
+	// tier (internal/pager): tables live in slotted-page heap files and
+	// stream through a buffer pool, INSERT works and survives restarts via
+	// the write-ahead log. OpenTPCH loads an existing data directory when
+	// one is present and otherwise generates and persists the dataset.
+	DataDir string
+	// PoolBytes bounds buffer-pool residency in bytes (0 = 4 MiB). With a
+	// MemoryLimit set, pool residency is charged against it, so the page
+	// cache and executing queries compete under one budget.
+	PoolBytes int64
+	// Eviction names the buffer-pool eviction policy: "lru" (default) or
+	// "gdsf".
+	Eviction string
 }
 
 // Engine names an execution model for WithEngine.
@@ -220,6 +234,14 @@ type DB struct {
 	// controller (nil when disabled). Both are shared by WithEngine views.
 	mem *exec.MemTracker
 	adm *admission
+
+	// store is the persistent storage tier when Options.DataDir is set;
+	// poolMem is the tracker charged with buffer-pool residency (a child of
+	// mem when a MemoryLimit exists). closed guards double-Close across
+	// engine views sharing the store.
+	store   *pager.Store
+	poolMem *exec.MemTracker
+	closed  *sync.Once
 }
 
 // calibration is the lazily-computed refinement threshold, shared by every
@@ -262,21 +284,32 @@ func (db *DB) planEngine(qo QueryOptions) (Engine, plan.Engine, error) {
 // factor that is zero, negative, NaN or infinite is rejected with a wrapped
 // ErrBadScaleFactor rather than generating an empty or garbage catalog.
 func OpenTPCH(scaleFactor float64, opts Options) (*DB, error) {
+	if opts.DataDir != "" {
+		return openTPCHPersistent(scaleFactor, opts)
+	}
 	cat, err := tpch.Generate(tpch.Config{ScaleFactor: scaleFactor, Seed: opts.Seed})
 	if err != nil {
 		return nil, err
 	}
+	db := newDB(opts)
+	db.cat = cat
+	return db, nil
+}
+
+// newDB builds the engine-side of a database (code model, calibration,
+// governor) without a catalog; callers attach one.
+func newDB(opts Options) *DB {
 	db := &DB{
-		opts: opts,
-		cat:  cat,
-		cm:   codemodel.NewCatalog(),
-		cal:  &calibration{},
-		adm:  newAdmission(opts.Admission),
+		opts:   opts,
+		cm:     codemodel.NewCatalog(),
+		cal:    &calibration{},
+		adm:    newAdmission(opts.Admission),
+		closed: &sync.Once{},
 	}
 	if opts.MemoryLimit > 0 {
 		db.mem = exec.NewMemTracker("process", opts.MemoryLimit, nil)
 	}
-	return db, nil
+	return db
 }
 
 // TrackedBytes reports the bytes currently charged against the database's

@@ -50,6 +50,9 @@ func main() {
 		resCache  = flag.Int64("result-cache", 0, "result-reuse cache budget in encoded bytes (0 disables)")
 		writeTO   = flag.Duration("write-timeout", 0, "per-frame write deadline guarding against stalled clients (0 = default 30s, negative disables)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before force-closing connections")
+		dataDir   = flag.String("data-dir", "", "persistent data directory: load it if populated, else generate TPC-H there; enables INSERT (empty = in-memory)")
+		poolBytes = flag.Int64("pool-bytes", 0, "buffer-pool residency cap in bytes (0 = default 4 MiB; needs -data-dir)")
+		eviction  = flag.String("eviction", "", `buffer-pool eviction policy: "lru" (default) or "gdsf" (needs -data-dir)`)
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "bufferdbd: ", log.LstdFlags)
@@ -60,6 +63,9 @@ func main() {
 		DisableRefinement: *noRefine,
 		Parallelism:       *par,
 		MemoryLimit:       *memLimit,
+		DataDir:           *dataDir,
+		PoolBytes:         *poolBytes,
+		Eviction:          *eviction,
 		Admission: bufferdb.AdmissionConfig{
 			MaxConcurrent: *maxConc,
 			MaxQueued:     *maxQueued,
@@ -69,7 +75,11 @@ func main() {
 	if err != nil {
 		logger.Fatalf("open: %v", err)
 	}
-	logger.Printf("TPC-H SF %g loaded in %v (tables: %v)", *scale, time.Since(start).Round(time.Millisecond), db.Tables())
+	mode := "in-memory"
+	if *dataDir != "" {
+		mode = "persistent at " + *dataDir
+	}
+	logger.Printf("TPC-H SF %g loaded in %v, %s (tables: %v)", *scale, time.Since(start).Round(time.Millisecond), mode, db.Tables())
 
 	srv, err := server.New(server.Config{
 		DB:               db,
@@ -144,6 +154,12 @@ func main() {
 	}
 	if httpSrv != nil {
 		_ = httpSrv.Shutdown(context.Background())
+	}
+	// Checkpoint and close the persistent tier (a no-op for in-memory
+	// databases) so a clean shutdown never needs WAL replay on reboot and
+	// the buffer pool's residency charge drains before the exit gauge.
+	if err := db.Close(); err != nil {
+		logger.Printf("close: %v", err)
 	}
 	logger.Printf("bye (tracked bytes at exit: %d)", db.TrackedBytes())
 }

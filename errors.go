@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"bufferdb/internal/exec"
+	"bufferdb/internal/pager"
 	"bufferdb/internal/sql"
 	"bufferdb/internal/storage"
 	"bufferdb/internal/tpch"
@@ -27,6 +28,13 @@ var (
 	ErrBadScaleFactor = tpch.ErrBadScaleFactor
 	// ErrRowsClosed is returned by Rows.Scan after the cursor was closed.
 	ErrRowsClosed = errors.New("rows are closed")
+	// ErrReadOnly is wrapped when an INSERT targets a memory-resident table.
+	// Only tables backed by the persistent storage tier (Options.DataDir)
+	// accept writes — the in-memory catalog is built once and immutable.
+	ErrReadOnly = errors.New("table is read-only")
+	// ErrCorruptData is wrapped when the persistent storage tier finds a
+	// torn page, a bad checksum, or an undecodable record.
+	ErrCorruptData = pager.ErrCorrupt
 
 	// ErrMemoryBudgetExceeded is wrapped when a query's tracked allocations
 	// overrun its WithMemoryBudget value or the database's MemoryLimit.

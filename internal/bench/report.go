@@ -69,6 +69,7 @@ func Experiments() []Experiment {
 		{ID: "ext2", Title: "Extension: code layout vs buffering", Run: ExperimentExtLayout},
 		{ID: "ext3", Title: "Extension: block-oriented processing vs buffering", Run: ExperimentExt3},
 		{ID: "par", Title: "Parallel partitioned scans: equivalence and speedup", Run: ExperimentPar},
+		{ID: "storage", Title: "Persistent tier: in-memory vs paged scans, eviction policies", Run: ExperimentStorage},
 	}
 }
 

@@ -32,6 +32,10 @@ type SeqScan struct {
 	place  TablePlacement
 	placed bool
 	opened bool
+
+	// it streams rows when the table is disk-backed (paged); memory tables
+	// keep the zero-overhead direct slice access path.
+	it storage.RowIterator
 }
 
 // NewSeqScan constructs a sequential scan. module may be nil (uninstrumented).
@@ -61,6 +65,13 @@ func (s *SeqScan) Open(ctx *Context) error {
 	if s.Span != nil {
 		s.pos, s.end = s.Span.Start, s.Span.End
 	}
+	if s.Table.Paged() {
+		it, err := s.Table.Iterate(storage.Span{Start: s.pos, End: s.end})
+		if err != nil {
+			return err
+		}
+		s.it = it
+	}
 	s.place, s.placed = ctx.Placements[s.Table]
 	s.opened = true
 	return nil
@@ -86,9 +97,25 @@ func (s *SeqScan) Next(ctx *Context) (out storage.Row, err error) {
 		if err := ctx.Canceled(); err != nil {
 			return nil, err
 		}
-		rid := s.pos
-		s.pos++
-		row := s.Table.Row(rid)
+		var (
+			rid int
+			row storage.Row
+		)
+		if s.it != nil {
+			var ok bool
+			rid, row, ok, err = s.it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			s.pos = rid + 1
+		} else {
+			rid = s.pos
+			s.pos++
+			row = s.Table.Row(rid)
+		}
 		if s.placed {
 			ctx.Read(s.place.Base+uint64(rid)*uint64(s.place.RowBytes), s.place.RowBytes)
 		}
@@ -111,6 +138,11 @@ func (s *SeqScan) Next(ctx *Context) (out storage.Row, err error) {
 // Close implements Operator.
 func (s *SeqScan) Close(*Context) error {
 	s.opened = false
+	if s.it != nil {
+		err := s.it.Close()
+		s.it = nil
+		return err
+	}
 	return nil
 }
 
@@ -280,7 +312,7 @@ func (s *IndexLookup) Next(ctx *Context) (out storage.Row, err error) {
 	s.pos++
 	s.ia.readHeap(ctx, rid)
 	ctx.ExecModule(s.module, ctx.DataBits(true))
-	return s.ia.table.Row(rid), nil
+	return s.ia.table.FetchRow(rid)
 }
 
 // Close implements Operator.
@@ -373,7 +405,10 @@ func (s *IndexFullScan) Next(ctx *Context) (out storage.Row, err error) {
 			ctx.Read(s.ia.nodeRegion+off, 16)
 		}
 		s.ia.readHeap(ctx, rid)
-		row := s.ia.table.Row(rid)
+		row, err := s.ia.table.FetchRow(rid)
+		if err != nil {
+			return nil, err
+		}
 		if s.Filter == nil {
 			ctx.ExecModule(s.module, ctx.DataBits(true))
 			return row, nil

@@ -1,0 +1,41 @@
+package pager
+
+import "bufferdb/internal/faultinject"
+
+// Fault-injection sites of the storage tier. A Store resolves each site
+// once at Open against the injector in its Options (nil in production —
+// every site then costs one branch, like the executor's points):
+//
+//	pager:read    heap-file page read (pool miss)
+//	pager:write   heap-file page write (dirty writeback, checkpoint flush)
+//	pager:fsync   heap-file fsync (checkpoint, bulk load)
+//	wal:append    write-ahead-log write
+//	wal:fsync     write-ahead-log fsync (the commit point)
+//
+// The chaos suite (TestChaosPager*) drives every site and asserts typed
+// errors, intact reads afterwards, and zero tracked bytes after Close.
+const (
+	SiteRead      = "pager:read"
+	SiteWrite     = "pager:write"
+	SiteFsync     = "pager:fsync"
+	SiteWALAppend = "wal:append"
+	SiteWALFsync  = "wal:fsync"
+)
+
+// faultPoint is a resolved injection site; the zero value (nil point) is
+// inert.
+type faultPoint struct {
+	p *faultinject.Point
+}
+
+// fire triggers the site's due rules, if any.
+func (f faultPoint) fire() error { return f.p.Fire() }
+
+// resolveFaults arms the store's five sites against inj (which may be nil).
+func resolveFaults(inj *faultinject.Injector) (read, write, fsync, walAppend, walFsync faultPoint) {
+	return faultPoint{inj.Point(SiteRead)},
+		faultPoint{inj.Point(SiteWrite)},
+		faultPoint{inj.Point(SiteFsync)},
+		faultPoint{inj.Point(SiteWALAppend)},
+		faultPoint{inj.Point(SiteWALFsync)}
+}

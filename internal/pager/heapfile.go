@@ -1,0 +1,173 @@
+package pager
+
+import (
+	"fmt"
+	"os"
+)
+
+// heapFile is one table's page file: pages addressed by id, page i at byte
+// offset i*pageSize. Pages are only ever appended (the DML surface is
+// INSERT); existing pages are rewritten in place by dirty writebacks and
+// checkpoints. File I/O goes through the owning store's fault points.
+type heapFile struct {
+	table    string
+	path     string
+	f        *os.File
+	pageSize int
+	// ord is the file's ordinal in its store, composing the policy keys.
+	ord uint32
+	// numPages is the page count including in-pool pages not yet flushed
+	// past the end of the file.
+	numPages uint32
+	// pageStarts[i] is the rid of page i's first row; pageStarts[numPages]
+	// is the table cardinality. Guarded by the store mutex.
+	pageStarts []int
+}
+
+// openHeapFile opens (or creates) a table's page file.
+func openHeapFile(path, table string, pageSize int, ord uint32) (*heapFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open heap %s: %w", table, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: stat heap %s: %w", table, err)
+	}
+	if st.Size()%int64(pageSize) != 0 {
+		// A torn append (crash while growing the file) leaves a partial
+		// trailing page that was never referenced by a flushed catalog or a
+		// replayed WAL record with a full image; drop it.
+		if err := f.Truncate(st.Size() - st.Size()%int64(pageSize)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pager: trim torn page of %s: %w", table, err)
+		}
+		st, err = f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &heapFile{
+		table:    table,
+		path:     path,
+		f:        f,
+		pageSize: pageSize,
+		ord:      ord,
+		numPages: uint32(st.Size() / int64(pageSize)),
+	}, nil
+}
+
+// readPage reads page id into buf (len == pageSize) and verifies its
+// checksum and structure.
+func (h *heapFile) readPage(id uint32, buf []byte, fault faultPoint) error {
+	if err := fault.fire(); err != nil {
+		return err
+	}
+	if _, err := h.f.ReadAt(buf, int64(id)*int64(h.pageSize)); err != nil {
+		return fmt.Errorf("pager: read %s page %d: %w", h.table, id, err)
+	}
+	p := page{buf}
+	if err := p.checkSeal(); err != nil {
+		// An all-zero page is a hole, not corruption: evicting a dirty page
+		// N extends the file past earlier pages still only in the pool, and
+		// a crash then leaves pages < N zero-filled. Recovery replays their
+		// rows from the WAL, so serve the hole as a fresh empty page.
+		if allZero(buf) {
+			initPage(buf)
+			return nil
+		}
+		return fmt.Errorf("pager: %s page %d: %w", h.table, id, err)
+	}
+	if err := p.validate(); err != nil {
+		return fmt.Errorf("pager: %s page %d: %w", h.table, id, err)
+	}
+	return nil
+}
+
+// writePage seals buf and writes it at page id.
+func (h *heapFile) writePage(id uint32, buf []byte, fault faultPoint) error {
+	if err := fault.fire(); err != nil {
+		return err
+	}
+	page{buf}.seal()
+	if _, err := h.f.WriteAt(buf, int64(id)*int64(h.pageSize)); err != nil {
+		return fmt.Errorf("pager: write %s page %d: %w", h.table, id, err)
+	}
+	return nil
+}
+
+// sync fsyncs the file.
+func (h *heapFile) sync(fault faultPoint) error {
+	if err := fault.fire(); err != nil {
+		return err
+	}
+	if err := h.f.Sync(); err != nil {
+		return fmt.Errorf("pager: fsync %s: %w", h.table, err)
+	}
+	return nil
+}
+
+// loadPageStarts rebuilds the rid index by reading every page header. Only
+// the 16-byte header is read per page, so opening a large table costs one
+// small pread per page, not a full scan; checksums are verified lazily on
+// first full fetch through the pool.
+func (h *heapFile) loadPageStarts() error {
+	h.pageStarts = make([]int, h.numPages+1)
+	hdr := make([]byte, pageHeaderSize)
+	rid := 0
+	for i := uint32(0); i < h.numPages; i++ {
+		h.pageStarts[i] = rid
+		if _, err := h.f.ReadAt(hdr, int64(i)*int64(h.pageSize)); err != nil {
+			return fmt.Errorf("pager: read %s page %d header: %w", h.table, i, err)
+		}
+		n := int(uint16(hdr[12]) | uint16(hdr[13])<<8)
+		if slotSize*n > h.pageSize-pageHeaderSize {
+			return fmt.Errorf("pager: %w: %s page %d declares %d slots", ErrCorrupt, h.table, i, n)
+		}
+		rid += n
+	}
+	h.pageStarts[h.numPages] = rid
+	return nil
+}
+
+// numRows returns the table cardinality per the rid index.
+func (h *heapFile) numRows() int {
+	if len(h.pageStarts) == 0 {
+		return 0
+	}
+	return h.pageStarts[len(h.pageStarts)-1]
+}
+
+// pageOf locates the page holding rid by binary search over pageStarts,
+// returning the page id and the slot within it.
+func (h *heapFile) pageOf(rid int) (uint32, int, error) {
+	n := len(h.pageStarts) - 1
+	if n < 0 || rid < 0 || rid >= h.pageStarts[n] {
+		return 0, 0, fmt.Errorf("pager: %s: row %d out of range [0,%d)", h.table, rid, h.numRows())
+	}
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if h.pageStarts[mid] <= rid {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return uint32(lo), rid - h.pageStarts[lo], nil
+}
+
+// close closes the file handle.
+func (h *heapFile) close() error { return h.f.Close() }
+
+// allZero reports whether b contains only zero bytes.
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,145 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Slotted-page layout (all integers little-endian):
+//
+//	off  0  checksum  uint32  CRC-32C over bytes [4, pageSize)
+//	off  4  pageLSN   uint64  LSN of the last WAL record applied
+//	off 12  slotCount uint16  number of live slots
+//	off 14  freeOff   uint16  start of the free gap (first byte past the
+//	                          last tuple payload)
+//	off 16  tuple payloads, growing up
+//	...     free gap
+//	end     slot directory, growing down from pageSize: one 4-byte entry
+//	        per slot — payload offset uint16, payload length uint16 — with
+//	        slot i at pageSize-4*(i+1)
+//
+// Tuples are never deleted or updated in place (the engine's DML surface
+// is INSERT), so compaction is unnecessary and a page is full exactly when
+// the gap between freeOff and the slot directory cannot fit one more
+// payload plus its directory entry.
+const (
+	pageHeaderSize = 16
+	slotSize       = 4
+
+	// DefaultPageSize is the page size new stores are created with.
+	DefaultPageSize = 8192
+	// MinPageSize and MaxPageSize bound configurable page sizes; the slot
+	// directory addresses payloads with uint16 offsets, capping pages at
+	// 64 KiB, and anything under 512 B cannot hold a useful tuple.
+	MinPageSize = 512
+	MaxPageSize = 32768
+)
+
+// castagnoli is the CRC-32C table (same polynomial iSCSI and ext4 use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// page wraps one pageSize-byte buffer with the slotted accessors. It holds
+// no state of its own — all state is in the buffer — so a page value is
+// just a typed view, cheap to construct per access.
+type page struct {
+	b []byte
+}
+
+// initPage formats an empty page in place.
+func initPage(b []byte) page {
+	for i := range b {
+		b[i] = 0
+	}
+	p := page{b}
+	p.setFreeOff(pageHeaderSize)
+	return p
+}
+
+func (p page) lsn() uint64        { return binary.LittleEndian.Uint64(p.b[4:]) }
+func (p page) setLSN(lsn uint64)  { binary.LittleEndian.PutUint64(p.b[4:], lsn) }
+func (p page) slotCount() int     { return int(binary.LittleEndian.Uint16(p.b[12:])) }
+func (p page) setSlotCount(n int) { binary.LittleEndian.PutUint16(p.b[12:], uint16(n)) }
+func (p page) freeOff() int       { return int(binary.LittleEndian.Uint16(p.b[14:])) }
+func (p page) setFreeOff(n int)   { binary.LittleEndian.PutUint16(p.b[14:], uint16(n)) }
+
+// slot returns the payload offset and length of slot i (not bounds-checked
+// against slotCount; callers validate first).
+func (p page) slot(i int) (off, length int) {
+	base := len(p.b) - slotSize*(i+1)
+	return int(binary.LittleEndian.Uint16(p.b[base:])), int(binary.LittleEndian.Uint16(p.b[base+2:]))
+}
+
+// freeSpace returns the bytes available for one more payload + slot entry.
+func (p page) freeSpace() int {
+	return len(p.b) - slotSize*p.slotCount() - p.freeOff() - slotSize
+}
+
+// maxTupleBytes is the largest payload a freshly formatted page accepts.
+func maxTupleBytes(pageSize int) int {
+	return pageSize - pageHeaderSize - slotSize
+}
+
+// appendTuple places payload into the next slot, returning the slot index,
+// or ok=false when the page is full.
+func (p page) appendTuple(payload []byte) (slot int, ok bool) {
+	if len(payload) > p.freeSpace() {
+		return 0, false
+	}
+	slot = p.slotCount()
+	off := p.freeOff()
+	copy(p.b[off:], payload)
+	base := len(p.b) - slotSize*(slot+1)
+	binary.LittleEndian.PutUint16(p.b[base:], uint16(off))
+	binary.LittleEndian.PutUint16(p.b[base+2:], uint16(len(payload)))
+	p.setFreeOff(off + len(payload))
+	p.setSlotCount(slot + 1)
+	return slot, true
+}
+
+// tuple returns the payload bytes of slot i, validating the directory
+// entry against the page bounds — a corrupt entry errors instead of
+// slicing out of range.
+func (p page) tuple(i int) ([]byte, error) {
+	if i < 0 || i >= p.slotCount() {
+		return nil, fmt.Errorf("pager: %w: slot %d of %d", ErrCorrupt, i, p.slotCount())
+	}
+	off, length := p.slot(i)
+	if off < pageHeaderSize || off+length > len(p.b)-slotSize*p.slotCount() {
+		return nil, fmt.Errorf("pager: %w: slot %d spans [%d,%d) outside payload area", ErrCorrupt, i, off, off+length)
+	}
+	return p.b[off : off+length], nil
+}
+
+// validate structurally checks a page read from disk before any slot is
+// trusted: the declared slot count and free offset must fit the page. The
+// checksum is verified separately (seal/checkSeal) so validate can also run
+// on in-construction pages.
+func (p page) validate() error {
+	if len(p.b) < pageHeaderSize+slotSize {
+		return fmt.Errorf("pager: %w: page of %d bytes", ErrCorrupt, len(p.b))
+	}
+	n := p.slotCount()
+	if slotSize*n > len(p.b)-pageHeaderSize {
+		return fmt.Errorf("pager: %w: %d slots exceed %d-byte page", ErrCorrupt, n, len(p.b))
+	}
+	if off := p.freeOff(); off < pageHeaderSize || off > len(p.b)-slotSize*n {
+		return fmt.Errorf("pager: %w: free offset %d out of range", ErrCorrupt, off)
+	}
+	return nil
+}
+
+// seal stamps the page checksum; call immediately before writing to disk.
+func (p page) seal() {
+	binary.LittleEndian.PutUint32(p.b[0:], crc32.Checksum(p.b[4:], castagnoli))
+}
+
+// checkSeal verifies the checksum of a page read from disk. A mismatch is
+// a torn or bit-rotted page.
+func (p page) checkSeal() error {
+	want := binary.LittleEndian.Uint32(p.b[0:])
+	if got := crc32.Checksum(p.b[4:], castagnoli); got != want {
+		return fmt.Errorf("pager: %w: page checksum %08x != %08x", ErrCorrupt, got, want)
+	}
+	return nil
+}

@@ -1,0 +1,289 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bufferdb/internal/exec"
+	"bufferdb/internal/obsv"
+)
+
+// ErrPoolExhausted is the sentinel wrapped when a page fetch finds every
+// frame pinned — more concurrent scans than frames. Raising PoolBytes (or
+// lowering admission concurrency) resolves it; the error is typed so
+// callers can tell configuration pressure from corruption.
+var ErrPoolExhausted = errors.New("buffer pool exhausted (all frames pinned)")
+
+// Process-wide pager counters, next to the engine's simulated-cache
+// metrics — the paper buffers tuples to keep instructions cache-resident,
+// this tier buffers pages to keep data resident, and both report through
+// the same registry.
+func metricHits() *obsv.Counter      { return obsv.Default.Counter("bufferdb_pager_hits_total") }
+func metricMisses() *obsv.Counter    { return obsv.Default.Counter("bufferdb_pager_misses_total") }
+func metricEvictions() *obsv.Counter { return obsv.Default.Counter("bufferdb_pager_evictions_total") }
+func metricWritebacks() *obsv.Counter {
+	return obsv.Default.Counter("bufferdb_pager_dirty_writebacks_total")
+}
+func metricCheckpoints() *obsv.Counter {
+	return obsv.Default.Counter("bufferdb_pager_checkpoints_total")
+}
+
+// frame is one resident page. The pool mutex guards pins, dirty and
+// residency; mu guards the page bytes. Lock order is pool.mu → frame.mu;
+// readers must release mu before calling Unpin (which takes pool.mu).
+type frame struct {
+	file *heapFile
+	id   uint32
+	key  uint64
+
+	mu   sync.RWMutex
+	data []byte
+
+	pins  int
+	dirty bool
+}
+
+// Pool is the buffer pool: a bounded set of page frames shared by every
+// table of a store, with the eviction policy deciding residency. Resident
+// bytes are charged against the attached MemTracker, so when the tracker
+// descends from the database's process tracker, page cache and query
+// execution compete under one memory budget.
+type Pool struct {
+	pageSize  int
+	capFrames int
+	mem       *exec.MemTracker
+
+	readFault  faultPoint
+	writeFault faultPoint
+
+	mu     sync.Mutex
+	frames map[uint64]*frame
+	policy EvictionPolicy
+	closed bool
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	evictions  atomic.Uint64
+	writebacks atomic.Uint64
+}
+
+// PoolStats is a snapshot of one pool's traffic counters.
+type PoolStats struct {
+	Hits, Misses, Evictions, Writebacks uint64
+	ResidentPages                       int
+}
+
+// newPool sizes a pool at capFrames frames of pageSize bytes.
+func newPool(pageSize, capFrames int, policy EvictionPolicy, mem *exec.MemTracker, read, write faultPoint) *Pool {
+	return &Pool{
+		pageSize:   pageSize,
+		capFrames:  capFrames,
+		mem:        mem,
+		readFault:  read,
+		writeFault: write,
+		frames:     make(map[uint64]*frame),
+		policy:     policy,
+	}
+}
+
+// frameKey composes the policy/residency key for a page.
+func frameKey(h *heapFile, id uint32) uint64 {
+	return uint64(h.ord)<<32 | uint64(id)
+}
+
+// Stats returns the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	resident := len(p.frames)
+	p.mu.Unlock()
+	return PoolStats{
+		Hits:          p.hits.Load(),
+		Misses:        p.misses.Load(),
+		Evictions:     p.evictions.Load(),
+		Writebacks:    p.writebacks.Load(),
+		ResidentPages: resident,
+	}
+}
+
+// ResidentBytes reports the bytes currently held in frames (== what is
+// charged against the memory tracker).
+func (p *Pool) ResidentBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int64(len(p.frames)) * int64(p.pageSize)
+}
+
+// fetch pins the page, reading it from disk on a miss (possibly evicting a
+// victim first). The caller must Unpin exactly once.
+func (p *Pool) fetch(h *heapFile, id uint32) (*frame, error) {
+	key := frameKey(h, id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("pager: pool is closed")
+	}
+	if fr, ok := p.frames[key]; ok {
+		fr.pins++
+		p.policy.Touch(key)
+		p.hits.Add(1)
+		metricHits().Inc()
+		return fr, nil
+	}
+	p.misses.Add(1)
+	metricMisses().Inc()
+	buf, err := p.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	if err := h.readPage(id, buf, p.readFault); err != nil {
+		p.releaseBufLocked(buf)
+		return nil, err
+	}
+	fr := &frame{file: h, id: id, key: key, data: buf, pins: 1}
+	p.frames[key] = fr
+	p.policy.Admit(key)
+	return fr, nil
+}
+
+// newPage pins a freshly formatted page for h at page id, which must be
+// h.numPages at the time of the call (the store serializes appenders).
+func (p *Pool) newPage(h *heapFile, id uint32) (*frame, error) {
+	key := frameKey(h, id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("pager: pool is closed")
+	}
+	if _, ok := p.frames[key]; ok {
+		return nil, fmt.Errorf("pager: page %s/%d already resident", h.table, id)
+	}
+	buf, err := p.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	initPage(buf)
+	fr := &frame{file: h, id: id, key: key, data: buf, pins: 1, dirty: true}
+	p.frames[key] = fr
+	p.policy.Admit(key)
+	return fr, nil
+}
+
+// unpin releases one pin; dirty marks the page modified since its last
+// write to disk.
+func (p *Pool) unpin(fr *frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+}
+
+// allocFrameLocked returns a pageSize buffer for a new frame: a fresh
+// charged allocation below capacity, the victim's recycled buffer at
+// capacity. Dirty victims are written back first; a failed writeback
+// aborts the allocation with the victim still resident and intact.
+func (p *Pool) allocFrameLocked() ([]byte, error) {
+	if len(p.frames) < p.capFrames {
+		if err := p.mem.Grow(int64(p.pageSize)); err != nil {
+			return nil, err
+		}
+		return make([]byte, p.pageSize), nil
+	}
+	key, ok := p.policy.Victim(func(k uint64) bool {
+		fr, ok := p.frames[k]
+		return ok && fr.pins == 0
+	})
+	if !ok {
+		return nil, fmt.Errorf("pager: %w: %d frames", ErrPoolExhausted, p.capFrames)
+	}
+	victim := p.frames[key]
+	if victim.dirty {
+		if err := p.writebackLocked(victim); err != nil {
+			return nil, err
+		}
+	}
+	p.policy.Remove(key)
+	delete(p.frames, key)
+	p.evictions.Add(1)
+	metricEvictions().Inc()
+	// The victim's buffer carries its memory charge to the new frame.
+	return victim.data, nil
+}
+
+// releaseBufLocked returns a buffer whose frame never materialized (failed
+// read) and its memory charge.
+func (p *Pool) releaseBufLocked(buf []byte) {
+	_ = buf
+	p.mem.Shrink(int64(p.pageSize))
+}
+
+// writebackLocked writes one dirty frame to its file. The frame lock is
+// taken exclusively because sealing stamps the checksum into the header.
+func (p *Pool) writebackLocked(fr *frame) error {
+	fr.mu.Lock()
+	err := fr.file.writePage(fr.id, fr.data, p.writeFault)
+	fr.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	fr.dirty = false
+	p.writebacks.Add(1)
+	metricWritebacks().Inc()
+	return nil
+}
+
+// flushFile writes back every dirty resident page of h, in page order for
+// deterministic I/O patterns.
+func (p *Pool) flushFile(h *heapFile) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var dirty []*frame
+	for _, fr := range p.frames {
+		if fr.file == h && fr.dirty {
+			dirty = append(dirty, fr)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
+	for _, fr := range dirty {
+		if err := p.writebackLocked(fr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropFile evicts every resident page of h without writing anything —
+// used when abandoning a failed bulk load.
+func (p *Pool) dropFile(h *heapFile) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, fr := range p.frames {
+		if fr.file == h {
+			p.policy.Remove(key)
+			delete(p.frames, key)
+			p.mem.Shrink(int64(p.pageSize))
+		}
+	}
+}
+
+// close releases every frame and its memory charge. Dirty pages are NOT
+// written — Close-with-durability is the store's checkpoint; close alone
+// models a crash (which is exactly what the recovery tests exploit).
+func (p *Pool) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	n := len(p.frames)
+	for key := range p.frames {
+		p.policy.Remove(key)
+		delete(p.frames, key)
+	}
+	p.mem.Shrink(int64(n) * int64(p.pageSize))
+}

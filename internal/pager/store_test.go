@@ -1,0 +1,384 @@
+package pager
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bufferdb/internal/exec"
+	"bufferdb/internal/storage"
+)
+
+// testSchema is the two-column relation the pager tests insert into.
+func testSchema() storage.Schema {
+	return storage.Schema{
+		{Table: "t", Name: "id", Type: storage.TypeInt64},
+		{Table: "t", Name: "payload", Type: storage.TypeString},
+	}
+}
+
+// testRow builds the canonical row for rid i: the id column is i, so a
+// recovered table can be verified positionally.
+func testRow(i int) storage.Row {
+	return storage.Row{
+		storage.NewInt(int64(i)),
+		storage.NewString(fmt.Sprintf("payload-%06d-abcdefghijklmnopqrstuvwxyz", i)),
+	}
+}
+
+func testRows(start, n int) []storage.Row {
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = testRow(start + i)
+	}
+	return rows
+}
+
+// smallStoreOpts keeps pages and the pool tiny so a few dozen rows span
+// many pages and trigger eviction — the interesting regimes at test scale.
+func smallStoreOpts(mem *exec.MemTracker) Options {
+	return Options{PageSize: MinPageSize, PoolBytes: 4 * MinPageSize, Mem: mem}
+}
+
+// verifyTable asserts the table holds exactly rows [0, want) in rid order,
+// via both the iterator and point fetches.
+func verifyTable(t *testing.T, s *Store, name string, want int) {
+	t.Helper()
+	tbl, err := s.Table(name)
+	if err != nil {
+		t.Fatalf("Table(%s): %v", name, err)
+	}
+	if got := tbl.NumRows(); got != want {
+		t.Fatalf("NumRows = %d, want %d", got, want)
+	}
+	it, err := tbl.Iterate(storage.Span{Start: 0, End: want})
+	if err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	defer it.Close()
+	for i := 0; i < want; i++ {
+		rid, row, ok, err := it.Next()
+		if err != nil || !ok {
+			t.Fatalf("Next at %d: ok=%v err=%v", i, ok, err)
+		}
+		if rid != i {
+			t.Fatalf("rid = %d, want %d", rid, i)
+		}
+		if row[0].I != int64(i) {
+			t.Fatalf("row %d has id %d", i, row[0].I)
+		}
+	}
+	if _, _, ok, err := it.Next(); ok || err != nil {
+		t.Fatalf("iterator past end: ok=%v err=%v", ok, err)
+	}
+	// Spot-check point fetches, including both ends.
+	for _, rid := range []int{0, want / 2, want - 1} {
+		if want == 0 {
+			break
+		}
+		row, err := tbl.FetchRow(rid)
+		if err != nil {
+			t.Fatalf("FetchRow(%d): %v", rid, err)
+		}
+		if row[0].I != int64(rid) {
+			t.Fatalf("FetchRow(%d) has id %d", rid, row[0].I)
+		}
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	mem := exec.NewMemTracker("test", 0, nil)
+	s, err := Open(dir, smallStoreOpts(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BulkLoad("t", testRows(0, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("t", testRows(100, 40)); err != nil {
+		t.Fatal(err)
+	}
+	verifyTable(t, s, "t", 140)
+	st := s.PoolStats()
+	if st.Evictions == 0 {
+		t.Errorf("expected evictions with a 4-frame pool over %d rows, got stats %+v", 140, st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Bytes(); got != 0 {
+		t.Fatalf("tracked bytes after close: %d", got)
+	}
+
+	// Reopen: the clean shutdown checkpointed, so recovery has nothing to
+	// replay and everything must still be there.
+	s2, err := Open(dir, smallStoreOpts(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyTable(t, s2, "t", 140)
+	if err := s2.Insert("t", testRows(140, 10)); err != nil {
+		t.Fatal(err)
+	}
+	verifyTable(t, s2, "t", 150)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Bytes(); got != 0 {
+		t.Fatalf("tracked bytes after second close: %d", got)
+	}
+}
+
+func TestBulkLoadFailureLeavesTableEmpty(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, smallStoreOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	// Row 60 has the wrong arity; the pages written for rows 0..59 must not
+	// survive as live data.
+	rows := testRows(0, 60)
+	rows = append(rows, storage.Row{storage.NewInt(60)})
+	if err := s.BulkLoad("t", rows); err == nil {
+		t.Fatal("bulk load with bad arity succeeded")
+	}
+	verifyTable(t, s, "t", 0)
+	if err := s.BulkLoad("t", testRows(0, 30)); err != nil {
+		t.Fatalf("reload after failed load: %v", err)
+	}
+	verifyTable(t, s, "t", 30)
+}
+
+// TestCrashRecoveryReplaysCommitted kills the store without a checkpoint —
+// every committed batch lives only in the WAL plus whatever dirty pages the
+// pool happened to evict — and asserts a reopen reconstructs all of it.
+// With a 4-frame pool over ~15 pages, evictions flush pages out of order,
+// so this also exercises zero-filled hole pages behind the file's high
+// -water mark.
+func TestCrashRecoveryReplaysCommitted(t *testing.T) {
+	dir := t.TempDir()
+	mem := exec.NewMemTracker("test", 0, nil)
+	s, err := Open(dir, smallStoreOpts(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for batch := 0; batch < 8; batch++ {
+		n := 5 + batch*3
+		if err := s.Insert("t", testRows(total, n)); err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if err := s.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Bytes(); got != 0 {
+		t.Fatalf("tracked bytes after abrupt close: %d", got)
+	}
+
+	s2, err := Open(dir, smallStoreOpts(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyTable(t, s2, "t", total)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoveryTornWAL truncates the log at adversarial offsets —
+// mid-frame, mid-batch, at batch boundaries — and asserts recovery keeps
+// exactly the batches whose commit record survived, discarding the torn
+// tail, never a partial batch.
+func TestCrashRecoveryTornWAL(t *testing.T) {
+	const batches, batchSize = 6, 7
+
+	// Build the "crashed" image once: insert batches, then die before any
+	// checkpoint. The pool is sized to hold everything so no dirty page is
+	// ever evicted and the WAL is the ONLY durable copy — which is what
+	// makes truncation at an arbitrary offset model a real torn tail (a
+	// page can only reach the heap after its commit record was fsynced, so
+	// any prefix of the log is a state a crash could actually leave).
+	crashed := t.TempDir()
+	opts := Options{PageSize: MinPageSize, PoolBytes: 64 * MinPageSize}
+	s, err := Open(crashed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	// commitEnd[k] is the WAL size after k committed batches: truncating
+	// anywhere in [commitEnd[k], commitEnd[k+1]) must recover exactly k*batchSize rows.
+	commitEnd := []int64{walSize(t, crashed)}
+	for b := 0; b < batches; b++ {
+		if err := s.Insert("t", testRows(b*batchSize, batchSize)); err != nil {
+			t.Fatal(err)
+		}
+		commitEnd = append(commitEnd, walSize(t, crashed))
+	}
+	if err := s.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+
+	expectRows := func(off int64) int {
+		k := 0
+		for k+1 < len(commitEnd) && commitEnd[k+1] <= off {
+			k++
+		}
+		return k * batchSize
+	}
+
+	total := commitEnd[len(commitEnd)-1]
+	offsets := []int64{0, 1, commitEnd[0], total - 1, total}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 12; i++ {
+		offsets = append(offsets, rng.Int63n(total+1))
+	}
+
+	for _, off := range offsets {
+		off := off
+		t.Run(fmt.Sprintf("truncate@%d", off), func(t *testing.T) {
+			dir := t.TempDir()
+			copyDir(t, crashed, dir)
+			if err := os.Truncate(filepath.Join(dir, walName), off); err != nil {
+				t.Fatal(err)
+			}
+			s, err := Open(dir, smallStoreOpts(nil))
+			if err != nil {
+				t.Fatalf("open after truncate at %d: %v", off, err)
+			}
+			verifyTable(t, s, "t", expectRows(off))
+			// The reopened store must keep working: append on top of the
+			// recovered prefix, crash again, recover again.
+			base := expectRows(off)
+			if err := s.Insert("t", testRows(base, 3)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.CloseAbrupt(); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Open(dir, smallStoreOpts(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			verifyTable(t, s2, "t", base+3)
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestLSNMonotonicAcrossCheckpoint guards the restart LSN seed: after a
+// checkpoint resets the log, new inserts must stamp LSNs above every page
+// LSN, or idempotent replay would skip them.
+func TestLSNMonotonicAcrossCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, smallStoreOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("t", testRows(0, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // checkpoint + reset
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		s, err = Open(dir, smallStoreOpts(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := 20 + cycle*5
+		if err := s.Insert("t", testRows(base, 5)); err != nil {
+			t.Fatal(err)
+		}
+		// Die without a checkpoint: replay must apply the new batch even
+		// though the pages carry LSNs from before the last reset.
+		if err := s.CloseAbrupt(); err != nil {
+			t.Fatal(err)
+		}
+		s, err = Open(dir, smallStoreOpts(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyTable(t, s, "t", base+5)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEvictionPolicies(t *testing.T) {
+	for _, policy := range []string{"lru", "gdsf"} {
+		t.Run(policy, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := smallStoreOpts(nil)
+			opts.Eviction = policy
+			s, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.CreateTable("t", testSchema()); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.BulkLoad("t", testRows(0, 200)); err != nil {
+				t.Fatal(err)
+			}
+			verifyTable(t, s, "t", 200)
+			if st := s.PoolStats(); st.Evictions == 0 {
+				t.Errorf("%s: no evictions scanning 200 rows through 4 frames: %+v", policy, st)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	if _, err := Open(t.TempDir(), Options{Eviction: "clock"}); err == nil {
+		t.Error("unknown eviction policy accepted")
+	}
+}
+
+func walSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	st, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Size()
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"bufferdb/internal/obsv"
+)
+
+// WAL record framing:
+//
+//	[4 bodyLen uint32][4 crc32c(body) uint32][body]
+//	body: [8 lsn uint64][1 type][payload]
+//
+// Record types:
+//
+//	walInsert      payload: [uvarint tableNameLen][name][uvarint pageID][row bytes]
+//	walCommit      payload: empty — the batch since the previous commit is durable
+//	walCheckpoint  payload: empty — the first record of a freshly reset log;
+//	               replay treats it as a no-op whose LSN re-seeds the LSN
+//	               counter above every page LSN stamped before the checkpoint
+//
+// The replayer buffers insert records and applies them only when their
+// commit record arrives intact; a torn record (short frame, bad CRC,
+// over-declared length) ends replay and truncates the log there, which
+// discards both torn bytes and any commit-less tail — exactly the
+// "committed data replays, torn tail is discarded" contract.
+const (
+	walInsert     = 1
+	walCommit     = 2
+	walCheckpoint = 3
+
+	walFrameHeader = 8
+)
+
+// walRecord is one decoded log record.
+type walRecord struct {
+	lsn     uint64
+	kind    byte
+	payload []byte
+}
+
+// wal is the write-ahead log over one file. It is not internally locked;
+// the owning Store serializes writers under its mutex.
+type wal struct {
+	f       *os.File
+	nextLSN uint64
+	// maxRecord bounds the bodyLen a reader will believe before
+	// allocating; sized from the page size so even a multi-page row name
+	// cannot be faked into a huge allocation by corrupt length bytes.
+	maxRecord uint32
+
+	appendFault faultPoint
+	syncFault   faultPoint
+
+	// buf accumulates frames between syncs so one commit is one write.
+	buf []byte
+
+	// poisoned marks a failed flush whose rollback also failed: the file
+	// may hold fully-written frames of a commit the caller was told failed,
+	// indistinguishable from a real commit. The owning store wedges; the
+	// next open resolves the ambiguity one way (whatever the media kept).
+	poisoned bool
+}
+
+// metricWALBytes counts bytes appended to the log.
+func metricWALBytes() *obsv.Counter { return obsv.Default.Counter("bufferdb_pager_wal_bytes_total") }
+
+// openWAL opens (or creates) the log file.
+func openWAL(path string, pageSize int) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open wal: %w", err)
+	}
+	return &wal{f: f, nextLSN: 1, maxRecord: uint32(4*pageSize + 256)}, nil
+}
+
+// append stages one record in the write buffer and returns its LSN.
+func (w *wal) append(kind byte, payload []byte) uint64 {
+	lsn := w.nextLSN
+	w.nextLSN++
+	body := make([]byte, 0, 9+len(payload))
+	body = binary.LittleEndian.AppendUint64(body, lsn)
+	body = append(body, kind)
+	body = append(body, payload...)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(body)))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc32.Checksum(body, castagnoli))
+	w.buf = append(w.buf, body...)
+	return lsn
+}
+
+// flush writes the staged frames and fsyncs — the commit point. The staged
+// buffer is dropped on failure as well: retrying stale frames would
+// interleave LSNs out of order. Failure past the write additionally rolls
+// the file back to its pre-flush length — frames of an aborted commit must
+// not linger where a later replay would read them as committed ahead of
+// the retry's frames.
+func (w *wal) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	buf := w.buf
+	w.buf = w.buf[:0]
+	if err := w.appendFault.fire(); err != nil {
+		return err
+	}
+	off, err := w.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return fmt.Errorf("pager: wal tell: %w", err)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		w.unwrite(off)
+		return fmt.Errorf("pager: wal write: %w", err)
+	}
+	metricWALBytes().Add(uint64(len(buf)))
+	if err := w.syncFault.fire(); err != nil {
+		w.unwrite(off)
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.unwrite(off)
+		return fmt.Errorf("pager: wal fsync: %w", err)
+	}
+	return nil
+}
+
+// unwrite rolls the log back to off after a failed flush and makes the
+// rollback itself durable. A rollback that fails poisons the log: the
+// aborted frames may survive on disk looking committed, so the owning
+// store must stop writing and let the next open settle the ambiguity.
+func (w *wal) unwrite(off int64) {
+	if w.f.Truncate(off) != nil {
+		w.poisoned = true
+		return
+	}
+	if _, err := w.f.Seek(off, io.SeekStart); err != nil {
+		w.poisoned = true
+		return
+	}
+	if w.f.Sync() != nil {
+		w.poisoned = true
+	}
+}
+
+// reset truncates the log after a completed checkpoint. LSNs keep
+// increasing across resets so page LSNs stay comparable.
+func (w *wal) reset() error {
+	w.buf = w.buf[:0]
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("pager: wal truncate: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("pager: wal seek: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("pager: wal fsync: %w", err)
+	}
+	return nil
+}
+
+// close closes the underlying file without flushing staged frames.
+func (w *wal) close() error { return w.f.Close() }
+
+// scan reads every intact record from the start of the log. It returns the
+// records up to (not including) the first torn or corrupt frame, plus the
+// byte offset where that tail begins (== file size when the log is clean).
+func (w *wal) scan() (recs []walRecord, tailOff int64, err error) {
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("pager: wal seek: %w", err)
+	}
+	data, err := io.ReadAll(w.f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("pager: wal read: %w", err)
+	}
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) < walFrameHeader {
+			return recs, off, nil
+		}
+		bodyLen := binary.LittleEndian.Uint32(rest)
+		crc := binary.LittleEndian.Uint32(rest[4:])
+		// Bound the declared length against both the cap and the bytes
+		// actually present before believing it.
+		if bodyLen < 9 || bodyLen > w.maxRecord || int(bodyLen) > len(rest)-walFrameHeader {
+			return recs, off, nil
+		}
+		body := rest[walFrameHeader : walFrameHeader+int(bodyLen)]
+		if crc32.Checksum(body, castagnoli) != crc {
+			return recs, off, nil
+		}
+		rec := walRecord{
+			lsn:     binary.LittleEndian.Uint64(body),
+			kind:    body[8],
+			payload: body[9:],
+		}
+		recs = append(recs, rec)
+		off += walFrameHeader + int64(bodyLen)
+	}
+}
+
+// truncateTail drops everything from tailOff on — the torn bytes scan
+// stopped at — so the next append continues from a clean frame boundary.
+func (w *wal) truncateTail(tailOff int64) error {
+	if err := w.f.Truncate(tailOff); err != nil {
+		return fmt.Errorf("pager: wal truncate tail: %w", err)
+	}
+	if _, err := w.f.Seek(tailOff, io.SeekStart); err != nil {
+		return fmt.Errorf("pager: wal seek: %w", err)
+	}
+	return nil
+}
+
+// insertPayload encodes a walInsert payload.
+func insertPayload(table string, pageID uint32, rowBytes []byte) []byte {
+	buf := make([]byte, 0, len(table)+len(rowBytes)+10)
+	buf = binary.AppendUvarint(buf, uint64(len(table)))
+	buf = append(buf, table...)
+	buf = binary.AppendUvarint(buf, uint64(pageID))
+	buf = append(buf, rowBytes...)
+	return buf
+}
+
+// decodeInsertPayload splits a walInsert payload, bounding the declared
+// name length against the payload before slicing.
+func decodeInsertPayload(p []byte) (table string, pageID uint32, rowBytes []byte, err error) {
+	nameLen, n := binary.Uvarint(p)
+	if n <= 0 || nameLen > uint64(len(p)-n) || nameLen > 1<<10 {
+		return "", 0, nil, fmt.Errorf("pager: %w: bad wal insert table name", ErrCorrupt)
+	}
+	p = p[n:]
+	table = string(p[:nameLen])
+	p = p[nameLen:]
+	id, n := binary.Uvarint(p)
+	if n <= 0 || id > 1<<31 {
+		return "", 0, nil, fmt.Errorf("pager: %w: bad wal insert page id", ErrCorrupt)
+	}
+	return table, uint32(id), p[n:], nil
+}

@@ -29,7 +29,13 @@ func selectivity(table *storage.Table, filter expr.Expr) float64 {
 	sampled, matched := 0, 0
 	for i := 0; i < n; i += step {
 		sampled++
-		ok, err := expr.EvalBool(filter, table.Row(i))
+		row, err := table.FetchRow(i)
+		if err != nil {
+			// A paged table that cannot be read is the executor's error to
+			// surface; the estimator just stays pessimistic.
+			return 1
+		}
+		ok, err := expr.EvalBool(filter, row)
 		if err != nil {
 			return 1
 		}
@@ -64,7 +70,11 @@ func rowsPerKey(table *storage.Table, index *storage.IndexMeta) float64 {
 	for w := 0; w < windows; w++ {
 		start := w * n / windows
 		for i := start; i < start+windowRows && i < n; i++ {
-			v := table.Row(i)[index.Col]
+			row, err := table.FetchRow(i)
+			if err != nil {
+				continue
+			}
+			v := row[index.Col]
 			if v.Kind == storage.TypeInt64 {
 				distinct[v.I] = struct{}{}
 			}

@@ -212,6 +212,33 @@ func (c *resultCache) put(key string, res *cachedResult) {
 	}
 }
 
+// invalidateAll drops every entry — called after a write commits, because
+// any cached result may now be stale. Coarse, but writes are rare on this
+// engine (INSERT exists to feed the persistent tier) and correctness beats
+// retention.
+func (c *resultCache) invalidateAll() {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	var dropped []*cachedResult
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if e, ok := el.Value.(*resultKeyed); ok {
+			dropped = append(dropped, e.res)
+		}
+	}
+	c.entries = map[string]*list.Element{}
+	c.order.Init()
+	c.total = 0
+	c.mu.Unlock()
+	for _, r := range dropped {
+		if r.release != nil {
+			r.release()
+		}
+		metricCache("result", "invalidations").Inc()
+	}
+}
+
 // close releases every reservation; the cache is unusable afterwards.
 func (c *resultCache) close() {
 	c.mu.Lock()

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"bufferdb"
+	sqlfe "bufferdb/internal/sql"
 	"bufferdb/internal/wire"
 )
 
@@ -248,7 +249,10 @@ func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
 		fi = ss.srv.cfg.FaultHook(sql)
 	}
 
-	cacheable := ss.srv.results.enabled() && !opts.NoResultCache && fi == nil
+	// A write must execute every time (replaying a cached INSERT would skip
+	// the insert) and, once committed, makes any cached read stale.
+	isWrite := sqlfe.IsInsert(sql)
+	cacheable := ss.srv.results.enabled() && !opts.NoResultCache && fi == nil && !isWrite
 	key := opts.CacheKey(sql)
 	if cacheable {
 		if res, ok := ss.srv.results.get(key); ok {
@@ -266,6 +270,10 @@ func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
 	rows, err := ss.srv.db.QueryStream(qctx, sql, queryOptions(opts, fi)...)
 	if err != nil {
 		return ss.sendQueryError(err)
+	}
+	if isWrite {
+		// The insert committed inside QueryStream; cached results are stale.
+		ss.srv.results.invalidateAll()
 	}
 	var collect *cachedResult
 	if cacheable {

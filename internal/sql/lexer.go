@@ -42,7 +42,7 @@ var keywords = map[string]bool{
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"TRUE": true, "FALSE": true, "HAVING": true, "DISTINCT": true,
 	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
-	"IN": true,
+	"IN": true, "INSERT": true, "INTO": true, "VALUES": true,
 }
 
 // lex tokenizes the input. Errors carry byte positions.

@@ -1,0 +1,103 @@
+package storage
+
+import "fmt"
+
+// Heap abstracts where a table's rows physically live. The default backing
+// is the in-memory row slice the engine was built around; internal/pager
+// provides a disk-backed implementation (slotted pages behind a buffer
+// pool), which is how a table larger than RAM still serves sequential scans
+// and point fetches. The interface is deliberately tiny: the executor only
+// ever streams a span or fetches one row by identifier.
+//
+// All methods must be safe for concurrent use; FetchRow and Iterate may
+// perform I/O and therefore can fail, unlike the in-memory accessors.
+type Heap interface {
+	// NumRows returns the heap cardinality.
+	NumRows() int
+	// AvgRowBytes returns the mean in-memory row width (for the planner's
+	// cost model and simulated placement).
+	AvgRowBytes() int
+	// FetchRow returns the row with the given identifier.
+	FetchRow(rid int) (Row, error)
+	// Iterate returns an iterator over the span's rows in rid order.
+	Iterate(span Span) (RowIterator, error)
+}
+
+// RowIterator streams rows from a Heap. Iterators are single-use and not
+// safe for concurrent use; each scan operator owns its own.
+type RowIterator interface {
+	// Next returns the next row and its identifier. ok=false signals the
+	// end of the stream (rid and row are then meaningless). An I/O or
+	// corruption error ends the stream with err != nil.
+	Next() (rid int, row Row, ok bool, err error)
+	// Close releases the iterator's resources (pinned pages). It is
+	// idempotent.
+	Close() error
+}
+
+// sliceIterator adapts the in-memory row slice to RowIterator so memory-
+// backed and disk-backed tables stream through one code path when callers
+// prefer uniformity (the engines keep their direct slice fast path).
+type sliceIterator struct {
+	rows []Row
+	pos  int
+	end  int
+}
+
+// Next implements RowIterator.
+func (it *sliceIterator) Next() (int, Row, bool, error) {
+	if it.pos >= it.end {
+		return 0, nil, false, nil
+	}
+	rid := it.pos
+	it.pos++
+	return rid, it.rows[rid], true, nil
+}
+
+// Close implements RowIterator.
+func (it *sliceIterator) Close() error { return nil }
+
+// NewPagedTable creates a table whose rows live in the given heap instead
+// of the in-memory slice. Paged tables are read-only through the Table API
+// (writes go through the owning pager store, which keeps the write-ahead
+// log and the page images consistent); Append and Rows panic or error to
+// catch misuse early.
+func NewPagedTable(name string, schema Schema, heap Heap) *Table {
+	return &Table{
+		name:    name,
+		schema:  schema,
+		heap:    heap,
+		indexes: make(map[string]*IndexMeta),
+	}
+}
+
+// Paged reports whether the table's rows live behind a Heap (disk-backed)
+// rather than in the in-memory row slice.
+func (t *Table) Paged() bool { return t.heap != nil }
+
+// FetchRow returns the row with the given identifier, surfacing I/O errors
+// from disk-backed heaps. It is the error-propagating form of Row and the
+// accessor the executor uses wherever a paged table may appear.
+func (t *Table) FetchRow(rid int) (Row, error) {
+	if t.heap != nil {
+		return t.heap.FetchRow(rid)
+	}
+	if rid < 0 || rid >= len(t.rows) {
+		return nil, fmt.Errorf("storage: table %s: row %d out of range [0,%d)", t.name, rid, len(t.rows))
+	}
+	return t.rows[rid], nil
+}
+
+// Iterate returns a rid-ordered iterator over the span. For memory-backed
+// tables it is a zero-I/O view of the row slice; for paged tables it
+// streams pages through the owning buffer pool, so a pool smaller than the
+// table still scans correctly (pages are pinned one at a time).
+func (t *Table) Iterate(span Span) (RowIterator, error) {
+	if t.heap != nil {
+		return t.heap.Iterate(span)
+	}
+	if span.Start < 0 || span.End > len(t.rows) || span.Start > span.End {
+		return nil, fmt.Errorf("storage: table %s: span [%d,%d) out of range [0,%d)", t.name, span.Start, span.End, len(t.rows))
+	}
+	return &sliceIterator{rows: t.rows, pos: span.Start, end: span.End}, nil
+}

@@ -26,6 +26,11 @@ type Table struct {
 	schema Schema
 	rows   []Row
 
+	// heap, when non-nil, backs the table with an external (disk-resident)
+	// heap instead of the rows slice; see NewPagedTable. Row access then
+	// goes through FetchRow/Iterate, which can surface I/O errors.
+	heap Heap
+
 	// rowOnce guards the lazily computed average row width so concurrent
 	// readers (planner cost model, placement) agree on one value.
 	rowOnce  sync.Once
@@ -63,13 +68,21 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Schema() Schema { return t.schema }
 
 // NumRows returns the heap cardinality.
-func (t *Table) NumRows() int { return len(t.rows) }
+func (t *Table) NumRows() int {
+	if t.heap != nil {
+		return t.heap.NumRows()
+	}
+	return len(t.rows)
+}
 
 // Append adds a row to the heap and returns its row identifier.
 // The row must match the schema arity; type agreement is the loader's
 // responsibility (the TPC-H generator and the test fixtures are both typed
 // at the source).
 func (t *Table) Append(r Row) (int, error) {
+	if t.heap != nil {
+		return 0, fmt.Errorf("storage: table %s is disk-backed; write through the pager store", t.name)
+	}
 	if len(r) != len(t.schema) {
 		return 0, fmt.Errorf("storage: table %s: row arity %d does not match schema arity %d",
 			t.name, len(r), len(t.schema))
@@ -88,18 +101,43 @@ func (t *Table) MustAppend(r Row) int {
 	return id
 }
 
-// Row returns the row with the given identifier.
-func (t *Table) Row(id int) Row { return t.rows[id] }
+// Row returns the row with the given identifier. For disk-backed tables it
+// panics on I/O errors — the executor and planner use the error-propagating
+// FetchRow instead; Row remains the zero-overhead accessor for the
+// memory-resident hot path.
+func (t *Table) Row(id int) Row {
+	if t.heap != nil {
+		r, err := t.heap.FetchRow(id)
+		if err != nil {
+			panic(fmt.Sprintf("storage: table %s: Row(%d) on disk-backed heap: %v (use FetchRow)", t.name, id, err))
+		}
+		return r
+	}
+	return t.rows[id]
+}
 
 // Rows returns the backing row slice for sequential scans.
-// Callers must treat it as read-only.
-func (t *Table) Rows() []Row { return t.rows }
+// Callers must treat it as read-only. It panics for disk-backed tables,
+// whose rows may not fit in memory — stream them with Iterate.
+func (t *Table) Rows() []Row {
+	if t.heap != nil {
+		panic(fmt.Sprintf("storage: table %s is disk-backed; stream rows with Iterate", t.name))
+	}
+	return t.rows
+}
 
 // AvgRowBytes returns the mean in-memory row width, computed once over a
 // sample of the heap. It is used both for simulated placement and by the
 // planner's cost model, and is safe for concurrent callers.
 func (t *Table) AvgRowBytes() int {
 	t.rowOnce.Do(func() {
+		if t.heap != nil {
+			t.rowBytes = t.heap.AvgRowBytes()
+			if t.rowBytes <= 0 {
+				t.rowBytes = 64
+			}
+			return
+		}
 		if len(t.rows) == 0 {
 			t.rowBytes = 64
 			return
@@ -136,7 +174,7 @@ func (s Span) Len() int { return s.End - s.Start }
 // returned when the table has fewer than n rows; an empty table yields one
 // empty span.
 func (t *Table) Partitions(n int) []Span {
-	total := len(t.rows)
+	total := t.NumRows()
 	if n < 1 {
 		n = 1
 	}

@@ -33,6 +33,10 @@ type SeqScan struct {
 	place  exec.TablePlacement
 	placed bool
 	opened bool
+
+	// it streams rows when the table is disk-backed (paged); memory tables
+	// keep the zero-overhead direct slice access path.
+	it storage.RowIterator
 }
 
 // NewSeqScan constructs the scan. module may be nil (uninstrumented);
@@ -61,6 +65,13 @@ func (s *SeqScan) Open(ctx *exec.Context) error {
 	if s.Span != nil {
 		s.pos, s.end = s.Span.Start, s.Span.End
 	}
+	if s.Table.Paged() {
+		it, err := s.Table.Iterate(storage.Span{Start: s.pos, End: s.end})
+		if err != nil {
+			return err
+		}
+		s.it = it
+	}
 	s.place, s.placed = ctx.Placements[s.Table]
 	s.opened = true
 	return nil
@@ -83,9 +94,25 @@ func (s *SeqScan) NextBatch(ctx *exec.Context) (out Batch, err error) {
 	s.out.reset()
 	s.bits = s.bits[:0]
 	for s.pos < s.end && !s.out.full() {
-		rid := s.pos
-		s.pos++
-		row := s.Table.Row(rid)
+		var (
+			rid int
+			row storage.Row
+		)
+		if s.it != nil {
+			var ok bool
+			rid, row, ok, err = s.it.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			s.pos = rid + 1
+		} else {
+			rid = s.pos
+			s.pos++
+			row = s.Table.Row(rid)
+		}
 		if s.placed {
 			ctx.Read(s.place.Base+uint64(rid)*uint64(s.place.RowBytes), s.place.RowBytes)
 		}
@@ -109,6 +136,11 @@ func (s *SeqScan) NextBatch(ctx *exec.Context) (out Batch, err error) {
 // Close implements Operator.
 func (s *SeqScan) Close(*exec.Context) error {
 	s.opened = false
+	if s.it != nil {
+		err := s.it.Close()
+		s.it = nil
+		return err
+	}
 	return nil
 }
 

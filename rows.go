@@ -8,6 +8,7 @@ import (
 
 	"bufferdb/internal/exec"
 	"bufferdb/internal/plan"
+	"bufferdb/internal/sql"
 	"bufferdb/internal/storage"
 )
 
@@ -70,8 +71,13 @@ func (db *DB) QueryStream(ctx context.Context, query string, opts ...QueryOption
 	return db.queryStream(ctx, query, applyOptions(opts))
 }
 
-// queryStream is the shared ad-hoc execution path: plan, then run.
+// queryStream is the shared ad-hoc execution path: plan, then run. Writes
+// (INSERT) divert to the storage tier before planning — they have no
+// operator pipeline.
 func (db *DB) queryStream(ctx context.Context, query string, qo QueryOptions) (*Rows, error) {
+	if sql.IsInsert(query) {
+		return db.execInsert(ctx, query, qo)
+	}
 	p, err := db.plan(query, qo)
 	if err != nil {
 		return nil, err
