@@ -119,6 +119,19 @@ func TestChaosPagerWrite(t *testing.T) {
 	if err := s.Checkpoint(); !errors.Is(err, faultinject.ErrInjected) {
 		t.Fatalf("wedged store accepted a checkpoint: %v", err)
 	}
+	// Reads refuse too: the apply stopped partway, so serving pages would
+	// expose a torn batch — some rows applied, others missing — despite the
+	// documented batch atomicity.
+	tbl, err := s.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.FetchRow(0); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("wedged store served FetchRow: %v", err)
+	}
+	if _, err := tbl.Iterate(storage.Span{Start: 0, End: 60}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("wedged store served Iterate: %v", err)
+	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}

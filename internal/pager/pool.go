@@ -34,13 +34,19 @@ func metricCheckpoints() *obsv.Counter {
 // frame is one resident page. The pool mutex guards pins, dirty and
 // residency; mu guards the page bytes. Lock order is pool.mu → frame.mu;
 // readers must release mu before calling Unpin (which takes pool.mu).
+//
+// mu doubles as the I/O latch: a loader publishes the frame with mu held
+// exclusively, fills it from disk without the pool mutex, and releases mu
+// only when data (or loadErr) is final — so concurrent fetchers of the same
+// page block on the frame, not on the pool.
 type frame struct {
 	file *heapFile
 	id   uint32
 	key  uint64
 
-	mu   sync.RWMutex
-	data []byte
+	mu      sync.RWMutex
+	data    []byte
+	loadErr error // set under mu by a failed loader; frame is stillborn
 
 	pins  int
 	dirty bool
@@ -117,34 +123,84 @@ func (p *Pool) ResidentBytes() int64 {
 }
 
 // fetch pins the page, reading it from disk on a miss (possibly evicting a
-// victim first). The caller must Unpin exactly once.
+// victim first). The caller must Unpin exactly once. Disk I/O — the miss
+// read and any dirty-victim writeback — happens outside the pool mutex, so
+// concurrent scans overlap their I/O and hits on resident pages never wait
+// behind another scan's miss.
 func (p *Pool) fetch(h *heapFile, id uint32) (*frame, error) {
 	key := frameKey(h, id)
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("pager: pool is closed")
 	}
 	if fr, ok := p.frames[key]; ok {
 		fr.pins++
 		p.policy.Touch(key)
+		p.mu.Unlock()
 		p.hits.Add(1)
 		metricHits().Inc()
-		return fr, nil
+		return p.settleLoad(fr)
 	}
 	p.misses.Add(1)
 	metricMisses().Inc()
 	buf, err := p.allocFrameLocked()
 	if err != nil {
+		p.mu.Unlock()
 		return nil, err
 	}
-	if err := h.readPage(id, buf, p.readFault); err != nil {
+	// allocFrameLocked may have released the mutex for a writeback; the pool
+	// may have closed, or a concurrent fetch may have loaded the page.
+	if p.closed {
 		p.releaseBufLocked(buf)
-		return nil, err
+		p.mu.Unlock()
+		return nil, fmt.Errorf("pager: pool is closed")
+	}
+	if fr, ok := p.frames[key]; ok {
+		fr.pins++
+		p.policy.Touch(key)
+		p.releaseBufLocked(buf)
+		p.mu.Unlock()
+		return p.settleLoad(fr)
 	}
 	fr := &frame{file: h, id: id, key: key, data: buf, pins: 1}
+	fr.mu.Lock() // I/O latch: held until the read below settles
 	p.frames[key] = fr
 	p.policy.Admit(key)
+	p.mu.Unlock()
+
+	err = h.readPage(id, buf, p.readFault)
+	fr.loadErr = err
+	fr.mu.Unlock()
+	if err != nil {
+		// Unpublish the stillborn frame and return its memory charge.
+		// Concurrent fetchers that pinned it meanwhile observe loadErr and
+		// unpin their orphan (unpin never consults the residency map). The
+		// map is re-checked because an eviction may already have recycled
+		// this frame's buffer — and with it, its charge — into another.
+		p.mu.Lock()
+		if cur, ok := p.frames[key]; ok && cur == fr {
+			p.policy.Remove(key)
+			delete(p.frames, key)
+			p.releaseBufLocked(buf)
+		}
+		p.mu.Unlock()
+		return nil, err
+	}
+	return fr, nil
+}
+
+// settleLoad waits out any in-flight load of a frame the caller just
+// pinned: acquiring the read latch blocks until the loader releases it. On
+// a failed load the pin is released and the loader's error returned.
+func (p *Pool) settleLoad(fr *frame) (*frame, error) {
+	fr.mu.RLock()
+	err := fr.loadErr
+	fr.mu.RUnlock()
+	if err != nil {
+		p.unpin(fr, false)
+		return nil, err
+	}
 	return fr, nil
 }
 
@@ -163,6 +219,13 @@ func (p *Pool) newPage(h *heapFile, id uint32) (*frame, error) {
 	buf, err := p.allocFrameLocked()
 	if err != nil {
 		return nil, err
+	}
+	// allocFrameLocked may have released the mutex for a writeback. The
+	// store serializes appenders, so no one else can have created this page,
+	// but the pool may have closed under us.
+	if p.closed {
+		p.releaseBufLocked(buf)
+		return nil, fmt.Errorf("pager: pool is closed")
 	}
 	initPage(buf)
 	fr := &frame{file: h, id: id, key: key, data: buf, pins: 1, dirty: true}
@@ -184,34 +247,55 @@ func (p *Pool) unpin(fr *frame, dirty bool) {
 
 // allocFrameLocked returns a pageSize buffer for a new frame: a fresh
 // charged allocation below capacity, the victim's recycled buffer at
-// capacity. Dirty victims are written back first; a failed writeback
-// aborts the allocation with the victim still resident and intact.
+// capacity. Dirty victims are written back first — WITHOUT the pool mutex,
+// which this releases and re-acquires around the I/O (the victim stays
+// pinned and resident meanwhile, so no concurrent fetch can evict it or
+// miss its dirty bytes). A failed writeback aborts the allocation with the
+// victim still resident and intact. Callers must re-validate any map state
+// examined before the call.
 func (p *Pool) allocFrameLocked() ([]byte, error) {
-	if len(p.frames) < p.capFrames {
-		if err := p.mem.Grow(int64(p.pageSize)); err != nil {
-			return nil, err
+	for {
+		if p.closed {
+			return nil, fmt.Errorf("pager: pool is closed")
 		}
-		return make([]byte, p.pageSize), nil
-	}
-	key, ok := p.policy.Victim(func(k uint64) bool {
-		fr, ok := p.frames[k]
-		return ok && fr.pins == 0
-	})
-	if !ok {
-		return nil, fmt.Errorf("pager: %w: %d frames", ErrPoolExhausted, p.capFrames)
-	}
-	victim := p.frames[key]
-	if victim.dirty {
-		if err := p.writebackLocked(victim); err != nil {
-			return nil, err
+		if len(p.frames) < p.capFrames {
+			if err := p.mem.Grow(int64(p.pageSize)); err != nil {
+				return nil, err
+			}
+			return make([]byte, p.pageSize), nil
 		}
+		key, ok := p.policy.Victim(func(k uint64) bool {
+			fr, ok := p.frames[k]
+			return ok && fr.pins == 0
+		})
+		if !ok {
+			return nil, fmt.Errorf("pager: %w: %d frames", ErrPoolExhausted, p.capFrames)
+		}
+		victim := p.frames[key]
+		if victim.dirty {
+			victim.pins++
+			victim.dirty = false // a write during our writeback re-marks it
+			p.mu.Unlock()
+			err := p.writeback(victim)
+			p.mu.Lock()
+			victim.pins--
+			if err != nil {
+				victim.dirty = true
+				return nil, err
+			}
+			if victim.pins > 0 || victim.dirty {
+				// Re-pinned or re-dirtied while we wrote: no longer a valid
+				// victim, pick another.
+				continue
+			}
+		}
+		p.policy.Remove(key)
+		delete(p.frames, key)
+		p.evictions.Add(1)
+		metricEvictions().Inc()
+		// The victim's buffer carries its memory charge to the new frame.
+		return victim.data, nil
 	}
-	p.policy.Remove(key)
-	delete(p.frames, key)
-	p.evictions.Add(1)
-	metricEvictions().Inc()
-	// The victim's buffer carries its memory charge to the new frame.
-	return victim.data, nil
 }
 
 // releaseBufLocked returns a buffer whose frame never materialized (failed
@@ -221,16 +305,18 @@ func (p *Pool) releaseBufLocked(buf []byte) {
 	p.mem.Shrink(int64(p.pageSize))
 }
 
-// writebackLocked writes one dirty frame to its file. The frame lock is
-// taken exclusively because sealing stamps the checksum into the header.
-func (p *Pool) writebackLocked(fr *frame) error {
+// writeback writes one frame to its file. The frame lock is taken
+// exclusively because sealing stamps the checksum into the header. It does
+// NOT clear the dirty flag — that belongs to the pool mutex, which callers
+// manage (eviction clears it optimistically before the write; flushFile
+// clears it after).
+func (p *Pool) writeback(fr *frame) error {
 	fr.mu.Lock()
 	err := fr.file.writePage(fr.id, fr.data, p.writeFault)
 	fr.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	fr.dirty = false
 	p.writebacks.Add(1)
 	metricWritebacks().Inc()
 	return nil
@@ -249,9 +335,10 @@ func (p *Pool) flushFile(h *heapFile) error {
 	}
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
 	for _, fr := range dirty {
-		if err := p.writebackLocked(fr); err != nil {
+		if err := p.writeback(fr); err != nil {
 			return err
 		}
+		fr.dirty = false
 	}
 	return nil
 }

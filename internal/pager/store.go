@@ -460,16 +460,11 @@ func (s *Store) Insert(table string, rows []storage.Row) error {
 		}
 	}
 
-	// Plan placements and stage WAL records; nothing is applied yet, so a
-	// failed commit leaves the store untouched.
-	type placement struct {
-		pageID uint32
-		enc    []byte
-		lsn    uint64
-	}
-	plans := make([]placement, 0, len(rows))
-	numPages := ts.file.numPages
-	tailFree := ts.tailFree
+	// Validate and encode every row BEFORE staging anything in the log: an
+	// error below must leave wal.buf empty, or the orphan records of the
+	// failed batch would be written ahead of the next successful batch's
+	// commit record and replayed as if they had committed.
+	encs := make([][]byte, len(rows))
 	for i, r := range rows {
 		if len(r) != len(ts.schema) {
 			return fmt.Errorf("pager: insert %s: row %d arity %d != schema arity %d", table, i, len(r), len(ts.schema))
@@ -478,6 +473,21 @@ func (s *Store) Insert(table string, rows []storage.Row) error {
 		if len(enc) > maxTupleBytes(s.pageSize) {
 			return fmt.Errorf("pager: insert %s: row %d (%d bytes) exceeds page capacity %d", table, i, len(enc), maxTupleBytes(s.pageSize))
 		}
+		encs[i] = enc
+	}
+
+	// Plan placements and stage WAL records; nothing is applied yet and no
+	// fallible step separates the first append from the flush, so a failed
+	// commit leaves both the store and the log buffer untouched.
+	type placement struct {
+		pageID uint32
+		enc    []byte
+		lsn    uint64
+	}
+	plans := make([]placement, 0, len(rows))
+	numPages := ts.file.numPages
+	tailFree := ts.tailFree
+	for _, enc := range encs {
 		need := len(enc) + slotSize
 		var pageID uint32
 		if numPages == 0 || tailFree < need {
@@ -711,6 +721,13 @@ func (h *tableHeap) AvgRowBytes() int {
 // page is unpinned or even evicted.
 func (h *tableHeap) FetchRow(rid int) (storage.Row, error) {
 	h.s.mu.Lock()
+	if err := h.s.wedged; err != nil {
+		// A wedged store stopped mid-apply: some pages of a committed batch
+		// carry its rows, others don't. Refuse reads too, or callers would
+		// observe the torn batch until the process reopens the store.
+		h.s.mu.Unlock()
+		return nil, err
+	}
 	pageID, slot, err := h.ts.file.pageOf(rid)
 	h.s.mu.Unlock()
 	if err != nil {
@@ -741,6 +758,12 @@ func (h *tableHeap) FetchRow(rid int) (storage.Row, error) {
 func (h *tableHeap) Iterate(span storage.Span) (storage.RowIterator, error) {
 	if span.Start < 0 || span.Start > span.End {
 		return nil, fmt.Errorf("pager: %s: bad span [%d,%d)", h.ts.name, span.Start, span.End)
+	}
+	h.s.mu.Lock()
+	err := h.s.wedged
+	h.s.mu.Unlock()
+	if err != nil {
+		return nil, err
 	}
 	return &pagedIterator{h: h, next: span.Start, end: span.End}, nil
 }
@@ -789,6 +812,11 @@ func (it *pagedIterator) Next() (int, storage.Row, bool, error) {
 func (it *pagedIterator) loadPage() error {
 	h := it.h
 	h.s.mu.Lock()
+	if err := h.s.wedged; err != nil {
+		// See FetchRow: a wedged store may hold a half-applied batch.
+		h.s.mu.Unlock()
+		return err
+	}
 	pageID, _, err := h.ts.file.pageOf(it.next)
 	var base int
 	if err == nil {

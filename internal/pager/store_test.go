@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 
 	"bufferdb/internal/exec"
@@ -132,6 +134,54 @@ func TestStoreRoundTrip(t *testing.T) {
 	}
 	if got := mem.Bytes(); got != 0 {
 		t.Fatalf("tracked bytes after second close: %d", got)
+	}
+}
+
+// TestFailedInsertLeavesLogClean rejects batches whose validation fails on
+// a row past the first (arity mismatch, oversized row) and asserts the
+// failure stages nothing in the WAL: the next successful insert's commit
+// must not sweep orphan records from the failed batch into the log, where
+// recovery would replay rows the caller was told failed.
+func TestFailedInsertLeavesLogClean(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, smallStoreOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("t", testRows(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 is valid, row 1 oversized: the batch must fail atomically.
+	big := storage.Row{storage.NewInt(99), storage.NewString(strings.Repeat("x", 2*MinPageSize))}
+	if err := s.Insert("t", []storage.Row{testRow(3), big}); err == nil {
+		t.Fatal("oversized row accepted")
+	}
+	// Row 0 is valid, row 1 has the wrong arity: same contract.
+	if err := s.Insert("t", []storage.Row{testRow(3), {storage.NewInt(99)}}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	// Validation failures are clean rejections, not wedges: the next batch
+	// must commit, and the table must hold exactly the committed rows.
+	if err := s.Insert("t", testRows(3, 2)); err != nil {
+		t.Fatalf("insert after failed batches: %v", err)
+	}
+	verifyTable(t, s, "t", 5)
+	// Crash without checkpointing: recovery replays the log. Orphan records
+	// from the failed batches would resurrect rejected rows or fail the open
+	// with ErrCorrupt when their planned pages collide with the last batch.
+	if err := s.CloseAbrupt(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, smallStoreOpts(nil))
+	if err != nil {
+		t.Fatalf("reopen after failed batches: %v", err)
+	}
+	verifyTable(t, s2, "t", 5)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -380,5 +430,92 @@ func copyDir(t *testing.T, src, dst string) {
 		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestConcurrentScansAndInserts hammers a 4-frame pool with parallel
+// scanners while a writer appends batches — the regime the pool's I/O
+// latch exists for: misses, evictions and dirty writebacks all overlapping.
+// Run under -race this also proves the latch protocol publishes frames
+// safely; afterwards the tracker must drain to zero.
+func TestConcurrentScansAndInserts(t *testing.T) {
+	dir := t.TempDir()
+	mem := exec.NewMemTracker("concurrent", 0, nil)
+	s, err := Open(dir, smallStoreOpts(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("t", testRows(0, 80)); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := s.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				it, err := tbl.Iterate(storage.Span{Start: 0, End: 80})
+				if err != nil {
+					errs <- err
+					return
+				}
+				prev := -1
+				for {
+					rid, row, ok, err := it.Next()
+					if err != nil {
+						errs <- err
+						it.Close()
+						return
+					}
+					if !ok {
+						break
+					}
+					if rid != prev+1 || row[0].I != int64(rid) {
+						errs <- fmt.Errorf("scan %d: rid %d after %d, id %d", seed, rid, prev, row[0].I)
+						it.Close()
+						return
+					}
+					prev = rid
+				}
+				it.Close()
+				if _, err := tbl.FetchRow((seed*7 + iter) % 80); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	// One writer appending concurrently: written rows land past rid 80, so
+	// the scanners' fixed span stays stable while evictions churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := s.Insert("t", testRows(80+i*4, 4)); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	verifyTable(t, s, "t", 120)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Bytes(); got != 0 {
+		t.Fatalf("tracked bytes after close: %d", got)
 	}
 }

@@ -133,6 +133,11 @@ type resultCache struct {
 	entries map[string]*list.Element
 	order   *list.List
 	total   int64
+	// epoch counts invalidations. A query snapshots it before executing and
+	// put drops results from an older epoch: a SELECT that started before a
+	// write committed but finished after the invalidation must not park its
+	// pre-write result in the cache.
+	epoch uint64
 }
 
 func newResultCache(db *bufferdb.DB, budget, maxEntry int64) *resultCache {
@@ -174,10 +179,19 @@ type resultKeyed struct {
 	res *cachedResult
 }
 
+// writeEpoch returns the current invalidation epoch. Callers snapshot it
+// before executing a query and hand it back to put.
+func (c *resultCache) writeEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
 // put inserts a freshly-streamed result, evicting least-recently-used
-// entries until the budget holds. Results over the per-entry cap, or that
-// the memory limit refuses, are dropped silently.
-func (c *resultCache) put(key string, res *cachedResult) {
+// entries until the budget holds. Results over the per-entry cap, that the
+// memory limit refuses, or whose execution started before the last
+// invalidation (epoch, from writeEpoch) are dropped silently.
+func (c *resultCache) put(key string, res *cachedResult, epoch uint64) {
 	if !c.enabled() || res.size > c.maxEntry {
 		return
 	}
@@ -188,6 +202,12 @@ func (c *resultCache) put(key string, res *cachedResult) {
 	res.release = release
 
 	c.mu.Lock()
+	if epoch != c.epoch {
+		// A write committed while this query ran; its result may predate it.
+		c.mu.Unlock()
+		release()
+		return
+	}
 	if _, ok := c.entries[key]; ok {
 		// A concurrent execution already cached this key.
 		c.mu.Unlock()
@@ -221,6 +241,7 @@ func (c *resultCache) invalidateAll() {
 		return
 	}
 	c.mu.Lock()
+	c.epoch++
 	var dropped []*cachedResult
 	for el := c.order.Front(); el != nil; el = el.Next() {
 		if e, ok := el.Value.(*resultKeyed); ok {

@@ -254,6 +254,9 @@ func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
 	isWrite := sqlfe.IsInsert(sql)
 	cacheable := ss.srv.results.enabled() && !opts.NoResultCache && fi == nil && !isWrite
 	key := opts.CacheKey(sql)
+	// Snapshot the invalidation epoch before the query executes: if a write
+	// commits while this query streams, put refuses the stale result.
+	epoch := ss.srv.results.writeEpoch()
 	if cacheable {
 		if res, ok := ss.srv.results.get(key); ok {
 			metricQueries("cached").Inc()
@@ -281,7 +284,7 @@ func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
 	}
 	err = ss.stream(qcancel, rows, collect)
 	if err == nil && collect != nil && collect.complete() {
-		ss.srv.results.put(key, collect)
+		ss.srv.results.put(key, collect, epoch)
 	}
 	return err
 }

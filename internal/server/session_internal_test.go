@@ -149,11 +149,34 @@ func TestResultCacheMaxEntryClamp(t *testing.T) {
 	if c.maxEntry != 512 {
 		t.Fatalf("maxEntry = %d, want clamped to budget 512", c.maxEntry)
 	}
-	c.put("k", &cachedResult{cols: []string{"a"}, size: 600, done: true})
+	c.put("k", &cachedResult{cols: []string{"a"}, size: 600, done: true}, c.writeEpoch())
 	if len(c.entries) != 0 {
 		t.Fatal("entry larger than the whole budget was cached")
 	}
 	if c := newResultCache(nil, 1024, 0); c.maxEntry != 128 {
 		t.Fatalf("default maxEntry = %d, want budget/8", c.maxEntry)
+	}
+}
+
+// TestResultCacheStaleEpochDropped pins the invalidation race: a query
+// that snapshots its epoch, then sees a write invalidate the cache while
+// it streams, must not park its pre-write result afterwards.
+func TestResultCacheStaleEpochDropped(t *testing.T) {
+	c := newResultCache(new(bufferdb.DB), 1024, 0)
+	res := func() *cachedResult {
+		return &cachedResult{cols: []string{"a"}, size: 16, done: true}
+	}
+
+	epoch := c.writeEpoch()
+	c.invalidateAll() // the write commits mid-query
+	c.put("k", res(), epoch)
+	if len(c.entries) != 0 {
+		t.Fatal("result from before the invalidation was cached")
+	}
+
+	// A query that started after the invalidation caches normally.
+	c.put("k", res(), c.writeEpoch())
+	if len(c.entries) != 1 {
+		t.Fatal("fresh result was not cached")
 	}
 }

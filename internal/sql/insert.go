@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"bufferdb/internal/storage"
 )
@@ -21,16 +22,34 @@ type InsertStmt struct {
 	Rows [][]Node
 }
 
-// IsInsert reports whether the statement's first token is INSERT, which is
-// how the facade routes between the SELECT pipeline and the write path
-// without parsing twice.
+// IsInsert reports whether the statement's first token is the INSERT
+// keyword, which is how the facade routes between the SELECT pipeline and
+// the write path without parsing twice. It skips the same leading trivia
+// the lexer does — whitespace and "--" line comments — and requires a token
+// boundary after the keyword, so "-- note\nINSERT …" routes to the write
+// path while an identifier like "inserted" does not.
 func IsInsert(input string) bool {
-	for _, r := range input {
-		if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
-			continue
+	i, n := 0, len(input)
+	for i < n {
+		switch c := input[i]; {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		default:
+			rest := input[i:]
+			if len(rest) < 6 || !strings.EqualFold(rest[:6], "INSERT") {
+				return false
+			}
+			if len(rest) > 6 {
+				if r := rune(rest[6]); unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+					return false
+				}
+			}
+			return true
 		}
-		rest := input[strings.IndexRune(input, r):]
-		return len(rest) >= 6 && strings.EqualFold(rest[:6], "INSERT")
 	}
 	return false
 }

@@ -407,3 +407,31 @@ func TestRefinedSQLPlanRuns(t *testing.T) {
 
 // newTestCodeModel builds a fresh code model for refinement tests.
 func newTestCodeModel() *codemodel.Catalog { return codemodel.NewCatalog() }
+
+// TestIsInsert pins the routing predicate: it must skip the same leading
+// trivia the lexer does (whitespace, -- line comments) and match INSERT
+// only as a whole token.
+func TestIsInsert(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"INSERT INTO t VALUES (1)", true},
+		{"  \t\n insert into t values (1)", true},
+		{"-- note\nINSERT INTO t VALUES (1)", true},
+		{"-- one\n  -- two\r\n\tInSeRt INTO t VALUES (1)", true},
+		{"INSERT", true},
+		{"SELECT 1", false},
+		{"-- INSERT INTO t VALUES (1)", false},
+		{"-- comment only", false},
+		{"inserted_rows FROM t", false},
+		{"INSERTX", false},
+		{"", false},
+		{"   ", false},
+	}
+	for _, c := range cases {
+		if got := IsInsert(c.in); got != c.want {
+			t.Errorf("IsInsert(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
