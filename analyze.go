@@ -15,7 +15,8 @@ import (
 type OpStat struct {
 	// Name is the operator's display name.
 	Name string
-	// Engine is "volcano", "vec", or "adapter" for engine-bridge operators.
+	// Engine is "volcano", "vec", "push", or "adapter" for engine-bridge
+	// operators.
 	Engine string
 	// Group is the refinement pass's 1-based execution-group id (0 = the
 	// operator was not placed in a group — e.g. blocking operators).

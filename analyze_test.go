@@ -235,12 +235,12 @@ func TestQueryFunctionalOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := testDB.QueryWithOptions(q, QueryOptions{})
+	psh, err := testDB.Query(ctx, q, WithEngine(EnginePush))
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := fmt.Sprint(base.Rows)
-	for name, res := range map[string]*Result{"vec": vec, "parallel": par, "norefine": noref, "deprecated": dep} {
+	for name, res := range map[string]*Result{"vec": vec, "parallel": par, "norefine": noref, "push": psh} {
 		if fmt.Sprint(res.Rows) != want {
 			t.Errorf("%s result %v differs from base %v", name, res.Rows, base.Rows)
 		}

@@ -24,6 +24,7 @@ package bufferdb
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -79,7 +80,9 @@ type Options struct {
 	Eviction string
 }
 
-// Engine names an execution model for WithEngine.
+// Engine names an execution model for WithEngine. The name round-trips
+// through ParseEngine and Engine.String; those two are the only places in
+// the tree that may compare or produce engine-name strings.
 type Engine string
 
 // Available engines.
@@ -91,12 +94,37 @@ const (
 	// batch variants exchange 1024-tuple batches; the rest run as Volcano
 	// islands behind adapters.
 	EngineVec Engine = "vec"
+	// EnginePush is the push-fused compiled engine: each execution group
+	// runs as a single producer-driven loop, materializing only at
+	// pipeline breakers; uncovered plan nodes run as Volcano islands
+	// behind adapter sources.
+	EnginePush Engine = "push"
 )
 
-// QueryOptions tune a single statement. New code should set them through
-// the functional QueryOption values (WithEngine, WithParallelism, …) passed
-// to Query, QueryStream, ExplainAnalyze and Prepare; the struct remains
-// exported for the deprecated QueryWithOptions/QueryContext entry points.
+// String returns the engine's display name.
+func (e Engine) String() string { return string(e) }
+
+// EngineNames lists every selectable engine name, in display order.
+func EngineNames() []string { return plan.EngineNames() }
+
+// ParseEngine resolves an engine name through the planner's canonical
+// parser — the single engine-name parser in the tree. Every consumer (CLI
+// flags, daemon config, the wire protocol's ExecOptions decoding, REPL
+// meta-commands) routes through it, so an unknown name always surfaces a
+// wrapped ErrUnknownEngine carrying the offending name and the valid set,
+// and adding an engine to plan.Engines makes it selectable everywhere.
+func ParseEngine(name string) (Engine, error) {
+	pe, err := plan.ParseEngine(name)
+	if err != nil {
+		return "", fmt.Errorf("bufferdb: %w %q (valid: %s)", ErrUnknownEngine, name, strings.Join(EngineNames(), ", "))
+	}
+	return Engine(pe.String()), nil
+}
+
+// QueryOptions tune a single statement. Callers set them through the
+// functional QueryOption values (WithEngine, WithParallelism, …) passed to
+// Query, QueryStream, ExplainAnalyze and Prepare; the struct remains
+// exported for bulk entry points like Profile that take a whole bundle.
 type QueryOptions struct {
 	// ForceJoin selects the join algorithm: "hash", "nestloop", "merge".
 	ForceJoin string
@@ -263,20 +291,22 @@ func (db *DB) WithEngine(e Engine) *DB {
 }
 
 // planEngine maps the statement's effective engine (the per-query override,
-// else the view's) to the compiler's engine switch. Unknown names are
-// rejected rather than silently running on Volcano.
+// else the view's) to the compiler's engine switch through the canonical
+// ParseEngine round-trip. Unknown names are rejected rather than silently
+// running on Volcano.
 func (db *DB) planEngine(qo QueryOptions) (Engine, plan.Engine, error) {
 	e := db.engine
 	if qo.Engine != "" {
 		e = qo.Engine
 	}
-	switch e {
-	case EngineVec:
-		return EngineVec, plan.EngineVec, nil
-	case EngineVolcano, "":
-		return EngineVolcano, plan.EngineVolcano, nil
+	if e == "" {
+		e = EngineVolcano
 	}
-	return e, 0, fmt.Errorf("bufferdb: %w %q", ErrUnknownEngine, e)
+	pe, err := plan.ParseEngine(e.String())
+	if err != nil {
+		return e, 0, fmt.Errorf("bufferdb: %w %q (valid: %s)", ErrUnknownEngine, e, strings.Join(EngineNames(), ", "))
+	}
+	return e, pe, nil
 }
 
 // OpenTPCH generates a TPC-H database at the given scale factor (the paper
@@ -458,14 +488,6 @@ func (db *DB) queryMaterialized(ctx context.Context, query string, qo QueryOptio
 		return nil, err
 	}
 	return res, nil
-}
-
-// QueryWithOptions is Query with an options struct.
-//
-// Deprecated: use Query with functional options (WithEngine, WithParallelism,
-// …), which also carries a context.
-func (db *DB) QueryWithOptions(query string, qo QueryOptions) (*Result, error) {
-	return db.queryMaterialized(context.Background(), query, qo)
 }
 
 // nativeValue converts an engine value to a plain Go value.

@@ -61,16 +61,16 @@ func TestConcurrentQueries(t *testing.T) {
 			// third adds intra-query parallelism on top of inter-query
 			// concurrency.
 			view := db
-			qo := QueryOptions{}
+			var opts []QueryOption
 			switch g % 3 {
 			case 1:
 				view = db.WithEngine(EngineVec)
 			case 2:
-				qo.Parallelism = 4
+				opts = append(opts, WithParallelism(4))
 			}
 			for i := 0; i < iters; i++ {
 				qi := (g + i) % len(concurrentQueries)
-				res, err := view.QueryWithOptions(concurrentQueries[qi], qo)
+				res, err := view.Query(context.Background(), concurrentQueries[qi], opts...)
 				if err != nil {
 					errc <- fmt.Errorf("goroutine %d query %d: %w", g, qi, err)
 					return
@@ -160,8 +160,8 @@ func TestConcurrentCalibration(t *testing.T) {
 	}
 }
 
-func TestQueryContextStreams(t *testing.T) {
-	rows, err := testDB.QueryContext(context.Background(),
+func TestQueryStreamRows(t *testing.T) {
+	rows, err := testDB.QueryStream(context.Background(),
 		`SELECT l_orderkey, l_extendedprice FROM lineitem WHERE l_quantity > 45`)
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +199,7 @@ func TestQueryContextStreams(t *testing.T) {
 }
 
 func TestRowsEarlyClose(t *testing.T) {
-	rows, err := testDB.QueryContext(context.Background(), `SELECT l_orderkey FROM lineitem`)
+	rows, err := testDB.QueryStream(context.Background(), `SELECT l_orderkey FROM lineitem`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,9 +223,9 @@ func TestRowsEarlyClose(t *testing.T) {
 	}
 }
 
-func TestQueryContextCancel(t *testing.T) {
+func TestQueryStreamCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	rows, err := testDB.QueryContext(ctx, `SELECT l_orderkey FROM lineitem`)
+	rows, err := testDB.QueryStream(ctx, `SELECT l_orderkey FROM lineitem`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,14 +241,14 @@ func TestQueryContextCancel(t *testing.T) {
 	}
 }
 
-func TestQueryContextPreCanceled(t *testing.T) {
+func TestQueryStreamPreCanceled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	rows, err := testDB.QueryContext(ctx, `SELECT l_orderkey FROM lineitem`)
+	rows, err := testDB.QueryStream(ctx, `SELECT l_orderkey FROM lineitem`)
 	if err != nil {
 		// Open may already observe the canceled context; that is fine.
 		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("QueryContext = %v, want context.Canceled in its chain", err)
+			t.Fatalf("QueryStream = %v, want context.Canceled in its chain", err)
 		}
 		return
 	}
@@ -271,10 +271,10 @@ func TestParallelEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	wantKey := resultKey(want)
-	for _, engine := range []Engine{EngineVolcano, EngineVec} {
+	for _, engine := range []Engine{EngineVolcano, EngineVec, EnginePush} {
 		view := testDB.WithEngine(engine)
 		for _, workers := range []int{1, 2, 3, 4, 8} {
-			res, err := view.QueryWithOptions(q, QueryOptions{Parallelism: workers})
+			res, err := view.Query(context.Background(), q, WithParallelism(workers))
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", engine, workers, err)
 			}
@@ -301,7 +301,7 @@ func TestSentinelErrors(t *testing.T) {
 	if _, err := testDB.Query(context.Background(), `SELECT 1 FROM ghost`); !errors.Is(err, ErrUnknownTable) {
 		t.Errorf("missing table error = %v, want ErrUnknownTable in its chain", err)
 	}
-	_, err := testDB.QueryWithOptions(`SELECT COUNT(*) FROM lineitem`, QueryOptions{ForceJoin: "bogus"})
+	_, err := testDB.Query(context.Background(), `SELECT COUNT(*) FROM lineitem`, WithForceJoin("bogus"))
 	if !errors.Is(err, ErrBadJoinMethod) {
 		t.Errorf("bad join method error = %v, want ErrBadJoinMethod in its chain", err)
 	}

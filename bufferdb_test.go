@@ -110,7 +110,7 @@ func TestRefinementTransparency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, err := testDB.QueryWithOptions(q, QueryOptions{DisableRefinement: true})
+	raw, err := testDB.Query(context.Background(), q, WithoutRefinement())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestForcedJoinMethods(t *testing.T) {
 	const q = `SELECT COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey`
 	var want any
 	for _, m := range []string{"hash", "nestloop", "merge"} {
-		res, err := testDB.QueryWithOptions(q, QueryOptions{ForceJoin: m})
+		res, err := testDB.Query(context.Background(), q, WithForceJoin(m))
 		if err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
@@ -228,7 +228,7 @@ func TestForcedJoinMethods(t *testing.T) {
 			t.Errorf("%s join result %v != %v", m, res.Rows[0][0], want)
 		}
 	}
-	if _, err := testDB.QueryWithOptions(q, QueryOptions{ForceJoin: "quantum"}); err == nil {
+	if _, err := testDB.Query(context.Background(), q, WithForceJoin("quantum")); err == nil {
 		t.Error("bogus join method accepted")
 	}
 }

@@ -9,7 +9,7 @@ import (
 	"time"
 )
 
-// The chaos suite (go test -run Chaos) drives TPC-H queries on both engines
+// The chaos suite (go test -run Chaos) drives TPC-H queries on every engine
 // while the fault injector forces errors, panics and latency at operator
 // boundaries, and asserts the resource governor's containment contract:
 // typed errors surface, goroutines and tracked memory return to baseline,
@@ -35,8 +35,8 @@ var chaosDB = func() *DB {
 const chaosQuery = `SELECT SUM(o_totalprice), COUNT(*) FROM lineitem, orders
  WHERE l_orderkey = o_orderkey AND l_shipdate <= DATE '1995-06-17'`
 
-// chaosEngines enumerates both execution engines.
-var chaosEngines = []Engine{EngineVolcano, EngineVec}
+// chaosEngines enumerates every execution engine.
+var chaosEngines = []Engine{EngineVolcano, EngineVec, EnginePush}
 
 // waitGoroutines retries until the goroutine count settles back to (or
 // below) the baseline; exchange workers need a moment to observe stop.

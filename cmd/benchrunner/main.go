@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"bufferdb/internal/bench"
@@ -32,7 +33,7 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "data generation seed (0 = default)")
 		short      = flag.Bool("short", false, "CI-grade run: clamp the scale factor and skip slow experiments with -exp all")
 		analyze    = flag.String("analyze", "", "run this SQL instrumented (conventional vs refined plan) and print per-operator stats tables instead of experiments")
-		engine     = flag.String("engine", "volcano", "execution engine for -analyze (volcano or vec)")
+		engine     = flag.String("engine", plan.EngineVolcano.String(), fmt.Sprintf("execution engine for -analyze (%s)", strings.Join(plan.EngineNames(), ", ")))
 	)
 	flag.Parse()
 
@@ -94,14 +95,9 @@ func main() {
 // refined compilation of one statement — the per-query view of what the
 // aggregate experiments measure.
 func runAnalyze(runner *bench.Runner, query, engineName string) error {
-	var engine plan.Engine
-	switch engineName {
-	case "volcano", "":
-		engine = plan.EngineVolcano
-	case "vec":
-		engine = plan.EngineVec
-	default:
-		return fmt.Errorf("unknown engine %q (volcano or vec)", engineName)
+	engine, err := plan.ParseEngine(engineName)
+	if err != nil {
+		return err
 	}
 	p, err := runner.Plan(query, sql.Options{})
 	if err != nil {

@@ -18,11 +18,14 @@
 //	\explain <sql>   show the conventional and refined plans
 //	\analyze <sql>   run instrumented and show per-operator runtime stats
 //	\profile <sql>   run both plans on the simulated CPU and compare
+//	\engine [name]   show or switch the session's execution engine
 //	\tables          list tables
 //	\q               quit
 //
-// Over -connect only \tables and \q are available; the plan-introspection
-// commands need the embedded engine.
+// Over -connect only \engine, \tables and \q are available; the
+// plan-introspection commands need the embedded engine. Engine names (for
+// -engine and \engine alike) go through bufferdb.ParseEngine, so the shell
+// accepts exactly the engines the library exposes — volcano, vec, push.
 package main
 
 import (
@@ -45,7 +48,7 @@ func main() {
 		sf      = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		query   = flag.String("q", "", "run one query and exit")
 		noParse = flag.Bool("no-refine", false, "disable buffering plan refinement")
-		engine  = flag.String("engine", "", "execution engine for -q (volcano or vec; default: the database's)")
+		engine  = flag.String("engine", "", fmt.Sprintf("execution engine (%s; default: the database's)", strings.Join(bufferdb.EngineNames(), ", ")))
 		analyze = flag.Bool("analyze", false, "with -q: EXPLAIN ANALYZE — print the per-operator stats table instead of rows")
 		metrics = flag.Bool("metrics", false, "after -q: dump the process metrics registry (Prometheus text format)")
 		connect = flag.String("connect", "", "address of a bufferdbd daemon; queries run remotely instead of in-process")
@@ -63,18 +66,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	view := &engineView{root: db, cur: db}
+	if *engine != "" {
+		e, err := bufferdb.ParseEngine(*engine)
+		if err != nil {
+			fatal(err)
+		}
+		view.set(e)
+	}
 
 	if *query != "" {
-		var opts []bufferdb.QueryOption
-		if *engine != "" {
-			opts = append(opts, bufferdb.WithEngine(bufferdb.Engine(*engine)))
-		}
 		q := strings.TrimSuffix(strings.TrimSpace(*query), ";")
 		ctx, stop := ints.queryContext()
 		if *analyze {
-			err = runAnalyze(ctx, db, q, opts...)
+			err = runAnalyze(ctx, view.cur, q)
 		} else {
-			err = runQuery(ctx, db, q, opts...)
+			err = runQuery(ctx, view.cur, q)
 		}
 		stop()
 		if err != nil {
@@ -92,8 +99,30 @@ func main() {
 	repl(ints, func(q string) error {
 		ctx, stop := ints.queryContext()
 		defer stop()
-		return runQuery(ctx, db, q)
-	}, func(cmd string) bool { return metaCommand(ints, db, cmd) })
+		return runQuery(ctx, view.cur, q)
+	}, func(cmd string) bool { return metaCommand(ints, view, cmd) })
+}
+
+// engineView is the shell's mutable engine selection: cur is the root
+// database (default engine) or a WithEngine view of it, swapped in place by
+// the \engine meta-command.
+type engineView struct {
+	root *bufferdb.DB
+	cur  *bufferdb.DB
+	name bufferdb.Engine // "" until \engine or -engine selects one
+}
+
+func (v *engineView) set(e bufferdb.Engine) {
+	v.name = e
+	v.cur = v.root.WithEngine(e)
+}
+
+// current names the view's effective engine for display.
+func (v *engineView) current() bufferdb.Engine {
+	if v.name == "" {
+		return bufferdb.EngineVolcano
+	}
+	return v.name
 }
 
 // remoteMain is the -connect entry point: the shell (or -q) drives a
@@ -111,14 +140,24 @@ func remoteMain(ints *interrupts, addr, query, engine string, noRefine, analyze,
 	}
 	defer c.Close()
 
-	var opts []client.Option
+	// The remote engine selection is validated client-side by the same
+	// canonical parser the daemon uses, so typos fail before a round trip.
+	var engineName bufferdb.Engine
 	if engine != "" {
-		opts = append(opts, client.WithEngine(engine))
-	}
-	if noRefine {
-		opts = append(opts, client.WithoutRefinement())
+		e, err := bufferdb.ParseEngine(engine)
+		if err != nil {
+			fatal(err)
+		}
+		engineName = e
 	}
 	run := func(q string) error {
+		var opts []client.Option
+		if engineName != "" {
+			opts = append(opts, client.WithEngine(engineName.String()))
+		}
+		if noRefine {
+			opts = append(opts, client.WithoutRefinement())
+		}
 		ctx, stop := ints.queryContext()
 		defer stop()
 		res, err := c.QueryAll(ctx, strings.TrimSuffix(strings.TrimSpace(q), ";"), opts...)
@@ -138,10 +177,10 @@ func remoteMain(ints *interrupts, addr, query, engine string, noRefine, analyze,
 
 	fmt.Printf("bufferdb — connected to %s (%s). End statements with ';', \\q quits, Ctrl-C cancels.\n", addr, c.ServerInfo())
 	repl(ints, run, func(cmd string) bool {
-		switch cmd {
-		case "\\q", "\\quit":
+		switch {
+		case cmd == "\\q" || cmd == "\\quit":
 			return true
-		case "\\tables":
+		case cmd == "\\tables":
 			tabs, err := c.Tables(context.Background())
 			if err != nil {
 				fmt.Println("error:", err)
@@ -150,8 +189,22 @@ func remoteMain(ints *interrupts, addr, query, engine string, noRefine, analyze,
 			for _, t := range tabs {
 				fmt.Printf("  %-12s %10d rows\n", t.Name, t.Rows)
 			}
+		case cmd == "\\engine":
+			cur := engineName
+			if cur == "" {
+				cur = bufferdb.EngineVolcano
+			}
+			fmt.Printf("engine: %s (available: %s)\n", cur, strings.Join(bufferdb.EngineNames(), ", "))
+		case strings.HasPrefix(cmd, "\\engine "):
+			e, err := bufferdb.ParseEngine(strings.TrimSpace(strings.TrimPrefix(cmd, "\\engine ")))
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			engineName = e
+			fmt.Printf("engine set to %s\n", e)
 		default:
-			fmt.Println("commands over -connect: \\tables, \\q")
+			fmt.Println("commands over -connect: \\tables, \\engine [name], \\q")
 		}
 		return false
 	})
@@ -227,7 +280,8 @@ func (in *interrupts) queryContext() (context.Context, func()) {
 }
 
 // metaCommand handles backslash commands; returns true to quit.
-func metaCommand(ints *interrupts, db *bufferdb.DB, cmd string) bool {
+func metaCommand(ints *interrupts, view *engineView, cmd string) bool {
+	db := view.cur
 	switch {
 	case cmd == "\\q" || cmd == "\\quit":
 		return true
@@ -236,6 +290,16 @@ func metaCommand(ints *interrupts, db *bufferdb.DB, cmd string) bool {
 			n, _ := db.RowCount(t)
 			fmt.Printf("  %-12s %10d rows\n", t, n)
 		}
+	case cmd == "\\engine":
+		fmt.Printf("engine: %s (available: %s)\n", view.current(), strings.Join(bufferdb.EngineNames(), ", "))
+	case strings.HasPrefix(cmd, "\\engine "):
+		e, err := bufferdb.ParseEngine(strings.TrimSpace(strings.TrimPrefix(cmd, "\\engine ")))
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		view.set(e)
+		fmt.Printf("engine set to %s\n", e)
 	case strings.HasPrefix(cmd, "\\explain "):
 		orig, refined, err := db.Explain(strings.TrimPrefix(cmd, "\\explain "), bufferdb.QueryOptions{})
 		if err != nil {
@@ -265,7 +329,7 @@ func metaCommand(ints *interrupts, db *bufferdb.DB, cmd string) bool {
 			prof.Buffered.ElapsedSec, prof.Buffered.L1IMisses, prof.Buffered.Mispredicts, prof.Buffered.CPI)
 		fmt.Printf("improvement %.1f%% with %d buffer(s)\n", prof.ImprovementPct, prof.BuffersInserted)
 	default:
-		fmt.Println("commands: \\tables, \\explain <sql>, \\analyze <sql>, \\profile <sql>, \\q")
+		fmt.Println("commands: \\tables, \\engine [name], \\explain <sql>, \\analyze <sql>, \\profile <sql>, \\q")
 	}
 	return false
 }

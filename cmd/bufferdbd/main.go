@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -41,6 +42,7 @@ func main() {
 		scale     = flag.Float64("scale", 0.01, "TPC-H scale factor")
 		seed      = flag.Uint64("seed", 0, "TPC-H generation seed (0 = default)")
 		noRefine  = flag.Bool("no-refine", false, "disable buffering plan refinement")
+		engine    = flag.String("engine", "", fmt.Sprintf("default execution engine (%s); per-query wire options still override", strings.Join(bufferdb.EngineNames(), ", ")))
 		par       = flag.Int("parallelism", 0, "default partitioned-scan fan-out (<2 = sequential)")
 		memLimit  = flag.Int64("memory-limit", 0, "process-wide tracked-memory cap in bytes (0 = unlimited)")
 		maxConc   = flag.Int("max-concurrent", 0, "admission: max concurrently executing queries (0 = unlimited)")
@@ -74,6 +76,14 @@ func main() {
 	})
 	if err != nil {
 		logger.Fatalf("open: %v", err)
+	}
+	if *engine != "" {
+		e, err := bufferdb.ParseEngine(*engine)
+		if err != nil {
+			logger.Fatalf("engine: %v", err)
+		}
+		db = db.WithEngine(e)
+		logger.Printf("default execution engine: %s", e)
 	}
 	mode := "in-memory"
 	if *dataDir != "" {

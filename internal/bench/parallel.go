@@ -50,8 +50,9 @@ type parVariant struct {
 }
 
 // ExperimentPar regenerates the parallel partitioned-scan comparison: each
-// workload runs under the Volcano engine (conventional and refined plans)
-// and the block-oriented engine at increasing worker counts. Every variant
+// workload runs under the Volcano engine (conventional and refined plans),
+// the block-oriented engine and the push-fused engine at increasing worker
+// counts. Every variant
 // must produce a byte-identical result (equal FNV hash) at every fan-out —
 // the ordered gather guarantees it — and the report shows the wall-clock
 // speedup relative to the same variant at one worker. Speedups depend on
@@ -70,9 +71,10 @@ func ExperimentPar(r *Runner) (*Report, error) {
 		{name: "query1", query: Query1},
 	}
 	variants := []parVariant{
-		{name: "volcano", engine: plan.EngineVolcano, refined: false},
-		{name: "volcano+buf", engine: plan.EngineVolcano, refined: true},
-		{name: "vec", engine: plan.EngineVec, refined: false},
+		{name: plan.EngineVolcano.String(), engine: plan.EngineVolcano, refined: false},
+		{name: plan.EngineVolcano.String() + "+buf", engine: plan.EngineVolcano, refined: true},
+		{name: plan.EngineVec.String(), engine: plan.EngineVec, refined: false},
+		{name: plan.EnginePush.String(), engine: plan.EnginePush, refined: false},
 	}
 
 	for _, c := range cases {
@@ -124,7 +126,7 @@ func ExperimentPar(r *Runner) (*Report, error) {
 				}
 				rep.Printf("  %-12s workers=%d  rows=%-7d elapsed=%10v  speedup=%.2fx",
 					v.name, workers, rows, best.Round(time.Microsecond), speedup)
-				if v.name == "volcano" {
+				if v.engine == plan.EngineVolcano && !v.refined {
 					rep.Series = append(rep.Series, SeriesPoint{
 						X:        float64(workers),
 						Original: baseline.Seconds(),

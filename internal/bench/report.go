@@ -68,6 +68,7 @@ func Experiments() []Experiment {
 		{ID: "ext1", Title: "Extension: instruction prefetching vs buffering", Run: ExperimentExtPrefetch},
 		{ID: "ext2", Title: "Extension: code layout vs buffering", Run: ExperimentExtLayout},
 		{ID: "ext3", Title: "Extension: block-oriented processing vs buffering", Run: ExperimentExt3},
+		{ID: "push", Title: "Push-fused pipelines vs buffering and vectorization", Run: ExperimentPush},
 		{ID: "par", Title: "Parallel partitioned scans: equivalence and speedup", Run: ExperimentPar},
 		{ID: "storage", Title: "Persistent tier: in-memory vs paged scans, eviction policies", Run: ExperimentStorage},
 	}

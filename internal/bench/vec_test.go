@@ -39,43 +39,48 @@ func runEngine(t *testing.T, r *Runner, p *plan.Node, engine plan.Engine) ([]str
 	return out, op
 }
 
-// TestEngineSelectionMatchesVolcano asserts plan.Compile's vec engine
-// returns byte-identical result sets to the pure-Volcano compilation on the
-// TPC-H workload, including mixed plans that round-trip through the
-// adapters (vec subtrees under Volcano sorts and joins).
+// engineEquivalenceCases is the TPC-H workload every non-Volcano engine
+// must reproduce bit-identically.
+var engineEquivalenceCases = []struct {
+	name  string
+	query string
+	opt   sql.Options
+}{
+	{"Query1", Query1, sql.Options{}},
+	{"Query2", Query2, sql.Options{}},
+	{"Query3-nestloop", Query3, sql.Options{ForceJoin: sql.JoinNestLoop}},
+	{"Query3-hash", Query3, sql.Options{ForceJoin: sql.JoinHash}},
+	{"Query3-merge", Query3, sql.Options{ForceJoin: sql.JoinMerge}},
+	{"TPCH-Q1", TPCHQ1, sql.Options{}},
+	{"TPCH-Q3", TPCHQ3, sql.Options{}},
+	{"TPCH-Q6", TPCHQ6, sql.Options{}},
+	{"TPCH-Q12", TPCHQ12, sql.Options{}},
+}
+
+// TestEngineSelectionMatchesVolcano asserts plan.Compile's vec and push
+// engines return byte-identical result sets to the pure-Volcano compilation
+// on the TPC-H workload, including mixed plans that round-trip through the
+// adapters (vec or fused subtrees under Volcano sorts and joins).
 func TestEngineSelectionMatchesVolcano(t *testing.T) {
-	cases := []struct {
-		name  string
-		query string
-		opt   sql.Options
-	}{
-		{"Query1", Query1, sql.Options{}},
-		{"Query2", Query2, sql.Options{}},
-		{"Query3-nestloop", Query3, sql.Options{ForceJoin: sql.JoinNestLoop}},
-		{"Query3-hash", Query3, sql.Options{ForceJoin: sql.JoinHash}},
-		{"Query3-merge", Query3, sql.Options{ForceJoin: sql.JoinMerge}},
-		{"TPCH-Q1", TPCHQ1, sql.Options{}},
-		{"TPCH-Q3", TPCHQ3, sql.Options{}},
-		{"TPCH-Q6", TPCHQ6, sql.Options{}},
-		{"TPCH-Q12", TPCHQ12, sql.Options{}},
-	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			p, err := vecRunner.Plan(c.query, c.opt)
-			if err != nil {
-				t.Fatal(err)
-			}
-			want, _ := runEngine(t, vecRunner, p, plan.EngineVolcano)
-			got, _ := runEngine(t, vecRunner, p, plan.EngineVec)
-			if len(got) != len(want) {
-				t.Fatalf("vec engine returned %d rows, want %d", len(got), len(want))
-			}
-			for i := range got {
-				if got[i] != want[i] {
-					t.Fatalf("row %d differs:\n vec:     %s\n volcano: %s", i, got[i], want[i])
+	for _, engine := range []plan.Engine{plan.EngineVec, plan.EnginePush} {
+		for _, c := range engineEquivalenceCases {
+			t.Run(engine.String()+"/"+c.name, func(t *testing.T) {
+				p, err := vecRunner.Plan(c.query, c.opt)
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-		})
+				want, _ := runEngine(t, vecRunner, p, plan.EngineVolcano)
+				got, _ := runEngine(t, vecRunner, p, engine)
+				if len(got) != len(want) {
+					t.Fatalf("%s engine returned %d rows, want %d", engine, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("row %d differs:\n %s: %s\n volcano: %s", i, engine, got[i], want[i])
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -90,7 +90,9 @@ func (e *ServerError) Unwrap() []error {
 // Option tunes one statement.
 type Option func(*wire.QueryOpts)
 
-// WithEngine selects the execution engine ("volcano" or "vec").
+// WithEngine selects the execution engine by name — "volcano", "vec" or
+// "push". The daemon validates the name against bufferdb.ParseEngine's
+// canonical set and rejects unknown names at the protocol boundary.
 func WithEngine(name string) Option {
 	return func(o *wire.QueryOpts) { o.Engine = name }
 }

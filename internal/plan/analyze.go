@@ -6,6 +6,7 @@ import (
 
 	"bufferdb/internal/core"
 	"bufferdb/internal/exec"
+	"bufferdb/internal/push"
 	"bufferdb/internal/vec"
 )
 
@@ -15,7 +16,8 @@ import (
 type OpReport struct {
 	// Name is the operator's display name.
 	Name string
-	// Engine is "volcano", "vec" or "adapter" for the engine-bridge nodes.
+	// Engine is "volcano", "vec" or "push", or "adapter" for the
+	// engine-bridge nodes.
 	Engine string
 	// Group is the refinement pass's 1-based execution-group id (0 = none).
 	Group int
@@ -61,6 +63,11 @@ func (r *OpReport) BufferAmortized() bool {
 // subtree from the host engine's Children().
 func reportChildren(op any) []any {
 	switch o := op.(type) {
+	// push.Reportable must precede exec.Operator: a push.Pipeline is both,
+	// and its structural children are its fused elements, not the Volcano
+	// fallback subtrees Children() exposes.
+	case push.Reportable:
+		return o.ReportChildren()
 	case *vec.ToVolcano:
 		return []any{o.Vec()}
 	case *vec.FromVolcano:
@@ -87,12 +94,14 @@ func reportChildren(op any) []any {
 // opEngine classifies an operator for the report's Engine column.
 func opEngine(op any) string {
 	switch op.(type) {
+	case push.Reportable:
+		return EnginePush.String()
 	case *vec.ToVolcano, *vec.FromVolcano:
 		return "adapter"
 	case exec.Operator:
-		return "volcano"
+		return EngineVolcano.String()
 	case vec.Operator:
-		return "vec"
+		return EngineVec.String()
 	default:
 		return "?"
 	}
@@ -101,6 +110,8 @@ func opEngine(op any) string {
 // opName returns an operator's display name across both engines.
 func opName(op any) string {
 	switch o := op.(type) {
+	case push.Reportable:
+		return o.Name()
 	case exec.Operator:
 		return o.Name()
 	case vec.Operator:

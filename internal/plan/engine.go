@@ -2,6 +2,7 @@ package plan
 
 import (
 	"fmt"
+	"strings"
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/exec"
@@ -21,18 +22,60 @@ const (
 	// FromVolcano/ToVolcano adapters everywhere else — the alternative the
 	// paper's §2 positions buffering against.
 	EngineVec
+	// EnginePush compiles each execution group into a single push-fused
+	// loop (internal/push): producer-driven consumer callbacks with no
+	// per-tuple virtual Next, materializing only at pipeline breakers and
+	// falling back to Volcano operators behind adapter sources — the
+	// data-centric-compilation point of the same trade-off.
+	EnginePush
 )
 
-// String returns the engine's display name.
+// String returns the engine's display name. It is one half of the
+// canonical name round-trip; ParseEngine is the other. No other code may
+// compare engine-name strings.
 func (e Engine) String() string {
 	switch e {
 	case EngineVolcano:
 		return "volcano"
 	case EngineVec:
 		return "vec"
+	case EnginePush:
+		return "push"
 	default:
 		return fmt.Sprintf("Engine(%d)", uint8(e))
 	}
+}
+
+// Engines enumerates every selectable engine in display order. Adding an
+// engine here (plus its String case) is all a new engine needs for every
+// name-parsing consumer — CLI flags, daemon config, the wire protocol and
+// the facade — to accept it.
+func Engines() []Engine {
+	return []Engine{EngineVolcano, EngineVec, EnginePush}
+}
+
+// EngineNames returns the display names of every selectable engine.
+func EngineNames() []string {
+	es := Engines()
+	names := make([]string, len(es))
+	for i, e := range es {
+		names[i] = e.String()
+	}
+	return names
+}
+
+// ParseEngine resolves an engine display name. It is the single
+// engine-name parser in the tree: every consumer (CLI flags, daemon
+// config, wire options, the facade) routes through it, so the valid set
+// has exactly one definition. Matching goes through String so no string
+// literal is ever compared twice.
+func ParseEngine(name string) (Engine, error) {
+	for _, e := range Engines() {
+		if name == e.String() {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("plan: unknown engine %q (valid: %s)", name, strings.Join(EngineNames(), ", "))
 }
 
 // Compile compiles a plan into an executable (Volcano-rooted) operator tree
@@ -46,6 +89,8 @@ func Compile(n *Node, cm *codemodel.Catalog, engine Engine) (exec.Operator, erro
 		return Build(n, cm)
 	case EngineVec:
 		return (&vecCompiler{cm: cm}).mixed(n)
+	case EnginePush:
+		return (&pushCompiler{cm: cm}).mixed(n)
 	default:
 		return nil, fmt.Errorf("plan: unknown engine %v", engine)
 	}
@@ -74,6 +119,8 @@ func CompileAnalyzed(n *Node, cm *codemodel.Catalog, engine Engine) (*CompiledPl
 		cp.Root, err = buildRecorded(n, cm, record)
 	case EngineVec:
 		cp.Root, err = (&vecCompiler{cm: cm, record: record}).mixed(n)
+	case EnginePush:
+		cp.Root, err = (&pushCompiler{cm: cm, record: record}).mixed(n)
 	default:
 		return nil, fmt.Errorf("plan: unknown engine %v", engine)
 	}

@@ -1,0 +1,194 @@
+package push
+
+import (
+	"fmt"
+
+	"bufferdb/internal/exec"
+	"bufferdb/internal/expr"
+	"bufferdb/internal/faultinject"
+	"bufferdb/internal/storage"
+)
+
+// scanSource is the fused heap scan: one loop over the table (or one heap
+// partition) with the filter folded in, mirroring exec.SeqScan's per-row
+// behavior — data-cache read per placed tuple, cancellation poll per input
+// row, fault site "<name>:next" — with the instruction footprint amortized
+// through the module-bit batch instead of replayed per tuple.
+type scanSource struct {
+	table  *storage.Table
+	filter expr.Expr
+	span   *storage.Span
+	modbuf
+
+	stats  *exec.OpStats
+	fault  *faultinject.Point
+	place  exec.TablePlacement
+	placed bool
+
+	repChildren []any
+}
+
+func (s *scanSource) open(ctx *exec.Context) error {
+	s.stats = ctx.StatsFor(s, s.name())
+	s.fault = ctx.FaultPoint(s.name() + ":next")
+	s.place, s.placed = ctx.Placements[s.table]
+	return nil
+}
+
+func (s *scanSource) run(ctx *exec.Context, emit emitFn) error {
+	pos, end := 0, s.table.NumRows()
+	if s.span != nil {
+		pos, end = s.span.Start, s.span.End
+	}
+	var it storage.RowIterator
+	if s.table.Paged() {
+		var err error
+		it, err = s.table.Iterate(storage.Span{Start: pos, End: end})
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+	}
+	for pos < end {
+		if err := ctx.Canceled(); err != nil {
+			return err
+		}
+		if err := s.fault.Fire(); err != nil {
+			return err
+		}
+		var (
+			rid int
+			row storage.Row
+			err error
+		)
+		if it != nil {
+			var ok bool
+			rid, row, ok, err = it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			pos = rid + 1
+		} else {
+			rid = pos
+			pos++
+			row = s.table.Row(rid)
+		}
+		if s.placed {
+			ctx.Read(s.place.Base+uint64(rid)*uint64(s.place.RowBytes), s.place.RowBytes)
+		}
+		match := true
+		if s.filter != nil {
+			match, err = expr.EvalBool(s.filter, row)
+			if err != nil {
+				return err
+			}
+		}
+		s.add(ctx, match)
+		if !match {
+			continue
+		}
+		if s.stats != nil {
+			s.stats.Calls++
+			s.stats.Rows++
+		}
+		if err := emit(ctx, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *scanSource) close(*exec.Context) error { return nil }
+
+func (s *scanSource) name() string {
+	if s.filter != nil {
+		return fmt.Sprintf("SeqScan(%s, filter=%s)", s.table.Name(), s.filter.String())
+	}
+	return fmt.Sprintf("SeqScan(%s)", s.table.Name())
+}
+
+// Name implements Reportable.
+func (s *scanSource) Name() string { return s.name() }
+
+// ReportChildren implements Reportable.
+func (s *scanSource) ReportChildren() []any { return s.repChildren }
+
+// opSource adapts a Volcano subtree into a pipe: the push engine's
+// equivalent of vec.FromVolcano. The subtree keeps its own per-tuple
+// instrumentation; the adapter itself replays the buffer module per
+// forwarded row (batched), because semantically it is a buffer refill loop.
+type opSource struct {
+	op exec.Operator
+	modbuf
+
+	stats *exec.OpStats
+
+	repChildren []any
+}
+
+func (s *opSource) open(ctx *exec.Context) error {
+	s.stats = ctx.StatsFor(s, s.name())
+	return s.op.Open(ctx)
+}
+
+func (s *opSource) run(ctx *exec.Context, emit emitFn) error {
+	for {
+		if err := ctx.Canceled(); err != nil {
+			return err
+		}
+		row, err := s.op.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		s.add(ctx, true)
+		if s.stats != nil {
+			s.stats.Calls++
+			s.stats.Rows++
+		}
+		if err := emit(ctx, row); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *opSource) close(ctx *exec.Context) error { return s.op.Close(ctx) }
+
+func (s *opSource) name() string { return "Pull(" + s.op.Name() + ")" }
+
+// Name implements Reportable.
+func (s *opSource) Name() string { return s.name() }
+
+// ReportChildren implements Reportable: the wrapped Volcano operator, so
+// EXPLAIN ANALYZE descends across the engine boundary like it does for the
+// vec adapters.
+func (s *opSource) ReportChildren() []any { return []any{s.op} }
+
+// producer is a breaker sink whose materialized output feeds a downstream
+// pipe (the aggregation sink).
+type producer interface {
+	sink
+	produce(ctx *exec.Context, emit emitFn) error
+}
+
+// pipeSource replays an upstream breaker's materialized output into the
+// next pipe. It is transparent in reports: the breaker element itself is
+// the structural child.
+type pipeSource struct {
+	up producer
+}
+
+func (s *pipeSource) open(*exec.Context) error { return nil }
+
+func (s *pipeSource) run(ctx *exec.Context, emit emitFn) error {
+	return s.up.produce(ctx, emit)
+}
+
+func (s *pipeSource) close(*exec.Context) error { return nil }
+
+func (s *pipeSource) name() string { return "PipeSource(" + s.up.name() + ")" }

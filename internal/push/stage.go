@@ -1,0 +1,232 @@
+package push
+
+import (
+	"fmt"
+	"strings"
+
+	"bufferdb/internal/exec"
+	"bufferdb/internal/expr"
+	"bufferdb/internal/faultinject"
+	"bufferdb/internal/storage"
+)
+
+// filterStage drops rows failing a residual predicate, like exec.Filter.
+type filterStage struct {
+	pred expr.Expr
+	modbuf
+
+	stats *exec.OpStats
+
+	repChildren []any
+}
+
+func (f *filterStage) open(ctx *exec.Context) error {
+	f.stats = ctx.StatsFor(f, f.name())
+	return nil
+}
+
+func (f *filterStage) process(ctx *exec.Context, row storage.Row, next emitFn) error {
+	if f.stats != nil {
+		f.stats.Calls++
+	}
+	ok, err := expr.EvalBool(f.pred, row)
+	if err != nil {
+		return err
+	}
+	f.add(ctx, ok)
+	if !ok {
+		return nil
+	}
+	if f.stats != nil {
+		f.stats.Rows++
+	}
+	return next(ctx, row)
+}
+
+func (f *filterStage) name() string { return fmt.Sprintf("Filter(%s)", f.pred.String()) }
+
+// Name implements Reportable.
+func (f *filterStage) Name() string { return f.name() }
+
+// ReportChildren implements Reportable.
+func (f *filterStage) ReportChildren() []any { return f.repChildren }
+
+// projectStage evaluates the target list per row, like exec.Project: one
+// fresh output row, one arena write per tuple.
+type projectStage struct {
+	exprs []expr.Expr
+	names []string
+	modbuf
+
+	stats *exec.OpStats
+	arena *exec.Arena
+
+	repChildren []any
+}
+
+func (p *projectStage) open(ctx *exec.Context) error {
+	p.stats = ctx.StatsFor(p, p.name())
+	p.arena = exec.NewArena(ctx.CPU)
+	return nil
+}
+
+func (p *projectStage) process(ctx *exec.Context, row storage.Row, next emitFn) error {
+	if p.stats != nil {
+		p.stats.Calls++
+	}
+	out := make(storage.Row, len(p.exprs))
+	for i, e := range p.exprs {
+		v, err := e.Eval(row)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	p.add(ctx, true)
+	ctx.Write(p.arena.Alloc(out.ByteSize()), out.ByteSize())
+	if p.stats != nil {
+		p.stats.Rows++
+	}
+	return next(ctx, out)
+}
+
+func (p *projectStage) name() string {
+	parts := make([]string, len(p.exprs))
+	for i, e := range p.exprs {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("Project(%s)", strings.Join(parts, ", "))
+}
+
+// Name implements Reportable.
+func (p *projectStage) Name() string { return p.name() }
+
+// ReportChildren implements Reportable.
+func (p *projectStage) ReportChildren() []any { return p.repChildren }
+
+// limitStage forwards the first n rows, then stops the whole pipe with
+// errStop — the push-model equivalent of a Limit ceasing to pull.
+type limitStage struct {
+	n int
+
+	stats   *exec.OpStats
+	emitted int
+
+	repChildren []any
+}
+
+func (l *limitStage) open(ctx *exec.Context) error {
+	l.stats = ctx.StatsFor(l, l.name())
+	l.emitted = 0
+	return nil
+}
+
+func (l *limitStage) process(ctx *exec.Context, row storage.Row, next emitFn) error {
+	if l.emitted >= l.n {
+		return errStop
+	}
+	l.emitted++
+	if l.stats != nil {
+		l.stats.Calls++
+		l.stats.Rows++
+	}
+	if err := next(ctx, row); err != nil {
+		return err
+	}
+	if l.emitted >= l.n {
+		return errStop
+	}
+	return nil
+}
+
+func (l *limitStage) name() string { return fmt.Sprintf("Limit(%d)", l.n) }
+
+// Name implements Reportable.
+func (l *limitStage) Name() string { return l.name() }
+
+// ReportChildren implements Reportable.
+func (l *limitStage) ReportChildren() []any { return l.repChildren }
+
+// probeStage probes an upstream buildSink's hash table with each outer
+// row, emitting outer⨝inner concatenations in build-insertion order —
+// bit-identical to exec.HashJoin's probe phase, including the NULL-key,
+// bucket-read and arena-write modeling and the "<name>:next" fault site.
+type probeStage struct {
+	build    *buildSink
+	outerKey expr.Expr
+	modbuf
+
+	stats *exec.OpStats
+	fault *faultinject.Point
+	arena *exec.Arena
+
+	repChildren []any
+}
+
+func (j *probeStage) open(ctx *exec.Context) error {
+	j.stats = ctx.StatsFor(j, j.name())
+	j.fault = ctx.FaultPoint(j.name() + ":next")
+	j.arena = exec.NewArena(ctx.CPU)
+	return nil
+}
+
+func (j *probeStage) process(ctx *exec.Context, row storage.Row, next emitFn) error {
+	if j.stats != nil {
+		j.stats.Calls++
+	}
+	if err := j.fault.Fire(); err != nil {
+		return err
+	}
+	key, ok, err := keyEval(j.outerKey, row)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		// NULL key joins nothing.
+		j.add(ctx, false)
+		return nil
+	}
+	ctx.Read(j.build.bucketAddr(key), 16)
+	matches := j.build.table[key]
+	j.add(ctx, len(matches) > 0)
+	for _, inner := range matches {
+		out := row.Concat(inner)
+		j.add(ctx, true)
+		ctx.Read(j.build.bucketAddr(0), 16) // bucket chain advance
+		ctx.Write(j.arena.Alloc(out.ByteSize()), out.ByteSize())
+		if j.stats != nil {
+			j.stats.Rows++
+		}
+		if err := next(ctx, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (j *probeStage) name() string {
+	return fmt.Sprintf("HashJoin(%s = %s)", j.outerKey.String(), j.build.innerKey.String())
+}
+
+// Name implements Reportable.
+func (j *probeStage) Name() string { return j.name() }
+
+// ReportChildren implements Reportable: the outer chain below the probe,
+// plus the build sink's subtree.
+func (j *probeStage) ReportChildren() []any { return j.repChildren }
+
+// keyEval mirrors exec's join-key evaluation: BIGINT keys only, NULL keys
+// join nothing.
+func keyEval(e expr.Expr, row storage.Row) (int64, bool, error) {
+	v, err := e.Eval(row)
+	if err != nil {
+		return 0, false, err
+	}
+	if v.IsNull() {
+		return 0, false, nil
+	}
+	if v.Kind != storage.TypeInt64 {
+		return 0, false, fmt.Errorf("push: join key must be BIGINT, got %v", v.Kind)
+	}
+	return v.I, true, nil
+}

@@ -237,7 +237,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // and injectors are test instruments.
 func (s *Server) buildStmt(sql string, o wire.QueryOpts, fi *bufferdb.FaultInjector) (*bufferdb.Stmt, error) {
 	build := func() (*bufferdb.Stmt, error) {
-		return s.db.Prepare(sql, queryOptions(o, fi)...)
+		opts, err := queryOptions(o, fi)
+		if err != nil {
+			return nil, err
+		}
+		return s.db.Prepare(sql, opts...)
 	}
 	if o.TimeoutMS != 0 || fi != nil {
 		return build()
@@ -245,11 +249,18 @@ func (s *Server) buildStmt(sql string, o wire.QueryOpts, fi *bufferdb.FaultInjec
 	return s.stmts.get(o.CacheKey(sql), build)
 }
 
-// queryOptions translates wire options into engine options.
-func queryOptions(o wire.QueryOpts, fi *bufferdb.FaultInjector) []bufferdb.QueryOption {
+// queryOptions translates wire options into engine options. The engine
+// name a client sent goes through the canonical parser, so a bad name is
+// rejected at the protocol boundary with the valid set in the message
+// instead of surfacing later from the planner.
+func queryOptions(o wire.QueryOpts, fi *bufferdb.FaultInjector) ([]bufferdb.QueryOption, error) {
 	var opts []bufferdb.QueryOption
 	if o.Engine != "" {
-		opts = append(opts, bufferdb.WithEngine(bufferdb.Engine(o.Engine)))
+		e, err := bufferdb.ParseEngine(o.Engine)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, bufferdb.WithEngine(e))
 	}
 	if o.Parallelism != 0 {
 		opts = append(opts, bufferdb.WithParallelism(int(o.Parallelism)))
@@ -263,7 +274,7 @@ func queryOptions(o wire.QueryOpts, fi *bufferdb.FaultInjector) []bufferdb.Query
 	if fi != nil {
 		opts = append(opts, bufferdb.WithFaultInjector(fi))
 	}
-	return opts
+	return opts, nil
 }
 
 // errorCode classifies a query error into its stable wire code. The order

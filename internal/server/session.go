@@ -270,7 +270,11 @@ func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
 
 	qctx, qcancel := context.WithCancel(ss.srv.ctx)
 	defer qcancel()
-	rows, err := ss.srv.db.QueryStream(qctx, sql, queryOptions(opts, fi)...)
+	qopts, err := queryOptions(opts, fi)
+	if err != nil {
+		return ss.sendQueryError(err)
+	}
+	rows, err := ss.srv.db.QueryStream(qctx, sql, qopts...)
 	if err != nil {
 		return ss.sendQueryError(err)
 	}

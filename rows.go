@@ -197,23 +197,6 @@ func classifyError(e Engine, err error) {
 	}
 }
 
-// QueryContext is QueryStream with an options struct. At most one
-// QueryOptions value may be supplied.
-//
-// Deprecated: use QueryStream with functional options (WithEngine,
-// WithParallelism, …).
-func (db *DB) QueryContext(ctx context.Context, query string, opts ...QueryOptions) (*Rows, error) {
-	var qo QueryOptions
-	switch len(opts) {
-	case 0:
-	case 1:
-		qo = opts[0]
-	default:
-		return nil, fmt.Errorf("bufferdb: QueryContext accepts at most one QueryOptions, got %d", len(opts))
-	}
-	return db.queryStream(ctx, query, qo)
-}
-
 // Columns names the result attributes, in Scan order. The returned slice is
 // cached and shared across calls; treat it as read-only.
 func (r *Rows) Columns() []string { return r.cols }
