@@ -46,13 +46,13 @@ const analyzeQuery = `
 // TestGoldenExplain pins the Explain rendering (conventional and refined)
 // for a refined TPC-H aggregation and for a parallel plan.
 func TestGoldenExplain(t *testing.T) {
-	orig, refined, err := testDB.Explain(analyzeQuery, QueryOptions{})
+	orig, refined, err := testDB.Explain(analyzeQuery)
 	if err != nil {
 		t.Fatal(err)
 	}
 	goldenCompare(t, "explain_agg", "-- conventional:\n"+orig+"-- refined:\n"+refined)
 
-	_, par, err := testDB.Explain(analyzeQuery, QueryOptions{Parallelism: 4})
+	_, par, err := testDB.Explain(analyzeQuery, WithParallelism(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +161,7 @@ func TestStatsZeroOverheadConsistent(t *testing.T) {
 	// Counter identity: an instrumented simulated run (ExplainAnalyze) and
 	// an uninstrumented one (Profile's refined side) execute the same plan
 	// on identical fresh machines.
-	prof, err := testDB.Profile(analyzeQuery, QueryOptions{})
+	prof, err := testDB.Profile(analyzeQuery)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,7 @@
 //	res, err = db.Query(ctx, `SELECT ...`, bufferdb.WithEngine(bufferdb.EngineVec))
 //	an, err := db.ExplainAnalyze(ctx, `SELECT ...`)
 //	fmt.Println(an) // per-operator rows, buffer drains, simulated cycle attribution
-//	prof, err := db.Profile(`SELECT ...`, bufferdb.QueryOptions{})
+//	prof, err := db.Profile(`SELECT ...`)
 //	fmt.Println(prof.Buffered.L1IMisses, "instruction cache misses after refinement")
 package bufferdb
 
@@ -34,6 +34,7 @@ import (
 	"bufferdb/internal/exec"
 	"bufferdb/internal/pager"
 	"bufferdb/internal/plan"
+	"bufferdb/internal/shard"
 	"bufferdb/internal/sql"
 	"bufferdb/internal/storage"
 	"bufferdb/internal/tpch"
@@ -78,6 +79,14 @@ type Options struct {
 	// Eviction names the buffer-pool eviction policy: "lru" (default) or
 	// "gdsf".
 	Eviction string
+	// ShardCount, when > 1, loads this database as one shard of a
+	// hash-partitioned deployment: OpenTPCH generates the full dataset
+	// (deterministically, from Seed) and keeps only the rows the default
+	// TPC-H shard map assigns to ShardIndex; replicated tables stay whole.
+	// Incompatible with DataDir. ShardIndex must be in [0, ShardCount).
+	ShardCount int
+	// ShardIndex is this node's position in [0, ShardCount).
+	ShardIndex int
 }
 
 // Engine names an execution model for WithEngine. The name round-trips
@@ -315,11 +324,20 @@ func (db *DB) planEngine(qo QueryOptions) (Engine, plan.Engine, error) {
 // ErrBadScaleFactor rather than generating an empty or garbage catalog.
 func OpenTPCH(scaleFactor float64, opts Options) (*DB, error) {
 	if opts.DataDir != "" {
+		if opts.ShardCount > 1 {
+			return nil, fmt.Errorf("bufferdb: ShardCount is incompatible with DataDir (the persistent tier is single-node)")
+		}
 		return openTPCHPersistent(scaleFactor, opts)
 	}
 	cat, err := tpch.Generate(tpch.Config{ScaleFactor: scaleFactor, Seed: opts.Seed})
 	if err != nil {
 		return nil, err
+	}
+	if opts.ShardCount > 1 {
+		cat, err = shard.Filter(cat, shard.DefaultTPCH(), opts.ShardIndex, opts.ShardCount)
+		if err != nil {
+			return nil, err
+		}
 	}
 	db := newDB(opts)
 	db.cat = cat
@@ -512,8 +530,10 @@ func nativeValue(v storage.Value) any {
 
 // Explain returns the conventional and the refined plan for a statement.
 // With Parallelism in effect, the refined side additionally shows the
-// gather (exchange) operators the parallelization pass inserted.
-func (db *DB) Explain(query string, qo QueryOptions) (original, refined string, err error) {
+// gather (exchange) operators the parallelization pass inserted. Options
+// are the same variadic set Query takes.
+func (db *DB) Explain(query string, opts ...QueryOption) (original, refined string, err error) {
+	qo := applyOptions(opts)
 	p, err := sql.PlanQuery(query, db.cat, sql.Options{ForceJoin: sql.JoinMethod(qo.ForceJoin)})
 	if err != nil {
 		return "", "", err
@@ -560,7 +580,9 @@ type Profile struct {
 
 // Profile executes a statement twice on fresh simulated CPUs — once as
 // planned, once refined — and reports the paper's comparison metrics.
-func (db *DB) Profile(query string, qo QueryOptions) (*Profile, error) {
+// Options are the same variadic set Query takes.
+func (db *DB) Profile(query string, opts ...QueryOption) (*Profile, error) {
+	qo := applyOptions(opts)
 	p, err := sql.PlanQuery(query, db.cat, sql.Options{ForceJoin: sql.JoinMethod(qo.ForceJoin)})
 	if err != nil {
 		return nil, err

@@ -98,7 +98,7 @@ func TestConcurrentProfile(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := `SELECT COUNT(*) AS n FROM lineitem WHERE l_shipdate <= DATE '1995-06-17'`
-	want, err := db.Profile(q, QueryOptions{})
+	want, err := db.Profile(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestConcurrentProfile(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			prof, err := db.Profile(q, QueryOptions{})
+			prof, err := db.Profile(q)
 			if err != nil {
 				errc <- err
 				return
@@ -288,7 +288,7 @@ func TestParallelEquivalence(t *testing.T) {
 func TestExplainShowsGather(t *testing.T) {
 	_, refined, err := testDB.Explain(
 		`SELECT COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1995-06-17'`,
-		QueryOptions{Parallelism: 4})
+		WithParallelism(4))
 	if err != nil {
 		t.Fatal(err)
 	}

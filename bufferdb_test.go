@@ -121,8 +121,7 @@ func TestRefinementTransparency(t *testing.T) {
 
 func TestExplainShowsBuffer(t *testing.T) {
 	orig, refined, err := testDB.Explain(
-		`SELECT SUM(l_extendedprice), AVG(l_quantity), COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'`,
-		QueryOptions{})
+		`SELECT SUM(l_extendedprice), AVG(l_quantity), COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +159,7 @@ func TestThresholdCalibration(t *testing.T) {
 func TestProfile(t *testing.T) {
 	prof, err := testDB.Profile(
 		`SELECT SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)), AVG(l_quantity), COUNT(*)
-		 FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'`, QueryOptions{})
+		 FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'`)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -301,7 +301,7 @@ func metaCommand(ints *interrupts, view *engineView, cmd string) bool {
 		view.set(e)
 		fmt.Printf("engine set to %s\n", e)
 	case strings.HasPrefix(cmd, "\\explain "):
-		orig, refined, err := db.Explain(strings.TrimPrefix(cmd, "\\explain "), bufferdb.QueryOptions{})
+		orig, refined, err := db.Explain(strings.TrimPrefix(cmd, "\\explain "))
 		if err != nil {
 			fmt.Println("error:", err)
 			break
@@ -318,7 +318,7 @@ func metaCommand(ints *interrupts, view *engineView, cmd string) bool {
 			fmt.Println("error:", err)
 		}
 	case strings.HasPrefix(cmd, "\\profile "):
-		prof, err := db.Profile(strings.TrimPrefix(cmd, "\\profile "), bufferdb.QueryOptions{})
+		prof, err := db.Profile(strings.TrimPrefix(cmd, "\\profile "))
 		if err != nil {
 			fmt.Println("error:", err)
 			break

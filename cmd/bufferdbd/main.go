@@ -9,9 +9,23 @@
 //	bufferdbd -listen :7687 -http :7688 -scale 0.1 \
 //	    -max-concurrent 8 -max-queued 64 -memory-limit 268435456
 //
+// A hash-sharded deployment runs N shard daemons plus one coordinator:
+//
+//	bufferdbd -listen :7701 -scale 0.1 -shard-index 0 -shard-count 3
+//	bufferdbd -listen :7702 -scale 0.1 -shard-index 1 -shard-count 3
+//	bufferdbd -listen :7703 -scale 0.1 -shard-index 2 -shard-count 3
+//	bufferdbd -listen :7687 -shards localhost:7701,localhost:7702,localhost:7703
+//
+// -shards switches the process into coordinator mode: it loads no data,
+// scatters queries to the listed shard daemons (which must share one
+// -shard-count and -seed), gathers their partial streams, and serves the
+// same wire protocol — clients and the CLI connect to either tier
+// unchanged.
+//
 // Sidecar endpoints:
 //
 //	/metrics   Prometheus text-format dump of the metrics registry
+//	           (per-shard health/latency counters in coordinator mode)
 //	/healthz   liveness: 200 once the process is up
 //	/readyz    readiness: 200 after the database is loaded and the
 //	           listener is accepting; 503 during startup and drain
@@ -32,6 +46,7 @@ import (
 	"time"
 
 	"bufferdb"
+	"bufferdb/internal/dist"
 	"bufferdb/internal/server"
 )
 
@@ -55,9 +70,18 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "persistent data directory: load it if populated, else generate TPC-H there; enables INSERT (empty = in-memory)")
 		poolBytes = flag.Int64("pool-bytes", 0, "buffer-pool residency cap in bytes (0 = default 4 MiB; needs -data-dir)")
 		eviction  = flag.String("eviction", "", `buffer-pool eviction policy: "lru" (default) or "gdsf" (needs -data-dir)`)
+		shards    = flag.String("shards", "", "comma-separated shard addresses; non-empty switches to coordinator mode (no local data)")
+		shardIdx  = flag.Int("shard-index", 0, "this shard's index in a hash-partitioned deployment (needs -shard-count)")
+		shardCnt  = flag.Int("shard-count", 0, "total shard count; >1 loads only this node's hash slice of the sharded tables")
+		hedge     = flag.Duration("hedge-delay", 0, "coordinator: hedge a shard scan that has not answered within this delay (0 disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "bufferdbd: ", log.LstdFlags)
+
+	if *shards != "" {
+		runCoordinator(logger, *listen, *httpAddr, *shards, *hedge, *memLimit, *writeTO, *drain)
+		return
+	}
 
 	start := time.Now()
 	db, err := bufferdb.OpenTPCH(*scale, bufferdb.Options{
@@ -68,6 +92,8 @@ func main() {
 		DataDir:           *dataDir,
 		PoolBytes:         *poolBytes,
 		Eviction:          *eviction,
+		ShardIndex:        *shardIdx,
+		ShardCount:        *shardCnt,
 		Admission: bufferdb.AdmissionConfig{
 			MaxConcurrent: *maxConc,
 			MaxQueued:     *maxQueued,
@@ -88,6 +114,9 @@ func main() {
 	mode := "in-memory"
 	if *dataDir != "" {
 		mode = "persistent at " + *dataDir
+	}
+	if *shardCnt > 1 {
+		mode += fmt.Sprintf(", shard %d/%d", *shardIdx, *shardCnt)
 	}
 	logger.Printf("TPC-H SF %g loaded in %v, %s (tables: %v)", *scale, time.Since(start).Round(time.Millisecond), mode, db.Tables())
 
@@ -172,4 +201,99 @@ func main() {
 		logger.Printf("close: %v", err)
 	}
 	logger.Printf("bye (tracked bytes at exit: %d)", db.TrackedBytes())
+}
+
+// runCoordinator serves coordinator mode: no local data, a dist.Coordinator
+// over the listed shards fronted by the same wire protocol.
+func runCoordinator(logger *log.Logger, listen, httpAddr, shards string, hedge time.Duration, memLimit int64, writeTO, drain time.Duration) {
+	var addrs []string
+	for _, a := range strings.Split(shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	co, err := dist.Open(dist.Config{
+		Shards:      addrs,
+		MemoryLimit: memLimit,
+		HedgeDelay:  hedge,
+	})
+	if err != nil {
+		logger.Fatalf("coordinator: %v", err)
+	}
+	logger.Printf("coordinator over %d shards: %s", len(addrs), strings.Join(addrs, ", "))
+
+	srv, err := dist.NewServer(dist.ServerConfig{
+		Coordinator:  co,
+		Info:         fmt.Sprintf("bufferdb-coordinator shards=%d", len(addrs)),
+		WriteTimeout: writeTO,
+		Logf:         logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("coordinator server: %v", err)
+	}
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		logger.Fatalf("listen: %v", err)
+	}
+
+	var ready atomic.Bool
+	var httpSrv *http.Server
+	if httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := bufferdb.WriteMetrics(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			if !ready.Load() {
+				http.Error(w, "not ready", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ready")
+		})
+		httpSrv = &http.Server{Addr: httpAddr, Handler: mux}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Fatalf("http sidecar: %v", err)
+			}
+		}()
+		logger.Printf("sidecar http on %s (/metrics /healthz /readyz)", httpAddr)
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+	ready.Store(true)
+	logger.Printf("serving wire protocol on %s (coordinator)", l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logger.Printf("received %v, draining (budget %v)", s, drain)
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	}
+
+	ready.Store(false)
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := <-serveErr; err != nil && err != dist.ErrServerClosed {
+		logger.Printf("serve: %v", err)
+	}
+	if httpSrv != nil {
+		_ = httpSrv.Shutdown(context.Background())
+	}
+	if err := co.Close(); err != nil {
+		logger.Printf("close: %v", err)
+	}
+	logger.Printf("bye (tracked bytes at exit: %d)", co.TrackedBytes())
 }

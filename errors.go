@@ -51,4 +51,8 @@ var (
 	// The panic is contained — the plan tears down and the process keeps
 	// serving — and the stack is in the error text.
 	ErrQueryPanic = exec.ErrOperatorPanic
+	// ErrShardUnavailable is wrapped when a distributed query fails because
+	// a shard could not be reached or died mid-stream. The coordinator
+	// cancels the sibling shard streams before surfacing it.
+	ErrShardUnavailable = errors.New("shard unavailable")
 )

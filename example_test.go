@@ -43,7 +43,7 @@ func ExampleDB_Explain() {
 	_, refined, err := db.Explain(`
 		SELECT SUM(l_extendedprice), AVG(l_quantity), COUNT(*)
 		FROM lineitem
-		WHERE l_shipdate <= DATE '1998-09-02'`, bufferdb.QueryOptions{})
+		WHERE l_shipdate <= DATE '1998-09-02'`)
 	if err != nil {
 		log.Fatal(err)
 	}

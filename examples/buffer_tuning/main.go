@@ -34,7 +34,7 @@ func main() {
 			SELECT SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)),
 			       AVG(l_quantity), COUNT(*)
 			FROM lineitem WHERE l_shipdate <= DATE '%s'`, cutoff)
-		prof, err := db.Profile(q, bufferdb.QueryOptions{})
+		prof, err := db.Profile(q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -50,7 +50,7 @@ func main() {
 		FROM lineitem WHERE l_shipdate <= DATE '1998-09-02'`
 	fmt.Printf("\n%-12s %14s %12s\n", "buffer size", "buffered (s)", "gain")
 	for _, size := range []int{1, 8, 64, 256, 1024, 8192, 65536} {
-		prof, err := db.Profile(q1, bufferdb.QueryOptions{BufferSize: size})
+		prof, err := db.Profile(q1, bufferdb.WithBufferSize(size))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -28,7 +28,7 @@ func main() {
 	}
 
 	for _, method := range []string{"nestloop", "hash", "merge"} {
-		opts := bufferdb.QueryOptions{ForceJoin: method}
+		opts := bufferdb.WithForceJoin(method)
 		_, refined, err := db.Explain(query3, opts)
 		if err != nil {
 			log.Fatal(err)

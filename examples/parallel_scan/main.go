@@ -30,7 +30,7 @@ func main() {
 
 	// EXPLAIN shows the gather sitting above the scan pipeline — and any
 	// refinement-inserted buffers below it, one per worker.
-	_, refined, err := db.Explain(query, bufferdb.QueryOptions{})
+	_, refined, err := db.Explain(query)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -37,7 +37,7 @@ func main() {
 	fmt.Println("result:", res.Columns, res.Rows[0])
 
 	// What the refinement pass did to the plan.
-	orig, refined, err := db.Explain(query1, bufferdb.QueryOptions{})
+	orig, refined, err := db.Explain(query1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func main() {
 	fmt.Print(refined)
 
 	// Why it did it: the simulated hardware counters.
-	prof, err := db.Profile(query1, bufferdb.QueryOptions{})
+	prof, err := db.Profile(query1)
 	if err != nil {
 		log.Fatal(err)
 	}

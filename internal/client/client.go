@@ -83,6 +83,8 @@ func (e *ServerError) Unwrap() []error {
 		return []error{bufferdb.ErrQueryPanic}
 	case wire.CodeCanceled:
 		return []error{context.Canceled}
+	case wire.CodeUnavailable:
+		return []error{bufferdb.ErrShardUnavailable}
 	}
 	return nil
 }
@@ -119,7 +121,44 @@ func WithoutResultCache() Option {
 	return func(o *wire.QueryOpts) { o.NoResultCache = true }
 }
 
-func buildOpts(opts []Option) wire.QueryOpts {
+// WithMemoryBudget caps the query's tracked allocations server-side at n
+// bytes; exceeding it surfaces an error wrapping
+// bufferdb.ErrMemoryBudgetExceeded.
+func WithMemoryBudget(n int64) Option {
+	return func(o *wire.QueryOpts) { o.MemoryBudget = n }
+}
+
+// WithAdmissionWait overrides how long the query may queue for an execution
+// slot server-side before being shed with bufferdb.ErrServerBusy.
+func WithAdmissionWait(d time.Duration) Option {
+	return func(o *wire.QueryOpts) { o.AdmissionWaitMS = d.Milliseconds() }
+}
+
+// WithForceJoin forces the join algorithm server-side: "hash", "nestloop",
+// "merge". The daemon validates the name at the protocol boundary and
+// rejects unknown methods with an error wrapping bufferdb.ErrBadJoinMethod.
+func WithForceJoin(method string) Option {
+	return func(o *wire.QueryOpts) { o.ForceJoin = method }
+}
+
+// WithBufferSize overrides the capacity of buffer operators the refinement
+// pass inserts server-side.
+func WithBufferSize(n int) Option {
+	return func(o *wire.QueryOpts) { o.BufferSize = int32(n) }
+}
+
+// WithQueryOpts replaces the whole option set with an already-built
+// wire.QueryOpts. It exists for forwarding tiers — the distributed
+// coordinator re-ships the exact options its own client sent — and composes
+// left to right like every other Option, so later options still override
+// individual fields.
+func WithQueryOpts(o wire.QueryOpts) Option {
+	return func(dst *wire.QueryOpts) { *dst = o }
+}
+
+// BuildOpts folds options into the wire form they are sent as. Forwarding
+// tiers use it to inspect or re-ship one statement's option set.
+func BuildOpts(opts ...Option) wire.QueryOpts {
 	var o wire.QueryOpts
 	for _, opt := range opts {
 		opt(&o)
@@ -260,7 +299,7 @@ func (c *Client) release(cn *conn) {
 // Queries shed by admission control retry with exponential backoff up to
 // Config.BusyRetries times before the busy error surfaces.
 func (c *Client) Query(ctx context.Context, sql string, opts ...Option) (*Rows, error) {
-	o := buildOpts(opts)
+	o := BuildOpts(opts...)
 	return c.withBusyRetry(ctx, func() (*Rows, error) {
 		cn, err := c.acquire(ctx)
 		if err != nil {

@@ -26,7 +26,7 @@ type Stmt struct {
 // until the first Query; a statement that cannot be planned surfaces its
 // error there.
 func (c *Client) Prepare(sql string, opts ...Option) *Stmt {
-	o := buildOpts(opts)
+	o := BuildOpts(opts...)
 	return &Stmt{c: c, sql: sql, o: o, key: o.CacheKey(sql)}
 }
 

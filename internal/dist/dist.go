@@ -1,0 +1,202 @@
+// Package dist is bufferdb's scatter-gather tier: a coordinator that plans
+// distributed queries over hash-sharded bufferdbd nodes and merges their
+// partial streams locally. It is the paper's buffering discipline applied
+// one level up — shards produce long runs of partial results, the
+// coordinator gathers partition-ordered streams through the same Exchange
+// operator the single-node engine uses for parallel scans, and the final
+// aggregate/sort/limit runs locally on the merged stream.
+//
+// Planning is source-to-source: the coordinator parses the query with the
+// engine's own parser, decides distributability against the shard map,
+// rewrites aggregates into shard-local partials (COUNT→SUM, AVG→SUM+COUNT),
+// renders the rewritten AST back to SQL, and ships it to every shard over
+// the wire protocol with the caller's engine selection, deadline, and
+// memory budget forwarded intact. Queries touching only replicated tables
+// skip the scatter entirely and route, round-robin, to a single shard.
+//
+// Failure semantics: a shard that cannot be reached or dies mid-stream
+// surfaces as a *ShardError wrapping bufferdb.ErrShardUnavailable; closing
+// the coordinator cursor cancels the sibling shard streams (each remote
+// scan's Cancel frame frees the shard's admission slot and tracked memory).
+// Engine sentinels a shard reports — busy, deadline, memory budget — pass
+// through the ShardError's unwrap chain, so errors.Is works at the
+// coordinator exactly as it does against one node.
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"bufferdb"
+	"bufferdb/internal/client"
+	"bufferdb/internal/exec"
+	"bufferdb/internal/shard"
+	"bufferdb/internal/storage"
+	"bufferdb/internal/tpch"
+	"bufferdb/internal/wire"
+)
+
+// Config configures a Coordinator. Shards is the only required field.
+type Config struct {
+	// Shards lists the bufferdbd shard addresses, in shard-index order:
+	// Shards[i] must hold slice i-of-len(Shards) under Map.
+	Shards []string
+
+	// Map is the sharding layout; nil selects shard.DefaultTPCH().
+	Map shard.Map
+
+	// Catalog holds the table schemas (no rows needed) the coordinator
+	// plans against; nil selects tpch.SchemaCatalog().
+	Catalog *storage.Catalog
+
+	// Client configures the per-shard connection pools (busy retries,
+	// backoff, dial timeout).
+	Client client.Config
+
+	// MemoryLimit caps the coordinator-side tracked allocations of all
+	// concurrently merging queries (exchange queues, final aggregates and
+	// sorts). 0 disables the cap but keeps tracking, so TrackedBytes still
+	// audits to zero when idle.
+	MemoryLimit int64
+
+	// HedgeDelay, when > 0, arms hedged scans: if a shard has not started
+	// streaming within HedgeDelay, the coordinator issues a second attempt
+	// and takes whichever responds first. 0 disables hedging.
+	HedgeDelay time.Duration
+}
+
+// Coordinator plans and executes distributed queries over a fixed set of
+// shards. Safe for concurrent use.
+type Coordinator struct {
+	cfg     Config
+	shards  []*client.Client
+	cat     *storage.Catalog
+	smap    shard.Map
+	mem     *exec.MemTracker
+	rr      atomic.Uint64 // round-robin cursor for single-shard routing
+	queries atomic.Int64
+}
+
+// Open connects to every shard. The dial is lazy per the client's pool —
+// Open validates the configuration, not reachability; the first query
+// surfaces unreachable shards as ShardErrors.
+func Open(cfg Config) (*Coordinator, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("dist: Config.Shards is required")
+	}
+	if cfg.Map == nil {
+		cfg.Map = shard.DefaultTPCH()
+	}
+	if cfg.Catalog == nil {
+		cfg.Catalog = tpch.SchemaCatalog()
+	}
+	c := &Coordinator{
+		cfg:  cfg,
+		cat:  cfg.Catalog,
+		smap: cfg.Map,
+		mem:  exec.NewMemTracker("coordinator", cfg.MemoryLimit, nil),
+	}
+	for i, addr := range cfg.Shards {
+		cl, err := client.Dial(addr, cfg.Client)
+		if err != nil {
+			c.Close()
+			return nil, &ShardError{Shard: i, Addr: addr, Err: err}
+		}
+		c.shards = append(c.shards, cl)
+	}
+	return c, nil
+}
+
+// Close releases every shard pool.
+func (c *Coordinator) Close() error {
+	var first error
+	for _, cl := range c.shards {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// TrackedBytes reports the coordinator-side bytes currently charged by
+// merging queries. Idle coordinators report 0 — anything else is a leak.
+func (c *Coordinator) TrackedBytes() int64 { return c.mem.Bytes() }
+
+// NumShards returns the shard count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// Query plans and starts a distributed query. Options forward to the
+// shards unchanged — engine selection, per-shard deadline, memory budget,
+// force-join, buffer size — while the coordinator's merge always runs on
+// the local Volcano pipeline.
+func (c *Coordinator) Query(ctx context.Context, sqlText string, opts ...client.Option) (*Rows, error) {
+	c.queries.Add(1)
+	p, err := c.plan(sqlText)
+	if err != nil {
+		metricPlanRejected().Inc()
+		return nil, err
+	}
+	if p.single {
+		// Replicated-only query: route the original text to one shard.
+		idx := int(c.rr.Add(1)-1) % len(c.shards)
+		metricSingleShard().Inc()
+		rows, err := c.shards[idx].Query(ctx, sqlText, opts...)
+		if err != nil {
+			return nil, c.shardErr(idx, err)
+		}
+		return &Rows{passthrough: rows, shard: idx, co: c}, nil
+	}
+	metricScatter().Inc()
+	return c.scatter(ctx, p, opts)
+}
+
+// shardErr wraps a per-shard failure in its typed form. Transport-class
+// failures (the shard is gone, the dial failed, the stream broke) wrap
+// bufferdb.ErrShardUnavailable; a ServerError keeps its own sentinel chain
+// (busy, deadline, budget) so engine errors pass through untranslated.
+func (c *Coordinator) shardErr(idx int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *ShardError
+	if errors.As(err, &se) {
+		return err
+	}
+	metricShardErrors(c.cfg.Shards[idx]).Inc()
+	return &ShardError{Shard: idx, Addr: c.cfg.Shards[idx], Err: err}
+}
+
+// ShardError attributes a distributed-query failure to one shard.
+type ShardError struct {
+	Shard int
+	Addr  string
+	Err   error
+}
+
+// Error renders the shard attribution and the underlying failure.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("dist: shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+// Unwrap exposes the underlying error — and, for transport-class failures,
+// bufferdb.ErrShardUnavailable — so errors.Is classifies shard loss while
+// engine sentinels (busy, deadline, memory budget) pass through.
+func (e *ShardError) Unwrap() []error {
+	var srv *client.ServerError
+	if errors.As(e.Err, &srv) {
+		switch srv.Code {
+		case wire.CodeQuery, wire.CodeBusy, wire.CodeDeadline, wire.CodeOOM,
+			wire.CodePanic, wire.CodeCanceled, wire.CodeUnknownStmt:
+			// The shard is alive and reported a query-level failure: keep
+			// its own unwrap chain, don't claim unavailability.
+			return []error{e.Err}
+		}
+	}
+	if errors.Is(e.Err, context.Canceled) && !errors.Is(e.Err, context.DeadlineExceeded) {
+		return []error{e.Err}
+	}
+	return []error{e.Err, bufferdb.ErrShardUnavailable}
+}

@@ -1,0 +1,620 @@
+package dist_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bufferdb"
+	"bufferdb/internal/client"
+	"bufferdb/internal/dist"
+	"bufferdb/internal/server"
+)
+
+// testSF is small enough to generate three shard slices in milliseconds but
+// large enough that scans stream multiple row batches per shard.
+const testSF = 0.002
+
+// shardFleet is an in-process sharded deployment: N shard daemons over the
+// same seed plus the coordinator fronting them.
+type shardFleet struct {
+	servers []*server.Server
+	addrs   []string
+	co      *dist.Coordinator
+}
+
+// startShard boots one shard daemon holding slice idx-of-n. hook, when
+// non-nil, attaches fault injectors to the shard's statements.
+func startShard(t testing.TB, idx, n int, sf float64, hook func(string) *bufferdb.FaultInjector) (*server.Server, string) {
+	t.Helper()
+	db, err := bufferdb.OpenTPCH(sf, bufferdb.Options{
+		ShardIndex:           idx,
+		ShardCount:           n,
+		CardinalityThreshold: 100,
+		MemoryLimit:          256 << 20,
+	})
+	if err != nil {
+		t.Fatalf("OpenTPCH shard %d/%d: %v", idx, n, err)
+	}
+	srv, err := server.New(server.Config{DB: db, FaultHook: hook})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	})
+	return srv, l.Addr().String()
+}
+
+// startFleet boots n shards and a coordinator over them.
+func startFleet(t testing.TB, n int, cfg dist.Config) *shardFleet {
+	return startFleetSF(t, n, testSF, cfg)
+}
+
+func startFleetSF(t testing.TB, n int, sf float64, cfg dist.Config) *shardFleet {
+	t.Helper()
+	f := &shardFleet{}
+	for i := 0; i < n; i++ {
+		srv, addr := startShard(t, i, n, sf, nil)
+		f.servers = append(f.servers, srv)
+		f.addrs = append(f.addrs, addr)
+	}
+	cfg.Shards = f.addrs
+	co, err := dist.Open(cfg)
+	if err != nil {
+		t.Fatalf("dist.Open: %v", err)
+	}
+	t.Cleanup(func() { co.Close() })
+	f.co = co
+	return f
+}
+
+// singleNode opens the unsharded reference database over the same seed.
+func singleNode(t testing.TB) *bufferdb.DB {
+	t.Helper()
+	db, err := bufferdb.OpenTPCH(testSF, bufferdb.Options{
+		CardinalityThreshold: 100,
+		MemoryLimit:          256 << 20,
+	})
+	if err != nil {
+		t.Fatalf("OpenTPCH: %v", err)
+	}
+	return db
+}
+
+// drainCoord materializes a coordinator cursor.
+func drainCoord(t testing.TB, rows *dist.Rows) [][]any {
+	t.Helper()
+	defer rows.Close()
+	var out [][]any
+	for rows.Next() {
+		out = append(out, append([]any(nil), rows.Row()...))
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("coordinator rows: %v", err)
+	}
+	return out
+}
+
+// cellString canonicalizes one native cell, rounding floats so merge-order
+// summation differences below 1e-9 relative compare equal.
+func cellString(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return strconv.FormatFloat(x, 'e', 9, 64)
+	case time.Time:
+		return x.UTC().Format("2006-01-02")
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+func rowString(row []any) string {
+	parts := make([]string, len(row))
+	for i, v := range row {
+		parts[i] = cellString(v)
+	}
+	return strings.Join(parts, " | ")
+}
+
+// compareRows checks got against want, pairwise when ordered, as multisets
+// otherwise. Floats compare with 1e-9 relative tolerance.
+func compareRows(t *testing.T, got, want [][]any, ordered bool) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count: got %d, want %d", len(got), len(want))
+	}
+	if !ordered {
+		sortKey := func(rows [][]any) []string {
+			keys := make([]string, len(rows))
+			for i, r := range rows {
+				keys[i] = rowString(r)
+			}
+			sort.Strings(keys)
+			return keys
+		}
+		g, w := sortKey(got), sortKey(want)
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("multiset mismatch at sorted row %d:\n got  %s\n want %s", i, g[i], w[i])
+			}
+		}
+		return
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d width: got %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if !cellEqual(got[i][j], want[i][j]) {
+				t.Fatalf("row %d col %d: got %v (%T), want %v (%T)",
+					i, j, got[i][j], got[i][j], want[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func cellEqual(a, b any) bool {
+	af, aok := a.(float64)
+	bf, bok := b.(float64)
+	if aok && bok {
+		if math.IsNaN(af) || math.IsNaN(bf) {
+			return math.IsNaN(af) == math.IsNaN(bf)
+		}
+		diff := math.Abs(af - bf)
+		scale := math.Max(1, math.Max(math.Abs(af), math.Abs(bf)))
+		return diff <= 1e-9*scale
+	}
+	at, aok := a.(time.Time)
+	bt, bok := b.(time.Time)
+	if aok && bok {
+		return at.Equal(bt)
+	}
+	return a == b
+}
+
+// equivalenceQueries covers every scatter shape: grouped and global
+// aggregates (COUNT/SUM/AVG/MIN/MAX and arithmetic over them), co-located
+// sharded joins, replicated⋈sharded joins, bare scans, and top-N pushdown.
+var equivalenceQueries = []struct {
+	name    string
+	sql     string
+	ordered bool
+}{
+	{"agg_group", `SELECT l_returnflag, COUNT(*), SUM(l_extendedprice), AVG(l_quantity), MIN(l_shipdate), MAX(l_discount)
+		FROM lineitem WHERE l_quantity > 10 GROUP BY l_returnflag ORDER BY l_returnflag`, true},
+	{"agg_global", `SELECT SUM(l_extendedprice * l_discount), COUNT(*) FROM lineitem
+		WHERE l_discount > 0.02 AND l_quantity < 24`, true},
+	{"agg_arith", `SELECT l_linestatus, SUM(l_extendedprice * (1 - l_discount)) AS revenue, AVG(l_extendedprice) / 1000
+		FROM lineitem GROUP BY l_linestatus ORDER BY l_linestatus`, true},
+	{"join_colocated", `SELECT o_orderpriority, COUNT(*), SUM(l_extendedprice)
+		FROM orders JOIN lineitem ON l_orderkey = o_orderkey
+		WHERE o_orderdate >= DATE '1995-01-01' GROUP BY o_orderpriority ORDER BY o_orderpriority`, true},
+	{"join_replicated", `SELECT c_mktsegment, COUNT(*), SUM(o_totalprice)
+		FROM customer JOIN orders ON o_custkey = c_custkey
+		GROUP BY c_mktsegment ORDER BY c_mktsegment`, true},
+	{"scan_unordered", `SELECT l_orderkey, l_quantity, l_shipdate FROM lineitem WHERE l_quantity >= 49`, false},
+	{"scan_topn", `SELECT l_orderkey, l_extendedprice FROM lineitem
+		ORDER BY l_extendedprice DESC, l_orderkey LIMIT 5`, true},
+	{"replicated_only", `SELECT r_name, COUNT(*) FROM region GROUP BY r_name ORDER BY r_name`, true},
+}
+
+// TestDistEquivalence is the acceptance gate: every scatter shape over a
+// 3-shard deployment matches the single-node answer, under every engine.
+func TestDistEquivalence(t *testing.T) {
+	fleet := startFleet(t, 3, dist.Config{})
+	ref := singleNode(t)
+
+	for _, engine := range bufferdb.EngineNames() {
+		e, err := bufferdb.ParseEngine(engine)
+		if err != nil {
+			t.Fatalf("ParseEngine(%q): %v", engine, err)
+		}
+		for _, q := range equivalenceQueries {
+			t.Run(engine+"/"+q.name, func(t *testing.T) {
+				want, err := ref.Query(context.Background(), q.sql, bufferdb.WithEngine(e))
+				if err != nil {
+					t.Fatalf("single-node: %v", err)
+				}
+				rows, err := fleet.co.Query(context.Background(), q.sql, client.WithEngine(engine))
+				if err != nil {
+					t.Fatalf("coordinator: %v", err)
+				}
+				got := drainCoord(t, rows)
+				compareRows(t, got, want.Rows, q.ordered)
+			})
+		}
+	}
+	if n := fleet.co.TrackedBytes(); n != 0 {
+		t.Fatalf("coordinator tracked bytes after drain = %d, want 0", n)
+	}
+}
+
+// TestDistColumns checks the coordinator restores single-node output names
+// through the partial-aggregate rewrite.
+func TestDistColumns(t *testing.T) {
+	fleet := startFleet(t, 2, dist.Config{})
+	ref := singleNode(t)
+	q := `SELECT l_returnflag, COUNT(*) AS n, SUM(l_extendedprice), AVG(l_quantity)
+		FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`
+
+	want, err := ref.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("single-node: %v", err)
+	}
+	rows, err := fleet.co.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	defer rows.Close()
+	got := rows.Columns()
+	if len(got) != len(want.Columns) {
+		t.Fatalf("columns: got %v, want %v", got, want.Columns)
+	}
+	for i := range got {
+		if got[i] != want.Columns[i] {
+			t.Fatalf("column %d: got %q, want %q", i, got[i], want.Columns[i])
+		}
+	}
+}
+
+// TestDistScan checks the coordinator cursor's Scan mirrors the client
+// contract in both passthrough and scatter modes.
+func TestDistScan(t *testing.T) {
+	fleet := startFleet(t, 2, dist.Config{})
+
+	for _, q := range []string{
+		`SELECT r_name, COUNT(*) FROM region GROUP BY r_name ORDER BY r_name LIMIT 1`, // passthrough
+		`SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag LIMIT 1`, // scatter
+	} {
+		rows, err := fleet.co.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if err := rows.Scan(new(string), new(int64)); err == nil ||
+			!strings.Contains(err.Error(), "without a successful Next") {
+			t.Fatalf("Scan before Next: %v", err)
+		}
+		if !rows.Next() {
+			t.Fatalf("Next: no rows (err %v)", rows.Err())
+		}
+		var name string
+		var n int64
+		if err := rows.Scan(&name, &n); err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		if name == "" || n <= 0 {
+			t.Fatalf("Scan produced (%q, %d)", name, n)
+		}
+		if err := rows.Scan(&name); err == nil || !strings.Contains(err.Error(), "destinations") {
+			t.Fatalf("arity error: %v", err)
+		}
+		rows.Close()
+		if err := rows.Scan(&name, &n); err == nil || !strings.Contains(err.Error(), "closed") {
+			t.Fatalf("Scan after Close: %v", err)
+		}
+	}
+}
+
+// TestDistSingleShardRouting checks replicated-only queries pass through
+// round-robin rather than scattering.
+func TestDistSingleShardRouting(t *testing.T) {
+	fleet := startFleet(t, 2, dist.Config{})
+	for i := 0; i < 4; i++ {
+		rows, err := fleet.co.Query(context.Background(), `SELECT COUNT(*) FROM nation`)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		got := drainCoord(t, rows)
+		if len(got) != 1 || got[0][0].(int64) != 25 {
+			t.Fatalf("nation count: %v", got)
+		}
+	}
+}
+
+// TestDistRejections checks the typed plan-time failures.
+func TestDistRejections(t *testing.T) {
+	fleet := startFleet(t, 2, dist.Config{})
+
+	_, err := fleet.co.Query(context.Background(),
+		`SELECT COUNT(*) FROM lineitem JOIN orders ON l_partkey = o_custkey`)
+	if !errors.Is(err, dist.ErrNotDistributable) {
+		t.Fatalf("non-colocated join: %v, want ErrNotDistributable", err)
+	}
+
+	_, err = fleet.co.Query(context.Background(),
+		`INSERT INTO region VALUES (99, 'NOWHERE', 'x')`)
+	if !errors.Is(err, bufferdb.ErrReadOnly) {
+		t.Fatalf("insert: %v, want ErrReadOnly", err)
+	}
+}
+
+// TestDistOptionForwarding checks per-query knobs cross the coordinator to
+// the shards: a tiny memory budget trips the shard-side governor and the
+// sentinel survives the two hops back.
+func TestDistOptionForwarding(t *testing.T) {
+	fleet := startFleet(t, 2, dist.Config{})
+
+	rows, err := fleet.co.Query(context.Background(),
+		`SELECT l_orderkey, COUNT(*) FROM lineitem GROUP BY l_orderkey`,
+		client.WithMemoryBudget(512))
+	if err == nil {
+		for rows.Next() {
+		}
+		err = rows.Err()
+		rows.Close()
+	}
+	if !errors.Is(err, bufferdb.ErrMemoryBudgetExceeded) {
+		t.Fatalf("budget 512: %v, want ErrMemoryBudgetExceeded", err)
+	}
+	var se *dist.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("budget error not attributed to a shard: %v", err)
+	}
+	if errors.Is(err, bufferdb.ErrShardUnavailable) {
+		t.Fatalf("engine error misclassified as shard loss: %v", err)
+	}
+	if n := fleet.co.TrackedBytes(); n != 0 {
+		t.Fatalf("tracked bytes after failed query = %d, want 0", n)
+	}
+}
+
+// TestDistHedging exercises the hedged-scan path against healthy shards:
+// with an aggressive delay every scan may hedge, and the result must still
+// be exact with no leaked streams.
+func TestDistHedging(t *testing.T) {
+	fleet := startFleet(t, 2, dist.Config{HedgeDelay: time.Nanosecond})
+	ref := singleNode(t)
+	q := `SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`
+
+	want, err := ref.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("single-node: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		rows, err := fleet.co.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+		compareRows(t, drainCoord(t, rows), want.Rows, true)
+	}
+	if n := fleet.co.TrackedBytes(); n != 0 {
+		t.Fatalf("tracked bytes = %d, want 0", n)
+	}
+}
+
+// TestDistChaosShardKill is the chaos gate: SIGKILL-equivalent loss of one
+// shard mid-query surfaces a typed ShardError wrapping ErrShardUnavailable,
+// sibling streams tear down, no goroutines leak, and the coordinator's
+// tracked memory audits to zero.
+func TestDistChaosShardKill(t *testing.T) {
+	// Victim shard 1 carries an injected per-row scan latency: on loopback a
+	// small slice otherwise streams into the kernel socket buffers in full
+	// before the kill can land, and a completed stream survives any kill.
+	// The latency holds the shard's execution genuinely mid-flight.
+	slow := func(sql string) *bufferdb.FaultInjector {
+		if !strings.Contains(sql, "lineitem") {
+			return nil
+		}
+		return bufferdb.NewFaultInjector(1, bufferdb.Fault{
+			Match: "Scan", Kind: bufferdb.FaultLatency,
+			After: 100, Every: 10, Latency: 2 * time.Millisecond,
+		})
+	}
+	f := &shardFleet{}
+	for i := 0; i < 3; i++ {
+		hook := slow
+		if i != 1 {
+			hook = nil
+		}
+		srv, addr := startShard(t, i, 3, testSF, hook)
+		f.servers = append(f.servers, srv)
+		f.addrs = append(f.addrs, addr)
+	}
+	co, err := dist.Open(dist.Config{Shards: f.addrs})
+	if err != nil {
+		t.Fatalf("dist.Open: %v", err)
+	}
+	t.Cleanup(func() { co.Close() })
+	f.co = co
+	fleet := f
+	baseline := runtime.NumGoroutine()
+
+	rows, err := fleet.co.Query(context.Background(),
+		`SELECT l_orderkey, l_quantity, l_extendedprice, l_comment FROM lineitem`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+
+	// Consume a little, then kill shard 1 abruptly: an expired context makes
+	// Shutdown force-close every connection instead of draining.
+	for i := 0; i < 10 && rows.Next(); i++ {
+	}
+	killed, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = fleet.servers[1].Shutdown(killed)
+
+	for rows.Next() {
+	}
+	err = rows.Err()
+	if err == nil {
+		t.Fatalf("stream survived shard kill")
+	}
+	var se *dist.ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T (%v), want *dist.ShardError", err, err)
+	}
+	if se.Shard != 1 {
+		t.Fatalf("error attributed to shard %d (%s), want 1", se.Shard, se.Addr)
+	}
+	if !errors.Is(err, bufferdb.ErrShardUnavailable) {
+		t.Fatalf("error does not wrap ErrShardUnavailable: %v", err)
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if n := fleet.co.TrackedBytes(); n != 0 {
+		t.Fatalf("coordinator tracked bytes after chaos = %d, want 0", n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseline {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutine leak after chaos: %d running, baseline %d", n, baseline)
+	}
+}
+
+// TestDistDeadShardAtOpen checks a shard that is down before the query
+// starts fails the scatter with the same typed error.
+func TestDistDeadShardAtOpen(t *testing.T) {
+	fleet := startFleet(t, 2, dist.Config{
+		Client: client.Config{DialTimeout: time.Second, BusyRetries: 0},
+	})
+	killed, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = fleet.servers[0].Shutdown(killed)
+
+	rows, err := fleet.co.Query(context.Background(),
+		`SELECT COUNT(*) FROM lineitem`)
+	if err == nil {
+		for rows.Next() {
+		}
+		err = rows.Err()
+		rows.Close()
+	}
+	if !errors.Is(err, bufferdb.ErrShardUnavailable) {
+		t.Fatalf("dead shard at open: %v, want ErrShardUnavailable", err)
+	}
+	if n := fleet.co.TrackedBytes(); n != 0 {
+		t.Fatalf("tracked bytes = %d, want 0", n)
+	}
+}
+
+// TestDistServe drives the coordinator's own wire front-end with the
+// standard client: scatter results match single-node, Tables sums sharded
+// row counts, and a mid-stream client cancel unwinds cleanly.
+func TestDistServe(t *testing.T) {
+	fleet := startFleet(t, 3, dist.Config{})
+	ref := singleNode(t)
+
+	srv, err := dist.NewServer(dist.ServerConfig{Coordinator: fleet.co, Info: "test-coordinator"})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+		<-done
+	})
+
+	cl, err := client.Dial(l.Addr().String(), client.Config{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cl.Close()
+
+	q := `SELECT l_returnflag, COUNT(*), SUM(l_extendedprice) FROM lineitem
+		GROUP BY l_returnflag ORDER BY l_returnflag`
+	want, err := ref.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("single-node: %v", err)
+	}
+	res, err := cl.QueryAll(context.Background(), q)
+	if err != nil {
+		t.Fatalf("QueryAll: %v", err)
+	}
+	compareRows(t, res.Rows, want.Rows, true)
+
+	// Tables must report deployment-wide counts: the sharded tables sum to
+	// the single-node cardinality.
+	infos, err := cl.Tables(context.Background())
+	if err != nil {
+		t.Fatalf("Tables: %v", err)
+	}
+	wantCount, err := ref.RowCount("lineitem")
+	if err != nil {
+		t.Fatalf("RowCount: %v", err)
+	}
+	var got uint64
+	for _, ti := range infos {
+		if ti.Name == "lineitem" {
+			got = ti.Rows
+		}
+	}
+	if got != uint64(wantCount) {
+		t.Fatalf("coordinator lineitem rows = %d, want %d", got, wantCount)
+	}
+
+	// A prepared statement executes through the coordinator too.
+	stmt := cl.Prepare(q)
+	res2, err := stmt.QueryAll(context.Background())
+	if err != nil {
+		t.Fatalf("stmt.QueryAll: %v", err)
+	}
+	compareRows(t, res2.Rows, want.Rows, true)
+	if err := stmt.Close(); err != nil {
+		t.Fatalf("stmt.Close: %v", err)
+	}
+
+	// Client-side cancel mid-stream: the cursor reports cancellation and the
+	// coordinator's tracked memory drains.
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := cl.Query(ctx, `SELECT l_orderkey, l_comment FROM lineitem`)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	for i := 0; i < 5 && rows.Next(); i++ {
+	}
+	cancel()
+	for rows.Next() {
+	}
+	rows.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && fleet.co.TrackedBytes() != 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := fleet.co.TrackedBytes(); n != 0 {
+		t.Fatalf("tracked bytes after cancel = %d, want 0", n)
+	}
+}
+
+// TestDistConfigValidation covers constructor errors.
+func TestDistConfigValidation(t *testing.T) {
+	if _, err := dist.Open(dist.Config{}); err == nil {
+		t.Fatal("Open with no shards succeeded")
+	}
+	if _, err := dist.NewServer(dist.ServerConfig{}); err == nil {
+		t.Fatal("NewServer with no coordinator succeeded")
+	}
+	if _, err := bufferdb.OpenTPCH(testSF, bufferdb.Options{
+		ShardCount: 2, DataDir: t.TempDir(),
+	}); err == nil {
+		t.Fatal("sharded OpenTPCH with DataDir succeeded")
+	}
+}

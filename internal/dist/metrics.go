@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"fmt"
+
+	"bufferdb/internal/obsv"
+)
+
+// The coordinator feeds the same process-wide registry the engine and the
+// serving layer do, so one /metrics scrape covers the whole deployment:
+//
+//	bufferdb_coord_queries_total{type="..."}        scatter | single | rejected
+//	bufferdb_coord_shard_scans_total{shard=".."}    remote scans started, per shard
+//	bufferdb_coord_shard_errors_total{shard=".."}   failures attributed to a shard
+//	bufferdb_coord_hedged_total{shard=".."}         hedge attempts fired
+//	bufferdb_coord_shard_first_row_seconds{shard=".."}  open → first row (health)
+//	bufferdb_coord_shard_stream_seconds{shard=".."}     open → close, per scan
+//	bufferdb_coord_merge_close_seconds              scatter cursor teardown latency
+
+// latencyBuckets spans sub-millisecond in-process shards through multi-second
+// wide-area scatters.
+var latencyBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30}
+
+func metricScatter() *obsv.Counter {
+	return obsv.Default.Counter(`bufferdb_coord_queries_total{type="scatter"}`)
+}
+
+func metricSingleShard() *obsv.Counter {
+	return obsv.Default.Counter(`bufferdb_coord_queries_total{type="single"}`)
+}
+
+func metricPlanRejected() *obsv.Counter {
+	return obsv.Default.Counter(`bufferdb_coord_queries_total{type="rejected"}`)
+}
+
+func metricShardScans(addr string) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf("bufferdb_coord_shard_scans_total{shard=%q}", addr))
+}
+
+func metricShardErrors(addr string) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf("bufferdb_coord_shard_errors_total{shard=%q}", addr))
+}
+
+func metricHedged(addr string) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf("bufferdb_coord_hedged_total{shard=%q}", addr))
+}
+
+// metricShardFirstRow is the per-shard health signal the sidecar exports:
+// time from scan open to the first gathered row.
+func metricShardFirstRow(addr string) *obsv.Histogram {
+	return obsv.Default.Histogram(
+		fmt.Sprintf("bufferdb_coord_shard_first_row_seconds{shard=%q}", addr), latencyBuckets)
+}
+
+func metricShardLatency(addr string) *obsv.Histogram {
+	return obsv.Default.Histogram(
+		fmt.Sprintf("bufferdb_coord_shard_stream_seconds{shard=%q}", addr), latencyBuckets)
+}
+
+func metricMergeClose() *obsv.Histogram {
+	return obsv.Default.Histogram("bufferdb_coord_merge_close_seconds", latencyBuckets)
+}

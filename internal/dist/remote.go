@@ -1,0 +1,192 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"bufferdb/internal/client"
+	"bufferdb/internal/codemodel"
+	"bufferdb/internal/exec"
+	"bufferdb/internal/storage"
+)
+
+// remoteScan is an exec.Operator that streams one shard's slice of a
+// scattered statement. It is the leaf the coordinator's Exchange gathers:
+// each exchange worker drives one remoteScan on its own goroutine, so
+// shards stream concurrently while the merge consumes them in shard order.
+//
+// Cancellation flows through the exec context's Ctx: the client cursor's
+// watcher turns it into a Cancel frame, the shard frees its admission slot
+// and tracked memory, and the blocked read returns. This is what lets the
+// coordinator tear down sibling streams after one shard fails.
+type remoteScan struct {
+	co     *Coordinator
+	shard  int
+	sql    string
+	opts   []client.Option
+	schema storage.Schema
+
+	rows    *client.Rows
+	hedgeWG sync.WaitGroup
+	opened  time.Time
+	first   bool // first row not yet seen (health latency)
+}
+
+func newRemoteScan(co *Coordinator, shardIdx int, sqlText string, opts []client.Option, schema storage.Schema) *remoteScan {
+	return &remoteScan{co: co, shard: shardIdx, sql: sqlText, opts: opts, schema: schema}
+}
+
+// Open starts the shard stream, optionally hedged: if the shard has not
+// answered within HedgeDelay a second attempt goes out, and whichever
+// stream opens first wins; the loser is canceled and drained on its own
+// goroutine (Close waits for it).
+func (r *remoteScan) Open(ctx *exec.Context) error {
+	r.opened = time.Now()
+	r.first = true
+	cl := r.co.shards[r.shard]
+	addr := r.co.cfg.Shards[r.shard]
+	metricShardScans(addr).Inc()
+
+	if r.co.cfg.HedgeDelay <= 0 {
+		rows, err := cl.Query(ctx.Ctx, r.sql, r.opts...)
+		if err != nil {
+			return r.co.shardErr(r.shard, err)
+		}
+		r.rows = rows
+		return nil
+	}
+
+	type attempt struct {
+		rows   *client.Rows
+		err    error
+		cancel context.CancelFunc
+	}
+	results := make(chan attempt, 2)
+	launch := func() {
+		actx, cancel := context.WithCancel(ctx.Ctx)
+		rows, err := cl.Query(actx, r.sql, r.opts...)
+		results <- attempt{rows: rows, err: err, cancel: cancel}
+	}
+	outstanding := 1
+	go launch()
+	timer := time.NewTimer(r.co.cfg.HedgeDelay)
+	defer timer.Stop()
+
+	var winner *attempt
+	var firstErr error
+	for winner == nil && outstanding > 0 {
+		select {
+		case a := <-results:
+			outstanding--
+			if a.err == nil {
+				winner = &a
+			} else if firstErr == nil {
+				firstErr = a.err
+				a.cancel()
+			} else {
+				a.cancel()
+			}
+		case <-timer.C:
+			if outstanding == 1 && winner == nil {
+				metricHedged(addr).Inc()
+				outstanding++
+				go launch()
+			}
+		}
+	}
+	if winner == nil {
+		return r.co.shardErr(r.shard, firstErr)
+	}
+	r.rows = winner.rows
+	// Abandon any still-outstanding attempt: when it settles, cancel and
+	// drain it off the hot path. Close waits for this goroutine, so no
+	// stream leaks past the query.
+	if outstanding > 0 {
+		r.hedgeWG.Add(1)
+		go func(n int) {
+			defer r.hedgeWG.Done()
+			for i := 0; i < n; i++ {
+				a := <-results
+				a.cancel()
+				if a.err == nil {
+					_ = a.rows.Close()
+				}
+			}
+		}(outstanding)
+	}
+	return nil
+}
+
+// Next implements Operator, converting the wire row back into the engine's
+// value representation.
+func (r *remoteScan) Next(ctx *exec.Context) (storage.Row, error) {
+	if err := ctx.Canceled(); err != nil {
+		return nil, err
+	}
+	if !r.rows.Next() {
+		if err := r.rows.Err(); err != nil {
+			return nil, r.co.shardErr(r.shard, err)
+		}
+		return nil, nil
+	}
+	if r.first {
+		r.first = false
+		metricShardFirstRow(r.co.cfg.Shards[r.shard]).Observe(time.Since(r.opened).Seconds())
+	}
+	native := r.rows.Row()
+	if len(native) != len(r.schema) {
+		return nil, r.co.shardErr(r.shard, errShape(len(native), len(r.schema)))
+	}
+	out := make(storage.Row, len(native))
+	for i, v := range native {
+		out[i] = toValue(v)
+	}
+	return out, nil
+}
+
+// Close tears the shard stream down (canceling it server-side when it is
+// still mid-stream) and waits for any hedge loser to finish draining.
+func (r *remoteScan) Close(ctx *exec.Context) error {
+	var err error
+	if r.rows != nil {
+		err = r.rows.Close()
+		r.rows = nil
+		metricShardLatency(r.co.cfg.Shards[r.shard]).Observe(time.Since(r.opened).Seconds())
+	}
+	r.hedgeWG.Wait()
+	return err
+}
+
+func (r *remoteScan) Schema() storage.Schema    { return r.schema }
+func (r *remoteScan) Children() []exec.Operator { return nil }
+func (r *remoteScan) Name() string              { return "RemoteScan" }
+func (r *remoteScan) Module() *codemodel.Module { return nil }
+func (r *remoteScan) Blocking() bool            { return false }
+
+func errShape(got, want int) error {
+	return fmt.Errorf("dist: shard row has %d columns, coordinator expected %d", got, want)
+}
+
+// toValue converts a decoded wire value back into the engine
+// representation. Dates cross the wire as midnight-UTC instants and return
+// to day numbers.
+func toValue(v any) storage.Value {
+	switch x := v.(type) {
+	case nil:
+		return storage.Null
+	case bool:
+		return storage.NewBool(x)
+	case int64:
+		return storage.NewInt(x)
+	case float64:
+		return storage.NewFloat(x)
+	case string:
+		return storage.NewString(x)
+	case time.Time:
+		return storage.NewDate(x.Unix() / 86400)
+	default:
+		return storage.Null
+	}
+}

@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bufferdb/internal/sql"
+)
+
+// render turns a (possibly rewritten) AST back into SQL text for shipping
+// to shards. The output targets exactly the grammar internal/sql parses —
+// every binary expression is parenthesized so the original precedence
+// survives the round trip, strings escape embedded quotes by doubling, and
+// intervals re-render in their day-normalized form.
+func render(stmt *sql.SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, item := range stmt.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if item.Star {
+			b.WriteString("*")
+			continue
+		}
+		b.WriteString(renderExpr(item.Expr))
+		if item.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(item.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, ref := range stmt.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(renderTableRef(ref))
+	}
+	for _, j := range stmt.Joins {
+		b.WriteString(" JOIN ")
+		b.WriteString(renderTableRef(j.Table))
+		b.WriteString(" ON ")
+		b.WriteString(renderExpr(j.On))
+	}
+	if stmt.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(renderExpr(stmt.Where))
+	}
+	if len(stmt.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range stmt.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderExpr(g))
+		}
+	}
+	if len(stmt.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range stmt.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderExpr(o.Expr))
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if stmt.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(stmt.Limit))
+	}
+	return b.String()
+}
+
+func renderTableRef(ref sql.TableRef) string {
+	if ref.Alias != "" {
+		return ref.Name + " " + ref.Alias
+	}
+	return ref.Name
+}
+
+// quoteString renders a SQL string literal, doubling embedded quotes.
+func quoteString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+func renderExpr(n sql.Node) string {
+	switch e := n.(type) {
+	case *sql.Ident:
+		if e.Table != "" {
+			return e.Table + "." + e.Name
+		}
+		return e.Name
+	case *sql.NumberLit:
+		return e.Text
+	case *sql.StringLit:
+		return quoteString(e.Val)
+	case *sql.DateLit:
+		return "DATE " + quoteString(e.Val)
+	case *sql.IntervalLit:
+		return fmt.Sprintf("INTERVAL '%d' DAY", e.Days)
+	case *sql.NullLit:
+		return "NULL"
+	case *sql.BoolLit:
+		if e.Val {
+			return "TRUE"
+		}
+		return "FALSE"
+	case *sql.BinaryExpr:
+		return "(" + renderExpr(e.L) + " " + e.Op + " " + renderExpr(e.R) + ")"
+	case *sql.UnaryExpr:
+		if e.Op == "-" {
+			return "(-" + renderExpr(e.E) + ")"
+		}
+		return "(NOT " + renderExpr(e.E) + ")"
+	case *sql.BetweenExpr:
+		op := " BETWEEN "
+		if e.Negate {
+			op = " NOT BETWEEN "
+		}
+		return "(" + renderExpr(e.E) + op + renderExpr(e.Lo) + " AND " + renderExpr(e.Hi) + ")"
+	case *sql.LikeExpr:
+		op := " LIKE "
+		if e.Negate {
+			op = " NOT LIKE "
+		}
+		return "(" + renderExpr(e.E) + op + quoteString(e.Pattern) + ")"
+	case *sql.IsNullExpr:
+		op := " IS NULL"
+		if e.Negate {
+			op = " IS NOT NULL"
+		}
+		return "(" + renderExpr(e.E) + op + ")"
+	case *sql.FuncCall:
+		if e.Star {
+			return "COUNT(*)"
+		}
+		return e.Name + "(" + renderExpr(e.Arg) + ")"
+	case *sql.CaseExpr:
+		var b strings.Builder
+		b.WriteString("CASE")
+		for _, w := range e.Whens {
+			b.WriteString(" WHEN " + renderExpr(w.Cond) + " THEN " + renderExpr(w.Then))
+		}
+		if e.Else != nil {
+			b.WriteString(" ELSE " + renderExpr(e.Else))
+		}
+		b.WriteString(" END")
+		return b.String()
+	case *sql.InExpr:
+		parts := make([]string, len(e.List))
+		for i, item := range e.List {
+			parts[i] = renderExpr(item)
+		}
+		op := " IN ("
+		if e.Negate {
+			op = " NOT IN ("
+		}
+		return "(" + renderExpr(e.E) + op + strings.Join(parts, ", ") + "))"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,208 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"bufferdb/internal/client"
+	"bufferdb/internal/exec"
+	"bufferdb/internal/storage"
+)
+
+// scatter builds and opens the gather pipeline for a distributed plan: one
+// remote scan per shard under the plan's merge (exchange, final aggregate,
+// sort, limit), charged to a per-query tracker under the coordinator's.
+func (c *Coordinator) scatter(ctx context.Context, p *distPlan, opts []client.Option) (*Rows, error) {
+	qctx, cancel := context.WithCancel(ctx)
+	mem := exec.NewMemTracker("dist-query", 0, c.mem)
+	parts := make([]exec.Operator, len(c.shards))
+	for i := range c.shards {
+		parts[i] = newRemoteScan(c, i, p.shardSQL, opts, p.shardSchema)
+	}
+	root, err := p.merge(parts)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	ectx := &exec.Context{Catalog: c.cat, Ctx: qctx, Mem: mem}
+	if err := exec.CallOpen(ectx, root); err != nil {
+		// Cancel before Close: exchange workers parked on shard reads
+		// unblock via the client's cancel watcher, so Close's drain can't
+		// deadlock on a wedged shard.
+		cancel()
+		_ = exec.CallClose(ectx, root)
+		mem.ReleaseAll()
+		return nil, err
+	}
+	sch := root.Schema()
+	cols := make([]string, len(sch))
+	for i, col := range sch {
+		cols[i] = col.Name
+	}
+	return &Rows{co: c, shard: -1, ectx: ectx, root: root, cancel: cancel, mem: mem, cols: cols}, nil
+}
+
+// Rows is the coordinator's streaming cursor. It mirrors the client cursor's
+// contract — Columns/Next/Row/Scan/Err/Close — so callers swap a single
+// node for a sharded deployment without touching their drain loop.
+//
+// A replicated-only query runs in passthrough mode: the cursor wraps one
+// shard's client stream directly. A scattered query runs the local gather
+// pipeline; Close cancels the query context first, which tears down every
+// sibling shard stream before the operators drain.
+type Rows struct {
+	co *Coordinator
+
+	// Passthrough mode: the whole query ran on one shard.
+	passthrough *client.Rows
+	shard       int
+
+	// Scatter mode: merged stream over the local exec pipeline.
+	ectx   *exec.Context
+	root   exec.Operator
+	cancel context.CancelFunc
+	mem    *exec.MemTracker
+	cols   []string
+	cur    []any
+	err    error
+	done   bool
+	closed bool
+}
+
+// Columns names the result attributes. The slice is shared; treat it as
+// read-only.
+func (r *Rows) Columns() []string {
+	if r.passthrough != nil {
+		return r.passthrough.Columns()
+	}
+	return r.cols
+}
+
+// Next advances the cursor. It returns false at end of stream, on error, or
+// after Close; consult Err to tell completion from failure.
+func (r *Rows) Next() bool {
+	if r.passthrough != nil {
+		return r.passthrough.Next()
+	}
+	if r.closed || r.done || r.err != nil {
+		return false
+	}
+	row, err := exec.CallNext(r.ectx, r.root)
+	if err != nil {
+		r.err = err
+		r.shutdown()
+		return false
+	}
+	if row == nil {
+		r.done = true
+		r.shutdown()
+		return false
+	}
+	if r.cur == nil {
+		r.cur = make([]any, len(row))
+	}
+	for i, v := range row {
+		r.cur[i] = nativeValue(v)
+	}
+	return true
+}
+
+// Row returns the current row's native Go values (int64, float64, string,
+// bool, time.Time, nil). The slice is reused by Next; copy it to retain.
+func (r *Rows) Row() []any {
+	if r.passthrough != nil {
+		return r.passthrough.Row()
+	}
+	if r.closed || r.done || r.err != nil {
+		return nil
+	}
+	return r.cur
+}
+
+// Scan copies the current row into dest, one pointer per column, with the
+// same conversions and error contract as the client cursor.
+func (r *Rows) Scan(dest ...any) error {
+	if r.passthrough != nil {
+		return r.passthrough.Scan(dest...)
+	}
+	if r.closed || r.done || r.err != nil || r.cur == nil {
+		if r.closed {
+			return fmt.Errorf("client: Scan: rows are closed")
+		}
+		return fmt.Errorf("client: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.cur) {
+		return fmt.Errorf("client: Scan got %d destinations for %d columns", len(dest), len(r.cur))
+	}
+	for i, d := range dest {
+		if err := client.ScanValue(d, r.cur[i], i, r.cols[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Err reports the error that terminated iteration, if any. Shard failures
+// surface as *ShardError; errors.Is(err, bufferdb.ErrShardUnavailable)
+// classifies transport-class loss.
+func (r *Rows) Err() error {
+	if r.passthrough != nil {
+		return r.co.shardErr(r.shard, r.passthrough.Err())
+	}
+	return r.err
+}
+
+// Close releases the cursor: it cancels the query context (tearing down
+// every shard stream), drains the operator tree, and returns all tracked
+// coordinator memory. Idempotent; does not disturb Err.
+func (r *Rows) Close() error {
+	if r.passthrough != nil {
+		if r.closed {
+			return nil
+		}
+		r.closed = true
+		return r.co.shardErr(r.shard, r.passthrough.Close())
+	}
+	r.shutdown()
+	return nil
+}
+
+// shutdown tears the scatter pipeline down exactly once. Cancellation MUST
+// precede operator Close: exchange workers blocked on shard TCP reads only
+// unblock when the client cancel watcher fires, and Close joins them.
+func (r *Rows) shutdown() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.cur = nil
+	start := time.Now()
+	r.cancel()
+	if err := exec.CallClose(r.ectx, r.root); err != nil && r.err == nil && !r.done {
+		r.err = err
+	}
+	r.mem.ReleaseAll()
+	metricMergeClose().Observe(time.Since(start).Seconds())
+}
+
+// nativeValue converts an engine value to the client cursor's native Go
+// representation, so both cursor modes hand back identical dynamic types.
+func nativeValue(v storage.Value) any {
+	switch v.Kind {
+	case storage.TypeNull:
+		return nil
+	case storage.TypeBool:
+		return v.Bool()
+	case storage.TypeInt64:
+		return v.I
+	case storage.TypeFloat64:
+		return v.F
+	case storage.TypeString:
+		return v.S
+	case storage.TypeDate:
+		return time.Unix(v.I*86400, 0).UTC()
+	default:
+		return nil
+	}
+}

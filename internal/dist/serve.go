@@ -1,0 +1,556 @@
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bufferdb"
+	"bufferdb/internal/client"
+	"bufferdb/internal/exec"
+	"bufferdb/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("dist: server closed")
+
+// serveBatchRows and serveBatchBytes bound coordinator result batches the
+// same way the single-node server bounds its own.
+const (
+	serveBatchRows  = 256
+	serveBatchBytes = 64 << 10
+	handshakeWait   = 10 * time.Second
+)
+
+// ServerConfig configures the coordinator's wire front-end.
+type ServerConfig struct {
+	// Coordinator executes the queries. Required.
+	Coordinator *Coordinator
+
+	// Info is the banner string sent in HelloOK.
+	Info string
+
+	// WriteTimeout arms a per-frame write deadline; 0 selects 30s,
+	// negative disables.
+	WriteTimeout time.Duration
+
+	// Logf, when non-nil, receives session diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server fronts a Coordinator with the same wire protocol bufferdbd shards
+// speak, so the standard client — and therefore the CLI — talks to a
+// sharded deployment exactly as it talks to one node.
+type Server struct {
+	cfg    ServerConfig
+	co     *Coordinator
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer builds the wire front-end for a coordinator.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Coordinator == nil {
+		return nil, errors.New("dist: ServerConfig.Coordinator is required")
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
+	} else if cfg.WriteTimeout < 0 {
+		cfg.WriteTimeout = 0
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:       cfg,
+		co:        cfg.Coordinator,
+		ctx:       ctx,
+		cancel:    cancel,
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[net.Conn]struct{}{},
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener fails or Shutdown runs.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				s.wg.Done()
+			}()
+			newDSession(s, conn).run()
+		}()
+	}
+}
+
+// Addr reports one serving address, for tests that listen on ":0".
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for l := range s.listeners {
+		return l.Addr()
+	}
+	return nil
+}
+
+// Shutdown stops accepting, waits for in-flight sessions up to ctx, then
+// force-closes stragglers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+	s.cancel()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// errorCode maps a coordinator failure to its stable wire code. Shard loss
+// reports CodeUnavailable; an error a live shard itself reported keeps the
+// shard's code, so busy/deadline/budget classification survives the hop.
+func (s *Server) errorCode(err error) wire.Code {
+	var srv *client.ServerError
+	switch {
+	case errors.Is(err, bufferdb.ErrShardUnavailable):
+		return wire.CodeUnavailable
+	case errors.As(err, &srv):
+		return srv.Code
+	case errors.Is(err, exec.ErrMemoryBudgetExceeded):
+		return wire.CodeOOM
+	case errors.Is(err, context.DeadlineExceeded):
+		return wire.CodeDeadline
+	case errors.Is(err, context.Canceled):
+		if s.ctx.Err() != nil {
+			return wire.CodeShutdown
+		}
+		return wire.CodeCanceled
+	default:
+		return wire.CodeQuery
+	}
+}
+
+// dframe is one decoded incoming frame.
+type dframe struct {
+	t       wire.Type
+	payload []byte
+}
+
+// dsession serves one coordinator connection. Same shape as the single-node
+// session: all writes on the session goroutine, a reader goroutine feeding
+// a frame channel so Cancel and disconnects surface mid-stream.
+type dsession struct {
+	srv    *Server
+	conn   net.Conn
+	bw     *bufio.Writer
+	frames chan dframe
+
+	stmts  map[uint64]distPrepared
+	nextID uint64
+}
+
+// distPrepared is a coordinator-side prepared statement: the text and its
+// options, re-planned per Execute (the scatter plan itself is cheap; the
+// expensive state lives on the shards' own statement caches).
+type distPrepared struct {
+	sql  string
+	opts wire.QueryOpts
+}
+
+func newDSession(s *Server, conn net.Conn) *dsession {
+	return &dsession{
+		srv:    s,
+		conn:   conn,
+		bw:     bufio.NewWriterSize(conn, 32<<10),
+		frames: make(chan dframe, 1),
+		stmts:  map[uint64]distPrepared{},
+	}
+}
+
+func (ss *dsession) readLoop() {
+	defer close(ss.frames)
+	for {
+		t, p, err := wire.ReadFrame(ss.conn)
+		if err != nil {
+			return
+		}
+		ss.frames <- dframe{t, p}
+	}
+}
+
+func (ss *dsession) run() {
+	defer func() {
+		ss.conn.Close()
+		for range ss.frames {
+		}
+	}()
+	go ss.readLoop()
+
+	if err := ss.handshake(); err != nil {
+		ss.srv.logf("dist: %s: handshake: %v", ss.conn.RemoteAddr(), err)
+		return
+	}
+	for {
+		select {
+		case <-ss.srv.ctx.Done():
+			_ = ss.sendError(wire.CodeShutdown, "coordinator shutting down")
+			return
+		case f, ok := <-ss.frames:
+			if !ok {
+				return
+			}
+			if err := ss.dispatch(f); err != nil {
+				ss.srv.logf("dist: %s: %v", ss.conn.RemoteAddr(), err)
+				return
+			}
+		}
+	}
+}
+
+func (ss *dsession) handshake() error {
+	_ = ss.conn.SetReadDeadline(time.Now().Add(handshakeWait))
+	var f dframe
+	var ok bool
+	select {
+	case f, ok = <-ss.frames:
+		if !ok {
+			return fmt.Errorf("connection closed before Hello")
+		}
+	case <-ss.srv.ctx.Done():
+		return context.Cause(ss.srv.ctx)
+	}
+	_ = ss.conn.SetReadDeadline(time.Time{})
+	if f.t != wire.THello {
+		_ = ss.sendError(wire.CodeProtocol, fmt.Sprintf("expected Hello, got %s", f.t))
+		return fmt.Errorf("first frame was %s", f.t)
+	}
+	r := wire.NewReader(f.payload)
+	magic, version := r.U32(), r.U8()
+	if err := r.Err(); err != nil {
+		_ = ss.sendError(wire.CodeProtocol, "malformed Hello")
+		return err
+	}
+	if magic != wire.Magic {
+		_ = ss.sendError(wire.CodeProtocol, "bad magic")
+		return fmt.Errorf("bad magic 0x%08x", magic)
+	}
+	if version != wire.Version {
+		_ = ss.sendError(wire.CodeProtocol, fmt.Sprintf("unsupported protocol version %d", version))
+		return fmt.Errorf("unsupported version %d", version)
+	}
+	var b wire.Builder
+	b.U8(wire.Version)
+	b.String(ss.srv.cfg.Info)
+	return ss.send(wire.THelloOK, b.Bytes())
+}
+
+func (ss *dsession) dispatch(f dframe) error {
+	switch f.t {
+	case wire.TQuery:
+		r := wire.NewReader(f.payload)
+		opts := r.Opts()
+		sql := r.String()
+		if err := r.Err(); err != nil {
+			_ = ss.sendError(wire.CodeProtocol, "malformed Query")
+			return err
+		}
+		return ss.runQuery(sql, opts)
+
+	case wire.TPrepare:
+		r := wire.NewReader(f.payload)
+		opts := r.Opts()
+		sql := r.String()
+		if err := r.Err(); err != nil {
+			_ = ss.sendError(wire.CodeProtocol, "malformed Prepare")
+			return err
+		}
+		// Plan now so unparsable or non-distributable statements fail at
+		// Prepare, matching the single-node server's contract.
+		if _, err := ss.srv.co.plan(sql); err != nil {
+			return ss.sendQueryError(err)
+		}
+		ss.nextID++
+		id := ss.nextID
+		ss.stmts[id] = distPrepared{sql: sql, opts: opts}
+		var b wire.Builder
+		b.U64(id)
+		return ss.send(wire.TPrepared, b.Bytes())
+
+	case wire.TExecute:
+		r := wire.NewReader(f.payload)
+		id := r.U64()
+		if err := r.Err(); err != nil {
+			_ = ss.sendError(wire.CodeProtocol, "malformed Execute")
+			return err
+		}
+		ps, ok := ss.stmts[id]
+		if !ok {
+			return ss.sendError(wire.CodeUnknownStmt, fmt.Sprintf("unknown statement id %d", id))
+		}
+		return ss.runQuery(ps.sql, ps.opts)
+
+	case wire.TCloseStmt:
+		r := wire.NewReader(f.payload)
+		id := r.U64()
+		if err := r.Err(); err != nil {
+			_ = ss.sendError(wire.CodeProtocol, "malformed CloseStmt")
+			return err
+		}
+		delete(ss.stmts, id)
+		return nil
+
+	case wire.TTables:
+		return ss.tables()
+
+	case wire.TCancel:
+		// A cancel that raced the end of its stream; nothing to abort.
+		return nil
+
+	default:
+		_ = ss.sendError(wire.CodeProtocol, fmt.Sprintf("unexpected %s frame", f.t))
+		return fmt.Errorf("unexpected %s frame", f.t)
+	}
+}
+
+// runQuery plans and streams one distributed statement.
+func (ss *dsession) runQuery(sql string, opts wire.QueryOpts) error {
+	qctx, qcancel := context.WithCancel(ss.srv.ctx)
+	defer qcancel()
+	rows, err := ss.srv.co.Query(qctx, sql, client.WithQueryOpts(opts))
+	if err != nil {
+		return ss.sendQueryError(err)
+	}
+	return ss.stream(qcancel, rows)
+}
+
+// stream drives a coordinator cursor onto the wire: Columns, RowBatch*,
+// then Done or a terminal Error frame. A Cancel frame or disconnect cancels
+// the query context, which tears down every shard stream.
+func (ss *dsession) stream(qcancel context.CancelFunc, rows *Rows) error {
+	defer rows.Close()
+
+	stop := make(chan struct{})
+	watch := make(chan dwatchEvent, 1)
+	go func() {
+		select {
+		case f, ok := <-ss.frames:
+			if !ok {
+				watch <- dwatchDisconnect
+			} else if f.t == wire.TCancel {
+				watch <- dwatchCancel
+			} else {
+				watch <- dwatchProtocol
+			}
+			qcancel()
+		case <-stop:
+			watch <- dwatchNone
+		}
+	}()
+	settle := func() dwatchEvent {
+		close(stop)
+		return <-watch
+	}
+
+	cols := rows.Columns()
+	var b wire.Builder
+	b.U32(uint32(len(cols)))
+	for _, c := range cols {
+		b.String(c)
+	}
+	if err := ss.send(wire.TColumns, b.Bytes()); err != nil {
+		settle()
+		return err
+	}
+
+	var total uint64
+	var batch wire.Builder
+	var inBatch uint32
+	flush := func() error {
+		if inBatch == 0 {
+			return nil
+		}
+		payload := batch.Bytes()
+		binary.BigEndian.PutUint32(payload[:4], inBatch)
+		err := ss.send(wire.TRowBatch, payload)
+		batch.Reset()
+		inBatch = 0
+		return err
+	}
+	batch.U32(0) // row-count placeholder, patched in flush
+
+	for rows.Next() {
+		for _, v := range rows.Row() {
+			if err := batch.Value(v); err != nil {
+				settle()
+				return ss.sendQueryError(err)
+			}
+		}
+		inBatch++
+		total++
+		if int(inBatch) >= serveBatchRows || batch.Len() >= serveBatchBytes {
+			if err := flush(); err != nil {
+				settle()
+				return err
+			}
+			batch.U32(0)
+		}
+	}
+
+	ev := settle()
+	switch ev {
+	case dwatchDisconnect:
+		return fmt.Errorf("client disconnected mid-stream")
+	case dwatchProtocol:
+		_ = ss.sendError(wire.CodeProtocol, "frame other than Cancel during result stream")
+		return fmt.Errorf("frame other than Cancel during result stream")
+	}
+
+	if err := rows.Err(); err != nil {
+		return ss.sendQueryError(err)
+	}
+	if ev == dwatchCancel {
+		return ss.sendError(wire.CodeCanceled, "query canceled")
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := rows.Close(); err != nil {
+		return ss.sendQueryError(err)
+	}
+	var done wire.Builder
+	done.U64(total)
+	return ss.send(wire.TDone, done.Bytes())
+}
+
+type dwatchEvent int
+
+const (
+	dwatchNone dwatchEvent = iota
+	dwatchCancel
+	dwatchDisconnect
+	dwatchProtocol
+)
+
+// tables answers a Tables frame with the deployment-wide view: sharded
+// tables sum their row counts across every shard, replicated tables report
+// one copy's count.
+func (ss *dsession) tables() error {
+	ctx, cancel := context.WithTimeout(ss.srv.ctx, 30*time.Second)
+	defer cancel()
+
+	total := map[string]uint64{}
+	var order []string
+	for i, cl := range ss.srv.co.shards {
+		infos, err := cl.Tables(ctx)
+		if err != nil {
+			return ss.sendQueryError(ss.srv.co.shardErr(i, err))
+		}
+		for _, ti := range infos {
+			if _, seen := total[ti.Name]; !seen {
+				order = append(order, ti.Name)
+			}
+			if ss.srv.co.smap.Sharded(ti.Name) {
+				total[ti.Name] += ti.Rows
+			} else if i == 0 {
+				total[ti.Name] = ti.Rows
+			}
+		}
+	}
+	var b wire.Builder
+	b.U32(uint32(len(order)))
+	for _, n := range order {
+		b.String(n)
+		b.U64(total[n])
+	}
+	return ss.send(wire.TTablesOK, b.Bytes())
+}
+
+func (ss *dsession) send(t wire.Type, payload []byte) error {
+	if d := ss.srv.cfg.WriteTimeout; d > 0 {
+		_ = ss.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if err := wire.WriteFrame(ss.bw, t, payload); err != nil {
+		return err
+	}
+	return ss.bw.Flush()
+}
+
+func (ss *dsession) sendQueryError(err error) error {
+	return ss.sendError(ss.srv.errorCode(err), err.Error())
+}
+
+func (ss *dsession) sendError(code wire.Code, msg string) error {
+	var b wire.Builder
+	b.U16(uint16(code))
+	b.String(msg)
+	return ss.send(wire.TError, b.Bytes())
+}

@@ -243,7 +243,7 @@ func (s *Server) buildStmt(sql string, o wire.QueryOpts, fi *bufferdb.FaultInjec
 		}
 		return s.db.Prepare(sql, opts...)
 	}
-	if o.TimeoutMS != 0 || fi != nil {
+	if o.TimeoutMS != 0 || o.MemoryBudget != 0 || o.AdmissionWaitMS != 0 || fi != nil {
 		return build()
 	}
 	return s.stmts.get(o.CacheKey(sql), build)
@@ -270,6 +270,33 @@ func queryOptions(o wire.QueryOpts, fi *bufferdb.FaultInjector) ([]bufferdb.Quer
 	}
 	if o.DisableRefinement {
 		opts = append(opts, bufferdb.WithoutRefinement())
+	}
+	if o.ForceJoin != "" {
+		switch o.ForceJoin {
+		case "hash", "nestloop", "merge":
+			opts = append(opts, bufferdb.WithForceJoin(o.ForceJoin))
+		default:
+			return nil, fmt.Errorf("server: %w %q (valid: hash, nestloop, merge)",
+				bufferdb.ErrBadJoinMethod, o.ForceJoin)
+		}
+	}
+	if o.BufferSize < 0 {
+		return nil, fmt.Errorf("server: negative buffer size %d", o.BufferSize)
+	}
+	if o.BufferSize > 0 {
+		opts = append(opts, bufferdb.WithBufferSize(int(o.BufferSize)))
+	}
+	if o.MemoryBudget < 0 {
+		return nil, fmt.Errorf("server: negative memory budget %d", o.MemoryBudget)
+	}
+	if o.MemoryBudget > 0 {
+		opts = append(opts, bufferdb.WithMemoryBudget(o.MemoryBudget))
+	}
+	if o.AdmissionWaitMS < 0 {
+		return nil, fmt.Errorf("server: negative admission wait %dms", o.AdmissionWaitMS)
+	}
+	if o.AdmissionWaitMS > 0 {
+		opts = append(opts, bufferdb.WithAdmissionWait(time.Duration(o.AdmissionWaitMS)*time.Millisecond))
 	}
 	if fi != nil {
 		opts = append(opts, bufferdb.WithFaultInjector(fi))

@@ -642,3 +642,132 @@ func TestServerMetrics(t *testing.T) {
 		t.Fatal("serving metrics missing from the registry export")
 	}
 }
+
+// TestOptionConformanceOverWire asserts the satellite query options —
+// force-join, buffer size, per-query memory budget, admission wait — are
+// applied server-side with the same semantics as the embedded API: valid
+// values change execution without changing results, invalid values are
+// rejected with the server's validation errors, and budget overruns come
+// back typed.
+func TestOptionConformanceOverWire(t *testing.T) {
+	db := newDB(t, bufferdb.Options{})
+	_, addr := startServer(t, server.Config{DB: db})
+	c := dial(t, addr, client.Config{})
+
+	join := `SELECT o_orderpriority, COUNT(*) FROM lineitem, orders
+	 WHERE l_orderkey = o_orderkey GROUP BY o_orderpriority ORDER BY o_orderpriority`
+	want, err := db.Query(context.Background(), join)
+	if err != nil {
+		t.Fatalf("local join: %v", err)
+	}
+	ref := resultString(want.Columns, want.Rows)
+
+	// Every join method and an explicit vector buffer size must produce
+	// the embedded engine's exact result.
+	for _, opt := range []struct {
+		name string
+		o    client.Option
+	}{
+		{"hash", client.WithForceJoin("hash")},
+		{"nestloop", client.WithForceJoin("nestloop")},
+		{"merge", client.WithForceJoin("merge")},
+		{"bufsize", client.WithBufferSize(64)},
+	} {
+		res, err := c.QueryAll(context.Background(), join, opt.o)
+		if err != nil {
+			t.Fatalf("%s: %v", opt.name, err)
+		}
+		if got := resultString(res.Columns, res.Rows); got != ref {
+			t.Fatalf("%s: result diverged from embedded engine:\n%s\nwant:\n%s", opt.name, got, ref)
+		}
+	}
+
+	// Server-side validation: bogus join method and negative sizes are
+	// rejected before execution, as CodeQuery with the server's message.
+	rejections := []struct {
+		name string
+		o    client.Option
+		msg  string
+	}{
+		{"bogus join", client.WithForceJoin("bogus"), "valid: hash, nestloop, merge"},
+		{"negative buffer", client.WithBufferSize(-1), "negative buffer size"},
+		{"negative budget", client.WithMemoryBudget(-1), "negative memory budget"},
+		{"negative wait", client.WithAdmissionWait(-time.Millisecond), "negative admission wait"},
+	}
+	for _, rj := range rejections {
+		_, err := c.QueryAll(context.Background(), join, rj.o)
+		var serr *client.ServerError
+		if !errors.As(err, &serr) || serr.Code != wire.CodeQuery {
+			t.Fatalf("%s: got %v, want CodeQuery ServerError", rj.name, err)
+		}
+		if !strings.Contains(err.Error(), rj.msg) {
+			t.Fatalf("%s: message %q does not mention %q", rj.name, err, rj.msg)
+		}
+	}
+
+	// A per-query budget (not a server-wide limit) must trip typed, and
+	// release everything it tracked.
+	_, err = c.QueryAll(context.Background(), join, client.WithMemoryBudget(512))
+	if !errors.Is(err, bufferdb.ErrMemoryBudgetExceeded) {
+		t.Fatalf("tiny budget: got %v, want ErrMemoryBudgetExceeded", err)
+	}
+	if db.TrackedBytes() != 0 {
+		t.Fatalf("tracked bytes after per-query OOM: %d", db.TrackedBytes())
+	}
+
+	// A generous budget on the same query succeeds with the same rows.
+	res, err := c.QueryAll(context.Background(), join, client.WithMemoryBudget(128<<20))
+	if err != nil {
+		t.Fatalf("generous budget: %v", err)
+	}
+	if got := resultString(res.Columns, res.Rows); got != ref {
+		t.Fatalf("budgeted run diverged from embedded engine")
+	}
+}
+
+// TestAdmissionWaitOverWire asserts the per-query admission wait crosses
+// the wire: with the only slot held, a short wait sheds as ErrServerBusy
+// in roughly the requested time instead of queueing indefinitely.
+func TestAdmissionWaitOverWire(t *testing.T) {
+	db := newDB(t, bufferdb.Options{
+		Admission: bufferdb.AdmissionConfig{MaxConcurrent: 1, MaxQueued: 4, WaitTimeout: time.Minute},
+	})
+	_, addr := startServer(t, server.Config{DB: db, FaultHook: slowHook, BatchRows: 32})
+	holder := dial(t, addr, client.Config{})
+	c := dial(t, addr, client.Config{})
+
+	// Occupy the single slot with a throttled stream.
+	rows, err := holder.Query(context.Background(), slowQuery)
+	if err != nil {
+		t.Fatalf("holder query: %v", err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatalf("holder stream produced no rows: %v", rows.Err())
+	}
+
+	start := time.Now()
+	_, err = c.QueryAll(context.Background(),
+		"SELECT COUNT(*) FROM nation", client.WithAdmissionWait(50*time.Millisecond))
+	if !errors.Is(err, bufferdb.ErrServerBusy) {
+		t.Fatalf("got %v, want ErrServerBusy", err)
+	}
+	var serr *client.ServerError
+	if !errors.As(err, &serr) || serr.Code != wire.CodeBusy {
+		t.Fatalf("busy error not typed over wire: %v", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("admission wait override ignored; waited %v", waited)
+	}
+
+	// Release the slot; the same query now succeeds with the same option.
+	rows.Close()
+	res, err := c.QueryAll(context.Background(),
+		"SELECT COUNT(*) FROM nation", client.WithAdmissionWait(50*time.Millisecond))
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != int64(25) {
+		t.Fatalf("unexpected result: %v", res.Rows)
+	}
+}

@@ -1,0 +1,154 @@
+// Package shard defines bufferdb's hash-sharding vocabulary: which tables
+// are partitioned across nodes, on which column, and how a row's shard is
+// chosen. The same Map drives both sides of a distributed deployment — a
+// shard node filters its catalog down to its slice at load time, and the
+// coordinator consults the identical Map to decide whether a query's joins
+// are co-located and therefore scatterable.
+//
+// Sharding is by hash of one column per partitioned table; every table
+// without a Placement is replicated in full on every shard. The default
+// TPC-H map shards the two big tables on the order key — lineitem rows and
+// their orders rows land on the same shard, so order-key equi-joins run
+// entirely shard-local.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"bufferdb/internal/btree"
+	"bufferdb/internal/storage"
+)
+
+// Placement says how one table is distributed. The zero value (Column "")
+// means the table is replicated on every shard.
+type Placement struct {
+	// Column is the hash-sharding column; "" replicates the table.
+	Column string
+}
+
+// Map assigns a Placement to each table name. Tables absent from the map
+// are replicated.
+type Map map[string]Placement
+
+// DefaultTPCH is the standard placement for the TPC-H schema: lineitem and
+// orders hash-shard on the order key (co-located for the join), everything
+// else — the small dimension tables — replicates.
+func DefaultTPCH() Map {
+	return Map{
+		"lineitem": {Column: "l_orderkey"},
+		"orders":   {Column: "o_orderkey"},
+	}
+}
+
+// ShardColumn returns the sharding column for a table, or "" if the table
+// is replicated.
+func (m Map) ShardColumn(table string) string { return m[table].Column }
+
+// Sharded reports whether the table is hash-partitioned.
+func (m Map) Sharded(table string) bool { return m[table].Column != "" }
+
+// Tables returns the sharded table names in sorted order.
+func (m Map) Tables() []string {
+	var out []string
+	for t, p := range m {
+		if p.Column != "" {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HashValue hashes one column value with FNV-1a over its canonical byte
+// rendering. Both tiers must agree on this function exactly — it decides
+// which rows a shard owns.
+func HashValue(v storage.Value) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	step := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	step(byte(v.Kind))
+	switch v.Kind {
+	case storage.TypeString:
+		for i := 0; i < len(v.S); i++ {
+			step(v.S[i])
+		}
+	case storage.TypeFloat64:
+		// Floats hash via their string rendering so that integral floats
+		// and the same value re-parsed hash alike.
+		s := v.String()
+		for i := 0; i < len(s); i++ {
+			step(s[i])
+		}
+	default:
+		u := uint64(v.I)
+		for i := 0; i < 8; i++ {
+			step(byte(u >> (8 * i)))
+		}
+	}
+	return h
+}
+
+// ShardOf maps a sharding-column value to its owning shard among n.
+func ShardOf(v storage.Value, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(HashValue(v) % uint64(n))
+}
+
+// Filter reduces a full catalog to shard idx-of-n under the map: replicated
+// tables are shared by reference (their heaps and indexes are immutable),
+// sharded tables are rebuilt holding only the rows ShardOf assigns to idx,
+// with their indexes reconstructed over the surviving rows. Row order
+// within a shard preserves the source order, so a fixed seed yields the
+// same shard slices on every node.
+func Filter(cat *storage.Catalog, m Map, idx, n int) (*storage.Catalog, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("shard: shard count %d < 1", n)
+	}
+	if idx < 0 || idx >= n {
+		return nil, fmt.Errorf("shard: shard index %d outside [0,%d)", idx, n)
+	}
+	out := storage.NewCatalog()
+	for _, t := range cat.Tables() {
+		col := m.ShardColumn(t.Name())
+		if col == "" {
+			out.MustAdd(t)
+			continue
+		}
+		pos, err := t.Schema().ColumnIndex("", col)
+		if err != nil || pos < 0 {
+			return nil, fmt.Errorf("shard: table %s has no shard column %s: %v", t.Name(), col, err)
+		}
+		st := storage.NewTable(t.Name(), t.Schema())
+		for _, row := range t.Rows() {
+			if ShardOf(row[pos], n) == idx {
+				st.MustAppend(row)
+			}
+		}
+		for _, im := range t.Indexes() {
+			cpos, err := t.Schema().ColumnIndex("", im.Column)
+			if err != nil || cpos < 0 {
+				return nil, fmt.Errorf("shard: cannot rebuild index %s: %v", im.Name, err)
+			}
+			tree := btree.New()
+			for rid, row := range st.Rows() {
+				tree.Insert(row[cpos].I, rid)
+			}
+			if err := st.AddIndex(&storage.IndexMeta{
+				Name:   im.Name,
+				Column: im.Column,
+				Unique: im.Unique,
+				Search: tree,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		out.MustAdd(st)
+	}
+	return out, nil
+}

@@ -163,6 +163,16 @@ func (*FuncCall) astNode()    {}
 func (*CaseExpr) astNode()    {}
 func (*InExpr) astNode()      {}
 
+// NodeString renders an AST expression exactly as the analyzer does for
+// display names and deduplication keys. The distributed planner mirrors the
+// analyzer's aggregate rewrite and must produce identical output column
+// names, so the rendering is exported rather than duplicated.
+func NodeString(n Node) string { return astString(n) }
+
+// ContainsAggregate reports whether an aggregate call appears anywhere in
+// the expression (exported for the distributed planner's scatter analysis).
+func ContainsAggregate(n Node) bool { return containsAggregate(n) }
+
 // containsAggregate reports whether an aggregate call appears anywhere in
 // the expression.
 func containsAggregate(n Node) bool {

@@ -2,6 +2,21 @@ package tpch
 
 import "bufferdb/internal/storage"
 
+// SchemaCatalog builds a catalog holding all eight TPC-H tables with their
+// schemas but no rows. The distributed coordinator analyzes shard-bound
+// statements against it: name resolution and typing need only the shapes,
+// never the data.
+func SchemaCatalog() *storage.Catalog {
+	cat := storage.NewCatalog()
+	for _, sch := range []storage.Schema{
+		regionSchema(), nationSchema(), supplierSchema(), customerSchema(),
+		partSchema(), partsuppSchema(), ordersSchema(), lineitemSchema(),
+	} {
+		cat.MustAdd(storage.NewTable(sch[0].Table, sch))
+	}
+	return cat
+}
+
 // Schemas for the eight TPC-H tables. Column order matches the TPC-H
 // specification so positional tests read naturally.
 

@@ -213,6 +213,18 @@ type QueryOpts struct {
 	// NoResultCache opts this statement out of the server's result-reuse
 	// cache even when the server has it enabled.
 	NoResultCache bool
+	// ForceJoin selects the join algorithm ("" = planner default); the
+	// server validates the name at the protocol boundary.
+	ForceJoin string
+	// BufferSize overrides the capacity of buffers the refinement pass
+	// inserts (0 = server default).
+	BufferSize int32
+	// MemoryBudget caps the query's tracked allocations in bytes
+	// (0 = no per-query cap; the server's MemoryLimit still applies).
+	MemoryBudget int64
+	// AdmissionWaitMS overrides how long the query may queue for an
+	// execution slot before being shed (0 = server default).
+	AdmissionWaitMS int64
 }
 
 // Opt flag bits.
@@ -221,7 +233,9 @@ const (
 	optNoResultCache     byte = 1 << 1
 )
 
-// Opts appends an encoded QueryOpts.
+// Opts appends an encoded QueryOpts. Every field is always encoded — the
+// flags byte carries only booleans — so decode never depends on which
+// options the client happened to set.
 func (b *Builder) Opts(o QueryOpts) {
 	var flags byte
 	if o.DisableRefinement {
@@ -234,6 +248,10 @@ func (b *Builder) Opts(o QueryOpts) {
 	b.String(o.Engine)
 	b.U32(uint32(o.Parallelism))
 	b.I64(o.TimeoutMS)
+	b.String(o.ForceJoin)
+	b.U32(uint32(o.BufferSize))
+	b.I64(o.MemoryBudget)
+	b.I64(o.AdmissionWaitMS)
 }
 
 // Opts reads an encoded QueryOpts.
@@ -243,18 +261,22 @@ func (r *Reader) Opts() QueryOpts {
 		Engine:            r.String(),
 		Parallelism:       int32(r.U32()),
 		TimeoutMS:         r.I64(),
+		ForceJoin:         r.String(),
+		BufferSize:        int32(r.U32()),
+		MemoryBudget:      r.I64(),
+		AdmissionWaitMS:   r.I64(),
 		DisableRefinement: flags&optDisableRefinement != 0,
 		NoResultCache:     flags&optNoResultCache != 0,
 	}
 }
 
 // CacheKey renders the option fields that shape a plan (not per-execution
-// knobs like the timeout) alongside the SQL text, for the server's
-// statement and result caches.
+// knobs like the timeout or memory budget) alongside the SQL text, for the
+// server's statement and result caches.
 func (o QueryOpts) CacheKey(sql string) string {
 	ref := byte('r')
 	if o.DisableRefinement {
 		ref = 'c'
 	}
-	return fmt.Sprintf("%s|%d|%c|%s", o.Engine, o.Parallelism, ref, sql)
+	return fmt.Sprintf("%s|%d|%c|%s|%d|%s", o.Engine, o.Parallelism, ref, o.ForceJoin, o.BufferSize, sql)
 }

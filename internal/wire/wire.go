@@ -142,6 +142,10 @@ const (
 	CodeUnknownStmt Code = 8
 	// CodeShutdown reports the server is draining; retry elsewhere/later.
 	CodeShutdown Code = 9
+	// CodeUnavailable reports a distributed query that failed because a
+	// shard could not be reached (or died mid-stream). The coordinator
+	// cancels the sibling shard streams before sending it.
+	CodeUnavailable Code = 10
 )
 
 // String names a code for logs and error text.
@@ -165,6 +169,8 @@ func (c Code) String() string {
 		return "unknown-stmt"
 	case CodeShutdown:
 		return "shutdown"
+	case CodeUnavailable:
+		return "unavailable"
 	}
 	return fmt.Sprintf("code(%d)", uint16(c))
 }

@@ -127,6 +127,9 @@ func TestOptsRoundTrip(t *testing.T) {
 		{},
 		{Engine: "vec", Parallelism: 4, TimeoutMS: 1500, DisableRefinement: true, NoResultCache: true},
 		{Engine: "volcano", Parallelism: -1},
+		{ForceJoin: "nestloop", BufferSize: 512, MemoryBudget: 64 << 20, AdmissionWaitMS: 250},
+		{Engine: "push", TimeoutMS: 1, ForceJoin: "hash", BufferSize: -3,
+			MemoryBudget: -1, AdmissionWaitMS: 9999999},
 	}
 	for i, o := range cases {
 		var b Builder
@@ -150,10 +153,13 @@ func TestCacheKeySeparatesOptions(t *testing.T) {
 		{Engine: "vec"},
 		{Parallelism: 4},
 		{DisableRefinement: true},
+		{ForceJoin: "hash"},
+		{ForceJoin: "merge"},
+		{BufferSize: 256},
 	} {
 		keys[o.CacheKey(sql)] = true
 	}
-	if len(keys) != 4 {
+	if len(keys) != 7 {
 		t.Fatalf("cache keys collide: %v", keys)
 	}
 	// Execution-time knobs must NOT split the key.
@@ -161,5 +167,11 @@ func TestCacheKeySeparatesOptions(t *testing.T) {
 	b := QueryOpts{NoResultCache: true}.CacheKey(sql)
 	if a != b || a != (QueryOpts{}).CacheKey(sql) {
 		t.Fatal("execution-time options leaked into the plan cache key")
+	}
+	if (QueryOpts{MemoryBudget: 1024}).CacheKey(sql) != (QueryOpts{}).CacheKey(sql) {
+		t.Fatal("memory budget leaked into the plan cache key")
+	}
+	if (QueryOpts{AdmissionWaitMS: 5}).CacheKey(sql) != (QueryOpts{}).CacheKey(sql) {
+		t.Fatal("admission wait leaked into the plan cache key")
 	}
 }
