@@ -344,6 +344,42 @@ func OpenTPCH(scaleFactor float64, opts Options) (*DB, error) {
 	return db, nil
 }
 
+// OpenTPCHReplicas opens one database per hosted slice for a replicated
+// shard node: the full TPC-H dataset is generated once (deterministically,
+// from opts.Seed, so every node derives identical slices) and filtered down
+// to each requested slice index. opts.ShardCount must name the fleet-wide
+// slice count; opts.ShardIndex is ignored in favor of the explicit slice
+// list. Replicated dimension tables are shared by reference across the
+// returned databases — only the sharded tables cost per-slice memory.
+func OpenTPCHReplicas(scaleFactor float64, opts Options, slices []int) (map[int]*DB, error) {
+	if opts.DataDir != "" {
+		return nil, fmt.Errorf("bufferdb: replicated slices are incompatible with DataDir (the persistent tier is single-node)")
+	}
+	if opts.ShardCount < 1 {
+		return nil, fmt.Errorf("bufferdb: OpenTPCHReplicas requires ShardCount >= 1")
+	}
+	if len(slices) == 0 {
+		return nil, fmt.Errorf("bufferdb: OpenTPCHReplicas requires at least one slice")
+	}
+	full, err := tpch.Generate(tpch.Config{ScaleFactor: scaleFactor, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*DB, len(slices))
+	for _, idx := range slices {
+		cat, err := shard.Filter(full, shard.DefaultTPCH(), idx, opts.ShardCount)
+		if err != nil {
+			return nil, err
+		}
+		sliceOpts := opts
+		sliceOpts.ShardIndex = idx
+		db := newDB(sliceOpts)
+		db.cat = cat
+		out[idx] = db
+	}
+	return out, nil
+}
+
 // newDB builds the engine-side of a database (code model, calibration,
 // governor) without a catalog; callers attach one.
 func newDB(opts Options) *DB {

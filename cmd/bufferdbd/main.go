@@ -22,13 +22,26 @@
 // same wire protocol — clients and the CLI connect to either tier
 // unchanged.
 //
+// -replication (default 2) replicates each hash slice across that many
+// nodes: shard daemon j additionally loads the rf-1 slices preceding its
+// own, and the coordinator routes every scatter leg to a healthy replica,
+// failing legs over mid-stream when a node dies. Per-node circuit breakers
+// (-breaker-threshold consecutive transport failures open one;
+// -breaker-cooldown later a single probe query tests recovery) keep dead
+// nodes out of the routing until they answer again. Pass the same
+// -replication to the shard daemons and the coordinator.
+//
 // Sidecar endpoints:
 //
 //	/metrics   Prometheus text-format dump of the metrics registry
 //	           (per-shard health/latency counters in coordinator mode)
 //	/healthz   liveness: 200 once the process is up
 //	/readyz    readiness: 200 after the database is loaded and the
-//	           listener is accepting; 503 during startup and drain
+//	           listener is accepting; 503 during startup and drain.
+//	           In coordinator mode the body reflects fleet health:
+//	           "ready" (all replicas healthy), "warn: ..." (200 — every
+//	           slice reachable but redundancy degraded), or 503 "fail:
+//	           ..." (some slice has no healthy replica)
 package main
 
 import (
@@ -48,6 +61,7 @@ import (
 	"bufferdb"
 	"bufferdb/internal/dist"
 	"bufferdb/internal/server"
+	"bufferdb/internal/shard"
 )
 
 func main() {
@@ -74,17 +88,28 @@ func main() {
 		shardIdx  = flag.Int("shard-index", 0, "this shard's index in a hash-partitioned deployment (needs -shard-count)")
 		shardCnt  = flag.Int("shard-count", 0, "total shard count; >1 loads only this node's hash slice of the sharded tables")
 		hedge     = flag.Duration("hedge-delay", 0, "coordinator: hedge a shard scan that has not answered within this delay (0 disables)")
+		repl      = flag.Int("replication", 2, "replication factor for sharded deployments: each slice lives on this many nodes (clamped to the node count; 1 disables replication; ignored unless sharded)")
+		brkThresh = flag.Int("breaker-threshold", 0, "coordinator: consecutive transport failures that open a node's circuit breaker (0 = default 3)")
+		brkCool   = flag.Duration("breaker-cooldown", 0, "coordinator: how long an open breaker rejects a node before probing it again (0 = default 5s)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "bufferdbd: ", log.LstdFlags)
 
 	if *shards != "" {
-		runCoordinator(logger, *listen, *httpAddr, *shards, *hedge, *memLimit, *writeTO, *drain)
+		runCoordinator(logger, *listen, *httpAddr, *shards, coordTuning{
+			hedge:            *hedge,
+			memLimit:         *memLimit,
+			writeTO:          *writeTO,
+			drain:            *drain,
+			replication:      *repl,
+			breakerThreshold: *brkThresh,
+			breakerCooldown:  *brkCool,
+		})
 		return
 	}
 
 	start := time.Now()
-	db, err := bufferdb.OpenTPCH(*scale, bufferdb.Options{
+	opts := bufferdb.Options{
 		Seed:              *seed,
 		DisableRefinement: *noRefine,
 		Parallelism:       *par,
@@ -99,9 +124,31 @@ func main() {
 			MaxQueued:     *maxQueued,
 			WaitTimeout:   *admWait,
 		},
-	})
-	if err != nil {
-		logger.Fatalf("open: %v", err)
+	}
+	rf := 1
+	if *shardCnt > 1 {
+		rf = shard.ClampRF(*repl, *shardCnt)
+	}
+	var (
+		db      *bufferdb.DB
+		slices  map[int]*bufferdb.DB
+		hosted  []int
+		openErr error
+	)
+	if rf > 1 {
+		// Replicated deployment: this node hosts its primary slice plus the
+		// rf-1 preceding ones, each as its own database. The default DB is
+		// the primary, so unaddressed (legacy) requests keep their meaning.
+		hosted = shard.Slices(*shardIdx, *shardCnt, rf)
+		slices, openErr = bufferdb.OpenTPCHReplicas(*scale, opts, hosted)
+		if openErr == nil {
+			db = slices[*shardIdx]
+		}
+	} else {
+		db, openErr = bufferdb.OpenTPCH(*scale, opts)
+	}
+	if openErr != nil {
+		logger.Fatalf("open: %v", openErr)
 	}
 	if *engine != "" {
 		e, err := bufferdb.ParseEngine(*engine)
@@ -109,19 +156,29 @@ func main() {
 			logger.Fatalf("engine: %v", err)
 		}
 		db = db.WithEngine(e)
+		for idx, sdb := range slices {
+			if idx == *shardIdx {
+				slices[idx] = db
+			} else {
+				slices[idx] = sdb.WithEngine(e)
+			}
+		}
 		logger.Printf("default execution engine: %s", e)
 	}
 	mode := "in-memory"
 	if *dataDir != "" {
 		mode = "persistent at " + *dataDir
 	}
-	if *shardCnt > 1 {
+	if rf > 1 {
+		mode += fmt.Sprintf(", node %d/%d hosting slices %v (rf %d)", *shardIdx, *shardCnt, hosted, rf)
+	} else if *shardCnt > 1 {
 		mode += fmt.Sprintf(", shard %d/%d", *shardIdx, *shardCnt)
 	}
 	logger.Printf("TPC-H SF %g loaded in %v, %s (tables: %v)", *scale, time.Since(start).Round(time.Millisecond), mode, db.Tables())
 
 	srv, err := server.New(server.Config{
 		DB:               db,
+		Slices:           slices,
 		StmtCacheEntries: *stmtCache,
 		ResultCacheBytes: *resCache,
 		WriteTimeout:     *writeTO,
@@ -200,12 +257,31 @@ func main() {
 	if err := db.Close(); err != nil {
 		logger.Printf("close: %v", err)
 	}
+	for idx, sdb := range slices {
+		if idx == *shardIdx {
+			continue
+		}
+		if err := sdb.Close(); err != nil {
+			logger.Printf("close slice %d: %v", idx, err)
+		}
+	}
 	logger.Printf("bye (tracked bytes at exit: %d)", db.TrackedBytes())
+}
+
+// coordTuning bundles the coordinator-mode knobs main forwards.
+type coordTuning struct {
+	hedge            time.Duration
+	memLimit         int64
+	writeTO          time.Duration
+	drain            time.Duration
+	replication      int
+	breakerThreshold int
+	breakerCooldown  time.Duration
 }
 
 // runCoordinator serves coordinator mode: no local data, a dist.Coordinator
 // over the listed shards fronted by the same wire protocol.
-func runCoordinator(logger *log.Logger, listen, httpAddr, shards string, hedge time.Duration, memLimit int64, writeTO, drain time.Duration) {
+func runCoordinator(logger *log.Logger, listen, httpAddr, shards string, tune coordTuning) {
 	var addrs []string
 	for _, a := range strings.Split(shards, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -213,19 +289,23 @@ func runCoordinator(logger *log.Logger, listen, httpAddr, shards string, hedge t
 		}
 	}
 	co, err := dist.Open(dist.Config{
-		Shards:      addrs,
-		MemoryLimit: memLimit,
-		HedgeDelay:  hedge,
+		Shards:           addrs,
+		MemoryLimit:      tune.memLimit,
+		HedgeDelay:       tune.hedge,
+		Replication:      tune.replication,
+		BreakerThreshold: tune.breakerThreshold,
+		BreakerCooldown:  tune.breakerCooldown,
 	})
 	if err != nil {
 		logger.Fatalf("coordinator: %v", err)
 	}
-	logger.Printf("coordinator over %d shards: %s", len(addrs), strings.Join(addrs, ", "))
+	logger.Printf("coordinator over %d shards (rf %d): %s",
+		len(addrs), shard.ClampRF(tune.replication, len(addrs)), strings.Join(addrs, ", "))
 
 	srv, err := dist.NewServer(dist.ServerConfig{
 		Coordinator:  co,
 		Info:         fmt.Sprintf("bufferdb-coordinator shards=%d", len(addrs)),
-		WriteTimeout: writeTO,
+		WriteTimeout: tune.writeTO,
 		Logf:         logger.Printf,
 	})
 	if err != nil {
@@ -255,7 +335,17 @@ func runCoordinator(logger *log.Logger, listen, httpAddr, shards string, hedge t
 				http.Error(w, "not ready", http.StatusServiceUnavailable)
 				return
 			}
-			fmt.Fprintln(w, "ready")
+			// Fleet health, as the breakers see it: a slice with no healthy
+			// replica fails readiness (queries over it fail), lost redundancy
+			// stays ready but says so.
+			switch h := co.Health(); h.Status {
+			case "fail":
+				http.Error(w, "fail: "+h.Detail, http.StatusServiceUnavailable)
+			case "warn":
+				fmt.Fprintf(w, "warn: %s\n", h.Detail)
+			default:
+				fmt.Fprintln(w, "ready")
+			}
 		})
 		httpSrv = &http.Server{Addr: httpAddr, Handler: mux}
 		go func() {
@@ -275,13 +365,13 @@ func runCoordinator(logger *log.Logger, listen, httpAddr, shards string, hedge t
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		logger.Printf("received %v, draining (budget %v)", s, drain)
+		logger.Printf("received %v, draining (budget %v)", s, tune.drain)
 	case err := <-serveErr:
 		logger.Fatalf("serve: %v", err)
 	}
 
 	ready.Store(false)
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	ctx, cancel := context.WithTimeout(context.Background(), tune.drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Printf("shutdown: %v", err)

@@ -33,8 +33,17 @@ type Config struct {
 	// retried before the error surfaces. 0 = 3; negative disables retry.
 	BusyRetries int
 	// RetryBackoff is the initial backoff before the first busy retry; it
-	// doubles per attempt. 0 = 10ms.
+	// doubles per attempt up to MaxBackoff. 0 = 10ms.
 	RetryBackoff time.Duration
+	// MaxBackoff caps the doubling retry backoff so a generous retry count
+	// cannot grow the sleep without bound. 0 = 2s; negative disables the
+	// cap (legacy unbounded doubling).
+	MaxBackoff time.Duration
+	// MaxRetries is an absolute ceiling on retry attempts per query,
+	// whatever BusyRetries asks for, bounding the worst-case time a caller
+	// can spend inside the retry loop. 0 = 8; negative disables retries
+	// entirely.
+	MaxRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -49,6 +58,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 10 * time.Millisecond
+	}
+	if c.MaxBackoff == 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 8
 	}
 	return c
 }
@@ -145,6 +160,13 @@ func WithForceJoin(method string) Option {
 // pass inserts server-side.
 func WithBufferSize(n int) Option {
 	return func(o *wire.QueryOpts) { o.BufferSize = int32(n) }
+}
+
+// WithSlice addresses hash slice idx on a daemon hosting several replica
+// slices; without it a query runs against the node's default (primary)
+// slice. The daemon rejects slices it does not host.
+func WithSlice(idx int) Option {
+	return func(o *wire.QueryOpts) { o.Slice = int32(idx) + 1 }
 }
 
 // WithQueryOpts replaces the whole option set with an already-built
@@ -340,13 +362,18 @@ func collect(rows *Rows) (*Result, error) {
 	return res, rows.Close()
 }
 
-// withBusyRetry runs attempt, retrying (with doubling backoff) while the
-// error wraps ErrServerBusy and the retry budget lasts.
+// withBusyRetry runs attempt, retrying (with doubling backoff, capped at
+// MaxBackoff) while the error wraps ErrServerBusy and the retry budget —
+// the smaller of BusyRetries and MaxRetries — lasts.
 func (c *Client) withBusyRetry(ctx context.Context, attempt func() (*Rows, error)) (*Rows, error) {
+	budget := c.cfg.BusyRetries
+	if c.cfg.MaxRetries < budget {
+		budget = c.cfg.MaxRetries
+	}
 	backoff := c.cfg.RetryBackoff
 	for try := 0; ; try++ {
 		rows, err := attempt()
-		if err == nil || try >= c.cfg.BusyRetries || !errors.Is(err, bufferdb.ErrServerBusy) {
+		if err == nil || try >= budget || !errors.Is(err, bufferdb.ErrServerBusy) {
 			return rows, err
 		}
 		t := time.NewTimer(backoff)
@@ -356,23 +383,31 @@ func (c *Client) withBusyRetry(ctx context.Context, attempt func() (*Rows, error
 			t.Stop()
 			return nil, fmt.Errorf("client: canceled during busy backoff: %w", ctx.Err())
 		}
-		backoff *= 2
+		if backoff *= 2; c.cfg.MaxBackoff > 0 && backoff > c.cfg.MaxBackoff {
+			backoff = c.cfg.MaxBackoff
+		}
 	}
 }
 
 // startStream writes a request frame on cn and consumes the response head:
 // either an immediate error (connection back to the pool, typed error out)
-// or a Columns frame opening a row stream.
+// or a Columns frame opening a row stream. The head read honors ctx — a
+// server that accepts the request but never answers (wedged mid-execution)
+// releases the connection when the caller gives up instead of pinning it
+// and its pool slot indefinitely.
 func (c *Client) startStream(ctx context.Context, cn *conn, t wire.Type, payload []byte) (*Rows, error) {
 	if err := cn.write(t, payload); err != nil {
 		cn.broken = true
 		c.release(cn)
 		return nil, fmt.Errorf("client: send %s: %w", t, err)
 	}
-	ft, p, err := cn.read()
+	ft, p, err := cn.readCtx(ctx)
 	if err != nil {
 		cn.broken = true
 		c.release(cn)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("client: awaiting response head: %w", ctx.Err())
+		}
 		return nil, fmt.Errorf("client: read response: %w", err)
 	}
 	switch ft {
@@ -420,19 +455,56 @@ func decodeError(p []byte) *ServerError {
 	return &ServerError{Code: code, Msg: msg}
 }
 
+// IsTransport classifies an error from this package for failover: true
+// means the peer may be dead or unreachable — a dial failure, a broken or
+// truncated stream, a malformed frame — and retrying elsewhere is
+// warranted. A *ServerError proves the server is alive and answering, so
+// it is not a transport failure, with one deliberate exception:
+// CodeShutdown means the node is draining and the work should move to a
+// replica. The caller's own context expiry and a closed client are local
+// conditions, never transport failures. ServerError is tested first
+// because CodeCanceled/CodeDeadline unwrap to the context sentinels.
+func IsTransport(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Code == wire.CodeShutdown
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrClosed) {
+		return false
+	}
+	return true
+}
+
 // TableInfo is one catalog table, as reported by the daemon.
 type TableInfo struct {
 	Name string
 	Rows uint64
 }
 
-// Tables lists the daemon's catalog.
+// Tables lists the daemon's default catalog.
 func (c *Client) Tables(ctx context.Context) ([]TableInfo, error) {
+	return c.tables(ctx, nil)
+}
+
+// TablesOf lists the catalog of one hosted slice on a replicated daemon.
+func (c *Client) TablesOf(ctx context.Context, slice int) ([]TableInfo, error) {
+	var b wire.Builder
+	b.U32(uint32(slice + 1))
+	return c.tables(ctx, b.Bytes())
+}
+
+func (c *Client) tables(ctx context.Context, payload []byte) ([]TableInfo, error) {
 	cn, err := c.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if err := cn.write(wire.TTables, nil); err != nil {
+	if err := cn.write(wire.TTables, payload); err != nil {
 		cn.broken = true
 		c.release(cn)
 		return nil, err
@@ -519,4 +591,31 @@ func (cn *conn) write(t wire.Type, payload []byte) error {
 
 func (cn *conn) read() (wire.Type, []byte, error) {
 	return wire.ReadFrame(cn.br)
+}
+
+// readCtx reads one frame, aborting the blocked read if ctx is canceled
+// first: a watcher goroutine forces the connection's read deadline into the
+// past, which fails the pending Read with a timeout. The deadline is
+// cleared after the watcher is joined, so a read that won the race leaves
+// the connection clean; an aborted read leaves it mid-frame and the caller
+// must mark it broken.
+func (cn *conn) readCtx(ctx context.Context) (wire.Type, []byte, error) {
+	if ctx.Done() == nil {
+		return cn.read()
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			_ = cn.c.SetReadDeadline(time.Unix(1, 0))
+		case <-stop:
+		}
+	}()
+	ft, p, err := cn.read()
+	close(stop)
+	<-done
+	_ = cn.c.SetReadDeadline(time.Time{})
+	return ft, p, err
 }

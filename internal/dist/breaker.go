@@ -1,0 +1,132 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one circuit breaker's position in the
+// closed → open → half-open cycle.
+type breakerState int
+
+const (
+	// breakerClosed: the node is believed healthy; route freely.
+	breakerClosed breakerState = iota
+	// breakerOpen: the node ate too many consecutive transport failures;
+	// don't route to it until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen: the cooldown elapsed and one probe query is testing
+	// the node; everything else keeps avoiding it until the probe reports.
+	breakerHalfOpen
+)
+
+// String names a state for logs and the health report.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-node circuit breaker fed by transport-failure
+// classification: server-typed errors prove the node alive and never trip
+// it. Closed → open after threshold consecutive transport failures; open →
+// half-open after cooldown, admitting exactly one in-flight probe; the
+// probe's outcome closes or re-opens the circuit. Safe for concurrent use.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive transport failures while closed
+	openedAt time.Time // when the circuit last opened
+	probing  bool      // a half-open probe is in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may route to this node, and whether that
+// request is the half-open probe (whose outcome decides the circuit). An
+// open breaker past its cooldown transitions to half-open here, claiming
+// the caller as the probe.
+func (b *breaker) allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// success records a request that proved the node alive — a stream that
+// started, or a server-typed error (the node answered). It resets the
+// failure streak and, for a probe, closes the circuit.
+func (b *breaker) success(probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	if probe {
+		b.probing = false
+	}
+	b.state = breakerClosed
+}
+
+// failure records a transport failure. A failed probe re-opens the circuit
+// immediately; otherwise the consecutive-failure streak grows and opens it
+// at the threshold. Returns true when this call tripped the circuit open.
+func (b *breaker) failure(probe bool) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		return true
+	}
+	if b.state == breakerOpen {
+		return false
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.failures = 0
+		return true
+	}
+	return false
+}
+
+// snapshot returns the current state without side effects (no half-open
+// transition), for the health report and the state gauge.
+func (b *breaker) snapshot() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

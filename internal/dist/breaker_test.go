@@ -1,0 +1,111 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	for i := 0; i < 2; i++ {
+		if tripped := b.failure(false); tripped {
+			t.Fatalf("failure %d tripped the breaker before the threshold", i+1)
+		}
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("breaker rejected traffic below the threshold")
+		}
+	}
+	if tripped := b.failure(false); !tripped {
+		t.Fatal("threshold failure did not report the trip")
+	}
+	if b.snapshot() != breakerOpen {
+		t.Fatalf("state after threshold = %v, want open", b.snapshot())
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker admitted traffic within the cooldown")
+	}
+	// Failures while already open do not re-count as trips.
+	if tripped := b.failure(false); tripped {
+		t.Fatal("failure on an open breaker reported a second trip")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := newBreaker(3, time.Hour)
+	b.failure(false)
+	b.failure(false)
+	b.success(false)
+	b.failure(false)
+	b.failure(false)
+	if b.snapshot() != breakerClosed {
+		t.Fatalf("non-consecutive failures opened the breaker: %v", b.snapshot())
+	}
+	if tripped := b.failure(false); !tripped {
+		t.Fatal("third consecutive failure did not trip")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(1, 20*time.Millisecond)
+	b.failure(false)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker admitted traffic before the cooldown")
+	}
+	time.Sleep(25 * time.Millisecond)
+
+	ok, probe := b.allow()
+	if !ok || !probe {
+		t.Fatalf("allow after cooldown = (%v, %v), want the probe slot", ok, probe)
+	}
+	if b.snapshot() != breakerHalfOpen {
+		t.Fatalf("state during probe = %v, want half-open", b.snapshot())
+	}
+	// Only one probe may be in flight.
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second caller admitted while the probe is in flight")
+	}
+
+	b.success(true)
+	if b.snapshot() != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.snapshot())
+	}
+	if ok, probe := b.allow(); !ok || probe {
+		t.Fatalf("allow after recovery = (%v, %v), want plain admission", ok, probe)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b := newBreaker(1, 20*time.Millisecond)
+	b.failure(false)
+	time.Sleep(25 * time.Millisecond)
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatalf("allow after cooldown = (%v, %v), want probe", ok, probe)
+	}
+	if tripped := b.failure(true); !tripped {
+		t.Fatal("failed probe did not report the re-trip")
+	}
+	if b.snapshot() != breakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.snapshot())
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker admitted traffic right after a failed probe")
+	}
+	// The cooldown clock restarted at the failed probe.
+	time.Sleep(25 * time.Millisecond)
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatalf("allow after second cooldown = (%v, %v), want probe", ok, probe)
+	}
+}
+
+func TestBreakerClamps(t *testing.T) {
+	b := newBreaker(0, 0)
+	if b.threshold != 1 {
+		t.Fatalf("threshold clamp = %d, want 1", b.threshold)
+	}
+	if b.cooldown != 5*time.Second {
+		t.Fatalf("cooldown default = %v, want 5s", b.cooldown)
+	}
+	if tripped := b.failure(false); !tripped {
+		t.Fatal("threshold-1 breaker survived its first failure")
+	}
+}

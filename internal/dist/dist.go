@@ -27,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -66,18 +67,36 @@ type Config struct {
 	// streaming within HedgeDelay, the coordinator issues a second attempt
 	// and takes whichever responds first. 0 disables hedging.
 	HedgeDelay time.Duration
+
+	// Replication is the replication factor the fleet was loaded with:
+	// slice s lives on nodes (s+r) mod N for r in [0,Replication), so every
+	// node hosts Replication slices and every slice survives Replication-1
+	// node losses. 0 or 1 selects the classic one-slice-per-node layout
+	// (no failover); values above len(Shards) clamp down.
+	Replication int
+
+	// BreakerThreshold is the consecutive-transport-failure count that
+	// opens a node's circuit breaker. 0 selects 3; values below 1 clamp
+	// to 1.
+	BreakerThreshold int
+
+	// BreakerCooldown is how long an open breaker rejects a node before
+	// admitting a half-open probe. 0 selects 5s.
+	BreakerCooldown time.Duration
 }
 
 // Coordinator plans and executes distributed queries over a fixed set of
 // shards. Safe for concurrent use.
 type Coordinator struct {
-	cfg     Config
-	shards  []*client.Client
-	cat     *storage.Catalog
-	smap    shard.Map
-	mem     *exec.MemTracker
-	rr      atomic.Uint64 // round-robin cursor for single-shard routing
-	queries atomic.Int64
+	cfg      Config
+	shards   []*client.Client
+	cat      *storage.Catalog
+	smap     shard.Map
+	mem      *exec.MemTracker
+	rf       int        // effective replication factor
+	breakers []*breaker // one per node, indexed like shards
+	rr       atomic.Uint64 // round-robin cursor for single-shard routing
+	queries  atomic.Int64
 }
 
 // Open connects to every shard. The dial is lazy per the client's pool —
@@ -93,11 +112,16 @@ func Open(cfg Config) (*Coordinator, error) {
 	if cfg.Catalog == nil {
 		cfg.Catalog = tpch.SchemaCatalog()
 	}
+	threshold := cfg.BreakerThreshold
+	if threshold == 0 {
+		threshold = 3
+	}
 	c := &Coordinator{
 		cfg:  cfg,
 		cat:  cfg.Catalog,
 		smap: cfg.Map,
 		mem:  exec.NewMemTracker("coordinator", cfg.MemoryLimit, nil),
+		rf:   shard.ClampRF(cfg.Replication, len(cfg.Shards)),
 	}
 	for i, addr := range cfg.Shards {
 		cl, err := client.Dial(addr, cfg.Client)
@@ -106,6 +130,7 @@ func Open(cfg Config) (*Coordinator, error) {
 			return nil, &ShardError{Shard: i, Addr: addr, Err: err}
 		}
 		c.shards = append(c.shards, cl)
+		c.breakers = append(c.breakers, newBreaker(threshold, cfg.BreakerCooldown))
 	}
 	return c, nil
 }
@@ -140,17 +165,135 @@ func (c *Coordinator) Query(ctx context.Context, sqlText string, opts ...client.
 		return nil, err
 	}
 	if p.single {
-		// Replicated-only query: route the original text to one shard.
-		idx := int(c.rr.Add(1)-1) % len(c.shards)
+		// Replicated-only query: route the original text to one healthy
+		// node (every node holds the replicated tables in full), failing
+		// over on transport loss at stream start. Mid-stream loss of a
+		// passthrough stream stays an error — the coordinator does not
+		// buffer the rows already surfaced to the caller.
 		metricSingleShard().Inc()
-		rows, err := c.shards[idx].Query(ctx, sqlText, opts...)
-		if err != nil {
-			return nil, c.shardErr(idx, err)
+		n := len(c.shards)
+		start := int(c.rr.Add(1)-1) % n
+		var lastErr error
+		lastIdx := start
+		for k := 0; k < n; k++ {
+			idx := (start + k) % n
+			ok, probe := c.breakers[idx].allow()
+			if !ok {
+				continue
+			}
+			rows, err := c.shards[idx].Query(ctx, sqlText, opts...)
+			if err == nil {
+				c.breakerSuccess(idx, probe)
+				return &Rows{passthrough: rows, shard: idx, co: c}, nil
+			}
+			if !client.IsTransport(err) || ctx.Err() != nil {
+				c.breakerSuccess(idx, probe)
+				return nil, c.shardErr(idx, err)
+			}
+			c.breakerFailure(idx, probe)
+			metricFailovers(c.cfg.Shards[idx]).Inc()
+			lastErr, lastIdx = err, idx
 		}
-		return &Rows{passthrough: rows, shard: idx, co: c}, nil
+		if lastErr == nil {
+			lastErr = fmt.Errorf("dist: every node's circuit breaker is open")
+		}
+		return nil, c.shardErr(lastIdx, lastErr)
 	}
 	metricScatter().Inc()
 	return c.scatter(ctx, p, opts)
+}
+
+// route picks the replica to serve one leg of slice s, honoring the
+// breakers: a half-open node with a free probe slot is preferred (recovery
+// needs traffic to happen at all), then the first closed replica in
+// placement order. tried holds nodes this leg already failed on. ok=false
+// means every viable replica is open or already tried — the slice is
+// unavailable.
+func (c *Coordinator) route(slice int, tried map[int]bool) (node int, probe, ok bool) {
+	closedNode := -1
+	for _, n := range shard.Replicas(slice, len(c.shards), c.rf) {
+		if tried[n] {
+			continue
+		}
+		allowed, isProbe := c.breakers[n].allow()
+		if !allowed {
+			continue
+		}
+		if isProbe {
+			return n, true, true
+		}
+		if closedNode < 0 {
+			closedNode = n
+		}
+	}
+	if closedNode < 0 {
+		return -1, false, false
+	}
+	return closedNode, false, true
+}
+
+// breakerSuccess records a request that proved node alive and refreshes
+// the exported state gauge. A successful probe counts as a recovery.
+func (c *Coordinator) breakerSuccess(node int, probe bool) {
+	if probe {
+		metricProbes(c.cfg.Shards[node], "recovered").Inc()
+	}
+	c.breakers[node].success(probe)
+	metricBreakerState(c.cfg.Shards[node]).Set(float64(c.breakers[node].snapshot()))
+}
+
+// breakerFailure records a transport failure against node, counting the
+// trip when this failure opened the circuit.
+func (c *Coordinator) breakerFailure(node int, probe bool) {
+	addr := c.cfg.Shards[node]
+	if probe {
+		metricProbes(addr, "failed").Inc()
+	}
+	if c.breakers[node].failure(probe) {
+		metricBreakerTrips(addr).Inc()
+	}
+	metricBreakerState(addr).Set(float64(c.breakers[node].snapshot()))
+}
+
+// Health summarizes fleet availability from the breakers' point of view.
+type Health struct {
+	// Status is "pass" (every replica of every slice closed), "warn"
+	// (every slice has a closed replica but some redundancy is lost), or
+	// "fail" (some slice has no closed replica — queries over it fail).
+	Status string
+	// Detail names the degraded or down slices and their breaker states.
+	Detail string
+}
+
+// Health reports fleet health for the /readyz sidecar. Breakers change
+// state only under traffic, so a dead node degrades health after the first
+// failed queries, not at the instant it dies.
+func (c *Coordinator) Health() Health {
+	n := len(c.shards)
+	var degraded, down []string
+	for s := 0; s < n; s++ {
+		closed := 0
+		reps := shard.Replicas(s, n, c.rf)
+		for _, node := range reps {
+			if c.breakers[node].snapshot() == breakerClosed {
+				closed++
+			}
+		}
+		switch {
+		case closed == 0:
+			down = append(down, fmt.Sprintf("slice %d (replicas %v all open)", s, reps))
+		case closed < len(reps):
+			degraded = append(degraded, fmt.Sprintf("slice %d (%d/%d replicas closed)", s, closed, len(reps)))
+		}
+	}
+	switch {
+	case len(down) > 0:
+		return Health{Status: "fail", Detail: strings.Join(append(down, degraded...), "; ")}
+	case len(degraded) > 0:
+		return Health{Status: "warn", Detail: strings.Join(degraded, "; ")}
+	default:
+		return Health{Status: "pass"}
+	}
 }
 
 // shardErr wraps a per-shard failure in its typed form. Transport-class
@@ -168,6 +311,38 @@ func (c *Coordinator) shardErr(idx int, err error) error {
 	metricShardErrors(c.cfg.Shards[idx]).Inc()
 	return &ShardError{Shard: idx, Addr: c.cfg.Shards[idx], Err: err}
 }
+
+// nodeErr attributes a failure to one (slice, node) pair: ShardError.Shard
+// names the hash slice (what the query lost), Addr names the node that
+// failed (where it was lost). With replication they differ.
+func (c *Coordinator) nodeErr(slice, node int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *ShardError
+	if errors.As(err, &se) {
+		return err
+	}
+	addr := c.cfg.Shards[node]
+	metricShardErrors(addr).Inc()
+	return &ShardError{Shard: slice, Addr: addr, Err: err}
+}
+
+// rescatterError asks the coordinator cursor to restart the whole scatter:
+// a non-replayable leg (shard-side aggregation streams groups in
+// nondeterministic order) lost its node after emitting rows, so leg-local
+// replay cannot line up with what the merge already consumed. The restart
+// is transparent exactly when nothing surfaced past the merge barrier —
+// which the blocking merge above such legs guarantees.
+type rescatterError struct {
+	cause error // the *ShardError that triggered the restart
+}
+
+func (e *rescatterError) Error() string {
+	return fmt.Sprintf("dist: scatter must restart: %v", e.cause)
+}
+
+func (e *rescatterError) Unwrap() error { return e.cause }
 
 // ShardError attributes a distributed-query failure to one shard.
 type ShardError struct {

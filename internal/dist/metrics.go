@@ -13,6 +13,12 @@ import (
 //	bufferdb_coord_shard_scans_total{shard=".."}    remote scans started, per shard
 //	bufferdb_coord_shard_errors_total{shard=".."}   failures attributed to a shard
 //	bufferdb_coord_hedged_total{shard=".."}         hedge attempts fired
+//	bufferdb_coord_failovers_total{shard=".."}      legs failed over away from a node
+//	bufferdb_coord_breaker_trips_total{shard=".."}  circuit-open transitions, per node
+//	bufferdb_coord_breaker_state{shard=".."}        gauge: 0 closed, 1 open, 2 half-open
+//	bufferdb_coord_probes_total{shard="..",outcome=".."}  half-open probes, recovered|failed
+//	bufferdb_coord_leg_replays_total{shard=".."}    mid-stream legs replayed on a replica
+//	bufferdb_coord_rescatters_total                 full scatter restarts
 //	bufferdb_coord_shard_first_row_seconds{shard=".."}  open → first row (health)
 //	bufferdb_coord_shard_stream_seconds{shard=".."}     open → close, per scan
 //	bufferdb_coord_merge_close_seconds              scatter cursor teardown latency
@@ -43,6 +49,33 @@ func metricShardErrors(addr string) *obsv.Counter {
 
 func metricHedged(addr string) *obsv.Counter {
 	return obsv.Default.Counter(fmt.Sprintf("bufferdb_coord_hedged_total{shard=%q}", addr))
+}
+
+func metricFailovers(addr string) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf("bufferdb_coord_failovers_total{shard=%q}", addr))
+}
+
+func metricBreakerTrips(addr string) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf("bufferdb_coord_breaker_trips_total{shard=%q}", addr))
+}
+
+// metricBreakerState mirrors one node's breaker position for dashboards:
+// 0 closed, 1 open, 2 half-open.
+func metricBreakerState(addr string) *obsv.Gauge {
+	return obsv.Default.Gauge(fmt.Sprintf("bufferdb_coord_breaker_state{shard=%q}", addr))
+}
+
+func metricProbes(addr, outcome string) *obsv.Counter {
+	return obsv.Default.Counter(
+		fmt.Sprintf("bufferdb_coord_probes_total{shard=%q,outcome=%q}", addr, outcome))
+}
+
+func metricLegReplays(addr string) *obsv.Counter {
+	return obsv.Default.Counter(fmt.Sprintf("bufferdb_coord_leg_replays_total{shard=%q}", addr))
+}
+
+func metricRescatters() *obsv.Counter {
+	return obsv.Default.Counter("bufferdb_coord_rescatters_total")
 }
 
 // metricShardFirstRow is the per-shard health signal the sidecar exports:

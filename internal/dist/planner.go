@@ -31,6 +31,13 @@ type distPlan struct {
 	shardSchema storage.Schema
 	// merge builds the coordinator pipeline above the per-shard scans.
 	merge func(parts []exec.Operator) (exec.Operator, error)
+	// replayable marks legs whose shard streams are deterministic
+	// (sequential scans through a partition-ordered exchange), so a
+	// mid-stream failover can re-issue the leg on a replica and skip the
+	// rows already merged. Aggregate legs are not replayable: the shard's
+	// group stream order is not stable across runs, so a mid-stream loss
+	// after rows flowed forces a full scatter restart instead.
+	replayable bool
 }
 
 // plan analyzes one query against the shard map. Queries touching only
@@ -189,6 +196,7 @@ func (c *Coordinator) planScan(stmt *sql.SelectStmt) (*distPlan, error) {
 	return &distPlan{
 		shardSQL:    shardSQL,
 		shardSchema: schema,
+		replayable:  true,
 		merge: func(parts []exec.Operator) (exec.Operator, error) {
 			ex, err := exec.NewExchange(parts)
 			if err != nil {

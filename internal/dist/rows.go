@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -10,22 +11,39 @@ import (
 	"bufferdb/internal/storage"
 )
 
+// maxScatterRestarts bounds how many times one query may rebuild its whole
+// scatter after a non-replayable leg loss. Each restart re-routes through
+// the breakers, so a dead node is excluded quickly; the bound exists for
+// fleets that keep dying mid-query.
+const maxScatterRestarts = 3
+
 // scatter builds and opens the gather pipeline for a distributed plan: one
-// remote scan per shard under the plan's merge (exchange, final aggregate,
+// remote scan per slice under the plan's merge (exchange, final aggregate,
 // sort, limit), charged to a per-query tracker under the coordinator's.
+// The cursor keeps the plan so it can rebuild the pipeline if a
+// non-replayable leg is lost mid-stream before anything surfaced.
 func (c *Coordinator) scatter(ctx context.Context, p *distPlan, opts []client.Option) (*Rows, error) {
-	qctx, cancel := context.WithCancel(ctx)
-	mem := exec.NewMemTracker("dist-query", 0, c.mem)
-	parts := make([]exec.Operator, len(c.shards))
-	for i := range c.shards {
-		parts[i] = newRemoteScan(c, i, p.shardSQL, opts, p.shardSchema)
-	}
-	root, err := p.merge(parts)
-	if err != nil {
-		cancel()
+	r := &Rows{co: c, shard: -1, plan: p, opts: opts, baseCtx: ctx}
+	if err := r.start(); err != nil {
 		return nil, err
 	}
-	ectx := &exec.Context{Catalog: c.cat, Ctx: qctx, Mem: mem}
+	return r, nil
+}
+
+// start builds and opens one incarnation of the scatter pipeline.
+func (r *Rows) start() error {
+	qctx, cancel := context.WithCancel(r.baseCtx)
+	mem := exec.NewMemTracker("dist-query", 0, r.co.mem)
+	parts := make([]exec.Operator, len(r.co.shards))
+	for i := range parts {
+		parts[i] = newRemoteScan(r.co, i, r.plan.shardSQL, r.opts, r.plan.shardSchema, r.plan.replayable)
+	}
+	root, err := r.plan.merge(parts)
+	if err != nil {
+		cancel()
+		return err
+	}
+	ectx := &exec.Context{Catalog: r.co.cat, Ctx: qctx, Mem: mem}
 	if err := exec.CallOpen(ectx, root); err != nil {
 		// Cancel before Close: exchange workers parked on shard reads
 		// unblock via the client's cancel watcher, so Close's drain can't
@@ -33,14 +51,15 @@ func (c *Coordinator) scatter(ctx context.Context, p *distPlan, opts []client.Op
 		cancel()
 		_ = exec.CallClose(ectx, root)
 		mem.ReleaseAll()
-		return nil, err
+		return err
 	}
 	sch := root.Schema()
 	cols := make([]string, len(sch))
 	for i, col := range sch {
 		cols[i] = col.Name
 	}
-	return &Rows{co: c, shard: -1, ectx: ectx, root: root, cancel: cancel, mem: mem, cols: cols}, nil
+	r.ectx, r.root, r.cancel, r.mem, r.cols = ectx, root, cancel, mem, cols
+	return nil
 }
 
 // Rows is the coordinator's streaming cursor. It mirrors the client cursor's
@@ -58,16 +77,22 @@ type Rows struct {
 	passthrough *client.Rows
 	shard       int
 
-	// Scatter mode: merged stream over the local exec pipeline.
-	ectx   *exec.Context
-	root   exec.Operator
-	cancel context.CancelFunc
-	mem    *exec.MemTracker
-	cols   []string
-	cur    []any
-	err    error
-	done   bool
-	closed bool
+	// Scatter mode: merged stream over the local exec pipeline, plus the
+	// compiled plan so the pipeline can be rebuilt for a scatter restart.
+	plan     *distPlan
+	opts     []client.Option
+	baseCtx  context.Context
+	ectx     *exec.Context
+	root     exec.Operator
+	cancel   context.CancelFunc
+	mem      *exec.MemTracker
+	cols     []string
+	cur      []any
+	surfaced int64 // rows handed to the caller (restart barrier)
+	restarts int
+	err      error
+	done     bool
+	closed   bool
 }
 
 // Columns names the result attributes. The slice is shared; treat it as
@@ -88,24 +113,46 @@ func (r *Rows) Next() bool {
 	if r.closed || r.done || r.err != nil {
 		return false
 	}
-	row, err := exec.CallNext(r.ectx, r.root)
-	if err != nil {
-		r.err = err
-		r.shutdown()
-		return false
+	for {
+		row, err := exec.CallNext(r.ectx, r.root)
+		if err != nil {
+			var re *rescatterError
+			if errors.As(err, &re) {
+				if r.surfaced == 0 && r.restarts < maxScatterRestarts && r.baseCtx.Err() == nil {
+					// Nothing surfaced past the merge barrier: rebuild the
+					// whole scatter transparently. The failed node's breaker
+					// took the failure, so the new incarnation routes around
+					// it.
+					r.restarts++
+					metricRescatters().Inc()
+					r.teardown()
+					if rerr := r.start(); rerr != nil {
+						r.err = rerr
+						r.closed = true
+						return false
+					}
+					continue
+				}
+				err = re.cause
+			}
+			r.err = err
+			r.shutdown()
+			return false
+		}
+		if row == nil {
+			r.done = true
+			r.shutdown()
+			return false
+		}
+		if r.cur == nil {
+			r.cur = make([]any, len(row))
+		}
+		for i, v := range row {
+			r.cur[i] = nativeValue(v)
+		}
+		r.surfaced++
+		return true
 	}
-	if row == nil {
-		r.done = true
-		r.shutdown()
-		return false
-	}
-	if r.cur == nil {
-		r.cur = make([]any, len(row))
-	}
-	for i, v := range row {
-		r.cur[i] = nativeValue(v)
-	}
-	return true
 }
 
 // Row returns the current row's native Go values (int64, float64, string,
@@ -168,9 +215,17 @@ func (r *Rows) Close() error {
 	return nil
 }
 
-// shutdown tears the scatter pipeline down exactly once. Cancellation MUST
+// teardown dismantles the current pipeline incarnation without closing the
+// cursor, so a scatter restart can build the next one. Cancellation MUST
 // precede operator Close: exchange workers blocked on shard TCP reads only
 // unblock when the client cancel watcher fires, and Close joins them.
+func (r *Rows) teardown() {
+	r.cancel()
+	_ = exec.CallClose(r.ectx, r.root)
+	r.mem.ReleaseAll()
+}
+
+// shutdown tears the scatter pipeline down exactly once.
 func (r *Rows) shutdown() {
 	if r.closed {
 		return

@@ -501,29 +501,35 @@ const (
 )
 
 // tables answers a Tables frame with the deployment-wide view: sharded
-// tables sum their row counts across every shard, replicated tables report
-// one copy's count.
+// tables sum their row counts exactly once per slice, replicated tables
+// report one copy's count. On a replicated fleet each slice is read from
+// any reachable replica, so the catalog stays available through a node
+// loss just like queries do.
 func (ss *dsession) tables() error {
 	ctx, cancel := context.WithTimeout(ss.srv.ctx, 30*time.Second)
 	defer cancel()
 
+	co := ss.srv.co
 	total := map[string]uint64{}
 	var order []string
-	for i, cl := range ss.srv.co.shards {
-		infos, err := cl.Tables(ctx)
-		if err != nil {
-			return ss.sendQueryError(ss.srv.co.shardErr(i, err))
-		}
+	record := func(slice int, infos []client.TableInfo) {
 		for _, ti := range infos {
 			if _, seen := total[ti.Name]; !seen {
 				order = append(order, ti.Name)
 			}
-			if ss.srv.co.smap.Sharded(ti.Name) {
+			if co.smap.Sharded(ti.Name) {
 				total[ti.Name] += ti.Rows
-			} else if i == 0 {
+			} else if slice == 0 {
 				total[ti.Name] = ti.Rows
 			}
 		}
+	}
+	for slice := range co.shards {
+		infos, err := ss.sliceTables(ctx, slice)
+		if err != nil {
+			return ss.sendQueryError(err)
+		}
+		record(slice, infos)
 	}
 	var b wire.Builder
 	b.U32(uint32(len(order)))
@@ -532,6 +538,47 @@ func (ss *dsession) tables() error {
 		b.U64(total[n])
 	}
 	return ss.send(wire.TTablesOK, b.Bytes())
+}
+
+// sliceTables reads one slice's catalog from any healthy replica. An
+// unreplicated fleet keeps the legacy path (default-DB Tables on the
+// slice's own node, so pre-slice servers still answer); a replicated one
+// addresses the slice explicitly and fails over across replicas, feeding
+// the same breakers queries do.
+func (ss *dsession) sliceTables(ctx context.Context, slice int) ([]client.TableInfo, error) {
+	co := ss.srv.co
+	if co.rf <= 1 {
+		infos, err := co.shards[slice].Tables(ctx)
+		if err != nil {
+			return nil, co.shardErr(slice, err)
+		}
+		return infos, nil
+	}
+	tried := map[int]bool{}
+	var lastErr error
+	lastNode := slice
+	for {
+		node, probe, ok := co.route(slice, tried)
+		if !ok {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("dist: every replica of slice %d has an open circuit breaker", slice)
+			}
+			return nil, co.nodeErr(slice, lastNode, lastErr)
+		}
+		infos, err := co.shards[node].TablesOf(ctx, slice)
+		if err == nil {
+			co.breakerSuccess(node, probe)
+			return infos, nil
+		}
+		if !client.IsTransport(err) || ctx.Err() != nil {
+			co.breakerSuccess(node, probe)
+			return nil, co.nodeErr(slice, node, err)
+		}
+		co.breakerFailure(node, probe)
+		metricFailovers(co.cfg.Shards[node]).Inc()
+		tried[node] = true
+		lastErr, lastNode = err, node
+	}
 }
 
 func (ss *dsession) send(t wire.Type, payload []byte) error {

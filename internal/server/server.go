@@ -27,6 +27,15 @@ type Config struct {
 	// DB is the resident database every session queries.
 	DB *bufferdb.DB
 
+	// Slices maps hash-slice indices to their databases when this node
+	// hosts replicas of several slices. DB stays the default target
+	// (QueryOpts.Slice == 0); a request addressing slice k routes to
+	// Slices[k], and slices absent from the map are rejected with a query
+	// error so a coordinator/node placement mismatch fails loudly instead
+	// of silently scanning the wrong rows. Nil means this node serves only
+	// its default database.
+	Slices map[int]*bufferdb.DB
+
 	// StmtCacheEntries bounds the shared prepared-statement LRU. 0 selects
 	// the default (64); negative disables the cache (every prepare plans).
 	StmtCacheEntries int
@@ -230,18 +239,36 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
+// dbFor routes a request to its slice database: 0 is the default DB,
+// k > 0 addresses slice k-1 from Config.Slices.
+func (s *Server) dbFor(slice int32) (*bufferdb.DB, error) {
+	if slice == 0 {
+		return s.db, nil
+	}
+	idx := int(slice - 1)
+	if db, ok := s.cfg.Slices[idx]; ok {
+		return db, nil
+	}
+	return nil, fmt.Errorf("server: this node does not host slice %d", idx)
+}
+
 // buildStmt plans a statement with the wire options applied, going through
 // the shared LRU when the options are cache-compatible. Statements carrying
 // a timeout or a fault injector stay private to their session: the timeout
 // is baked into the prepared options (it must not leak to other clients),
-// and injectors are test instruments.
+// and injectors are test instruments. The cache key includes the slice, so
+// the same SQL prepared against two hosted slices yields two entries.
 func (s *Server) buildStmt(sql string, o wire.QueryOpts, fi *bufferdb.FaultInjector) (*bufferdb.Stmt, error) {
+	db, err := s.dbFor(o.Slice)
+	if err != nil {
+		return nil, err
+	}
 	build := func() (*bufferdb.Stmt, error) {
 		opts, err := queryOptions(o, fi)
 		if err != nil {
 			return nil, err
 		}
-		return s.db.Prepare(sql, opts...)
+		return db.Prepare(sql, opts...)
 	}
 	if o.TimeoutMS != 0 || o.MemoryBudget != 0 || o.AdmissionWaitMS != 0 || fi != nil {
 		return build()

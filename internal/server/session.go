@@ -192,7 +192,7 @@ func (ss *session) dispatch(f frame) error {
 		return nil
 
 	case wire.TTables:
-		return ss.tables()
+		return ss.tables(f.payload)
 
 	case wire.TCancel:
 		// A cancel that raced the end of its stream; nothing to abort.
@@ -270,11 +270,15 @@ func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
 
 	qctx, qcancel := context.WithCancel(ss.srv.ctx)
 	defer qcancel()
+	db, err := ss.srv.dbFor(opts.Slice)
+	if err != nil {
+		return ss.sendQueryError(err)
+	}
 	qopts, err := queryOptions(opts, fi)
 	if err != nil {
 		return ss.sendQueryError(err)
 	}
-	rows, err := ss.srv.db.QueryStream(qctx, sql, qopts...)
+	rows, err := db.QueryStream(qctx, sql, qopts...)
 	if err != nil {
 		return ss.sendQueryError(err)
 	}
@@ -463,13 +467,28 @@ func (ss *session) replay(res *cachedResult) error {
 	return ss.send(wire.TDone, done.Bytes())
 }
 
-// tables answers a Tables frame from the catalog.
-func (ss *session) tables() error {
-	names := ss.srv.db.Tables()
+// tables answers a Tables frame from the catalog. An empty payload (the
+// original protocol) targets the default database; a payload carries the
+// same slice selector QueryOpts uses (0 = default, k = slice k-1).
+func (ss *session) tables(payload []byte) error {
+	var slice int32
+	if len(payload) > 0 {
+		r := wire.NewReader(payload)
+		slice = int32(r.U32())
+		if err := r.Err(); err != nil {
+			_ = ss.sendError(wire.CodeProtocol, "malformed Tables")
+			return err
+		}
+	}
+	db, err := ss.srv.dbFor(slice)
+	if err != nil {
+		return ss.sendQueryError(err)
+	}
+	names := db.Tables()
 	var b wire.Builder
 	b.U32(uint32(len(names)))
 	for _, n := range names {
-		rows, err := ss.srv.db.RowCount(n)
+		rows, err := db.RowCount(n)
 		if err != nil {
 			rows = 0
 		}

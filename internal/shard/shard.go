@@ -41,6 +41,45 @@ func DefaultTPCH() Map {
 	}
 }
 
+// ClampRF bounds a replication factor to [1, nodes]: a factor below 1
+// means one copy per slice, and a fleet of n nodes cannot hold more than n
+// distinct copies of a slice.
+func ClampRF(rf, nodes int) int {
+	if rf < 1 {
+		return 1
+	}
+	if rf > nodes {
+		return nodes
+	}
+	return rf
+}
+
+// Replicas returns the node indices hosting slice s in an n-node fleet at
+// replication factor rf, in priority order: replica r of slice s lives on
+// node (s+r) mod n, so node s is the slice's primary and the copies rotate
+// onto the following nodes. With rf == 1 this degenerates to the classic
+// slice-i-lives-on-node-i layout.
+func Replicas(slice, nodes, rf int) []int {
+	rf = ClampRF(rf, nodes)
+	out := make([]int, rf)
+	for r := 0; r < rf; r++ {
+		out[r] = (slice + r) % nodes
+	}
+	return out
+}
+
+// Slices returns the slice indices node j hosts under the rotated layout,
+// primary slice first: node j holds slice j as primary plus the rf-1
+// preceding slices as replicas.
+func Slices(node, nodes, rf int) []int {
+	rf = ClampRF(rf, nodes)
+	out := make([]int, rf)
+	for r := 0; r < rf; r++ {
+		out[r] = ((node-r)%nodes + nodes) % nodes
+	}
+	return out
+}
+
 // ShardColumn returns the sharding column for a table, or "" if the table
 // is replicated.
 func (m Map) ShardColumn(table string) string { return m[table].Column }

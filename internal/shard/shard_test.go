@@ -1,0 +1,70 @@
+package shard
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestClampRF(t *testing.T) {
+	cases := []struct{ rf, nodes, want int }{
+		{0, 3, 1}, {-5, 3, 1}, {1, 3, 1}, {2, 3, 2}, {3, 3, 3}, {4, 3, 3}, {2, 1, 1},
+	}
+	for _, c := range cases {
+		if got := ClampRF(c.rf, c.nodes); got != c.want {
+			t.Errorf("ClampRF(%d,%d) = %d, want %d", c.rf, c.nodes, got, c.want)
+		}
+	}
+}
+
+func TestReplicaPlacement(t *testing.T) {
+	for _, nodes := range []int{1, 2, 3, 5, 8} {
+		for rf := 1; rf <= nodes+1; rf++ {
+			eff := ClampRF(rf, nodes)
+			// Every slice must have exactly eff distinct replicas, with the
+			// primary on node == slice.
+			hosted := make(map[int][]int) // node -> slices
+			for s := 0; s < nodes; s++ {
+				reps := Replicas(s, nodes, rf)
+				if len(reps) != eff {
+					t.Fatalf("nodes=%d rf=%d: slice %d has %d replicas, want %d", nodes, rf, s, len(reps), eff)
+				}
+				if reps[0] != s {
+					t.Fatalf("nodes=%d rf=%d: slice %d primary on node %d, want %d", nodes, rf, s, reps[0], s)
+				}
+				seen := make(map[int]bool)
+				for _, n := range reps {
+					if n < 0 || n >= nodes {
+						t.Fatalf("nodes=%d rf=%d: slice %d replica node %d out of range", nodes, rf, s, n)
+					}
+					if seen[n] {
+						t.Fatalf("nodes=%d rf=%d: slice %d lists node %d twice", nodes, rf, s, n)
+					}
+					seen[n] = true
+					hosted[n] = append(hosted[n], s)
+				}
+			}
+			// Every node must host exactly eff slices (balanced layout).
+			for n := 0; n < nodes; n++ {
+				if len(hosted[n]) != eff {
+					t.Fatalf("nodes=%d rf=%d: node %d hosts %d slices, want %d", nodes, rf, n, len(hosted[n]), eff)
+				}
+			}
+			// Slices() must agree with the transpose of Replicas().
+			for n := 0; n < nodes; n++ {
+				got := Slices(n, nodes, rf)
+				if got[0] != n {
+					t.Fatalf("nodes=%d rf=%d: node %d primary slice %d, want %d", nodes, rf, n, got[0], n)
+				}
+				want := append([]int(nil), hosted[n]...)
+				gs := append([]int(nil), got...)
+				sort.Ints(want)
+				sort.Ints(gs)
+				for i := range want {
+					if gs[i] != want[i] {
+						t.Fatalf("nodes=%d rf=%d: node %d Slices=%v, transpose=%v", nodes, rf, n, got, hosted[n])
+					}
+				}
+			}
+		}
+	}
+}

@@ -225,6 +225,10 @@ type QueryOpts struct {
 	// AdmissionWaitMS overrides how long the query may queue for an
 	// execution slot before being shed (0 = server default).
 	AdmissionWaitMS int64
+	// Slice addresses one hash slice on a server hosting several replicas:
+	// 0 targets the server's default (primary) slice, k>0 targets slice
+	// index k-1. Servers reject slices they do not host.
+	Slice int32
 }
 
 // Opt flag bits.
@@ -252,6 +256,7 @@ func (b *Builder) Opts(o QueryOpts) {
 	b.U32(uint32(o.BufferSize))
 	b.I64(o.MemoryBudget)
 	b.I64(o.AdmissionWaitMS)
+	b.U32(uint32(o.Slice))
 }
 
 // Opts reads an encoded QueryOpts.
@@ -265,6 +270,7 @@ func (r *Reader) Opts() QueryOpts {
 		BufferSize:        int32(r.U32()),
 		MemoryBudget:      r.I64(),
 		AdmissionWaitMS:   r.I64(),
+		Slice:             int32(r.U32()),
 		DisableRefinement: flags&optDisableRefinement != 0,
 		NoResultCache:     flags&optNoResultCache != 0,
 	}
@@ -272,11 +278,13 @@ func (r *Reader) Opts() QueryOpts {
 
 // CacheKey renders the option fields that shape a plan (not per-execution
 // knobs like the timeout or memory budget) alongside the SQL text, for the
-// server's statement and result caches.
+// server's statement and result caches. Slice participates because each
+// slice is a distinct catalog: the same SQL compiled against slice 0 and
+// slice 2 are different plans over different data.
 func (o QueryOpts) CacheKey(sql string) string {
 	ref := byte('r')
 	if o.DisableRefinement {
 		ref = 'c'
 	}
-	return fmt.Sprintf("%s|%d|%c|%s|%d|%s", o.Engine, o.Parallelism, ref, o.ForceJoin, o.BufferSize, sql)
+	return fmt.Sprintf("%s|%d|%c|%s|%d|%d|%s", o.Engine, o.Parallelism, ref, o.ForceJoin, o.BufferSize, o.Slice, sql)
 }

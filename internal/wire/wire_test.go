@@ -130,6 +130,7 @@ func TestOptsRoundTrip(t *testing.T) {
 		{ForceJoin: "nestloop", BufferSize: 512, MemoryBudget: 64 << 20, AdmissionWaitMS: 250},
 		{Engine: "push", TimeoutMS: 1, ForceJoin: "hash", BufferSize: -3,
 			MemoryBudget: -1, AdmissionWaitMS: 9999999},
+		{Engine: "vec", Slice: 3},
 	}
 	for i, o := range cases {
 		var b Builder
@@ -156,10 +157,11 @@ func TestCacheKeySeparatesOptions(t *testing.T) {
 		{ForceJoin: "hash"},
 		{ForceJoin: "merge"},
 		{BufferSize: 256},
+		{Slice: 2},
 	} {
 		keys[o.CacheKey(sql)] = true
 	}
-	if len(keys) != 7 {
+	if len(keys) != 8 {
 		t.Fatalf("cache keys collide: %v", keys)
 	}
 	// Execution-time knobs must NOT split the key.
