@@ -34,6 +34,7 @@ import (
 	"bufferdb/internal/exec"
 	"bufferdb/internal/pager"
 	"bufferdb/internal/plan"
+	"bufferdb/internal/reuse"
 	"bufferdb/internal/shard"
 	"bufferdb/internal/sql"
 	"bufferdb/internal/storage"
@@ -87,6 +88,17 @@ type Options struct {
 	ShardCount int
 	// ShardIndex is this node's position in [0, ShardCount).
 	ShardIndex int
+	// ReuseCache enables the semantic reuse cache: completed hash-join
+	// build sides and aggregate tables are published process-wide and
+	// spliced into later queries whose normalized subplan fingerprints
+	// match — across engines, prepared and ad-hoc statements alike.
+	// Results are bit-identical with the cache on or off; an INSERT into a
+	// referenced table invalidates exactly its dependent entries.
+	ReuseCache bool
+	// ReuseMaxBytes bounds the reuse cache's resident payload bytes
+	// (0 = 64 MiB). With a MemoryLimit set, cached intermediates are
+	// charged against it through ReserveMemory.
+	ReuseMaxBytes int64
 }
 
 // Engine names an execution model for WithEngine. The name round-trips
@@ -168,6 +180,9 @@ type QueryOptions struct {
 	// FaultInjector injects deterministic faults at operator boundaries
 	// for testing; nil (the default) costs nothing. See NewFaultInjector.
 	FaultInjector *FaultInjector
+	// NoReuse opts this statement out of the semantic reuse cache: it
+	// neither adopts published intermediates nor publishes its own.
+	NoReuse bool
 }
 
 // QueryOption is a functional per-statement option.
@@ -241,6 +256,12 @@ func WithFaultInjector(fi *FaultInjector) QueryOption {
 	return func(o *QueryOptions) { o.FaultInjector = fi }
 }
 
+// WithoutReuse opts this statement out of the semantic reuse cache: it
+// neither adopts published intermediates nor publishes its own.
+func WithoutReuse() QueryOption {
+	return func(o *QueryOptions) { o.NoReuse = true }
+}
+
 // applyOptions folds functional options into a QueryOptions value.
 func applyOptions(opts []QueryOption) QueryOptions {
 	var qo QueryOptions
@@ -279,6 +300,12 @@ type DB struct {
 	store   *pager.Store
 	poolMem *exec.MemTracker
 	closed  *sync.Once
+
+	// epochs tracks per-table write epochs (always present); reuseCache is
+	// the semantic reuse cache when Options.ReuseCache is set (nil
+	// otherwise). Both are shared by WithEngine views.
+	epochs     *reuse.Epochs
+	reuseCache *reuse.Cache
 }
 
 // calibration is the lazily-computed refinement threshold, shared by every
@@ -389,12 +416,60 @@ func newDB(opts Options) *DB {
 		cal:    &calibration{},
 		adm:    newAdmission(opts.Admission),
 		closed: &sync.Once{},
+		epochs: reuse.NewEpochs(),
 	}
 	if opts.MemoryLimit > 0 {
 		db.mem = exec.NewMemTracker("process", opts.MemoryLimit, nil)
 	}
+	if opts.ReuseCache {
+		maxBytes := opts.ReuseMaxBytes
+		if maxBytes <= 0 {
+			maxBytes = DefaultReuseMaxBytes
+		}
+		db.reuseCache = reuse.New(maxBytes, db.epochs, db.ReserveMemory)
+	}
 	return db
 }
+
+// DefaultReuseMaxBytes is the reuse cache's payload bound when
+// Options.ReuseMaxBytes is zero.
+const DefaultReuseMaxBytes int64 = 64 << 20
+
+// ReuseStats is a point-in-time snapshot of the semantic reuse cache's
+// counters; the zero value means the cache is disabled.
+type ReuseStats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+	Entries       int
+	Bytes         int64
+	MaxBytes      int64
+}
+
+// ReuseStats snapshots the semantic reuse cache's counters (zero value when
+// Options.ReuseCache is off).
+func (db *DB) ReuseStats() ReuseStats {
+	s := db.reuseCache.Stats()
+	return ReuseStats{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Evictions:     s.Evictions,
+		Invalidations: s.Invalidations,
+		Entries:       s.Entries,
+		Bytes:         s.Bytes,
+		MaxBytes:      s.MaxBytes,
+	}
+}
+
+// TableEpoch reports a table's write epoch: it starts at zero and each
+// INSERT into the table bumps it. Server-side caches tag entries with the
+// epochs of the tables they read and revalidate on lookup, so a write
+// invalidates exactly its dependents.
+func (db *DB) TableEpoch(table string) uint64 { return db.epochs.Of(table) }
+
+// TableEpochs snapshots the write epochs of the given tables.
+func (db *DB) TableEpochs(tables []string) map[string]uint64 { return db.epochs.Snapshot(tables) }
 
 // TrackedBytes reports the bytes currently charged against the database's
 // memory limit by executing queries; 0 when no MemoryLimit is set. Idle

@@ -20,6 +20,7 @@
 //	\profile <sql>   run both plans on the simulated CPU and compare
 //	\engine [name]   show or switch the session's execution engine
 //	\tables          list tables
+//	\cache           show semantic reuse-cache statistics
 //	\q               quit
 //
 // Over -connect only \engine, \tables and \q are available; the
@@ -52,6 +53,8 @@ func main() {
 		analyze = flag.Bool("analyze", false, "with -q: EXPLAIN ANALYZE — print the per-operator stats table instead of rows")
 		metrics = flag.Bool("metrics", false, "after -q: dump the process metrics registry (Prometheus text format)")
 		connect = flag.String("connect", "", "address of a bufferdbd daemon; queries run remotely instead of in-process")
+		reuse   = flag.Bool("reuse-cache", true, "recycle hash-join builds and aggregate tables across queries (\\cache shows stats)")
+		reuseMB = flag.Int64("reuse-max-bytes", 0, "semantic reuse-cache budget in bytes (0 = default)")
 	)
 	flag.Parse()
 
@@ -62,7 +65,11 @@ func main() {
 		return
 	}
 
-	db, err := bufferdb.OpenTPCH(*sf, bufferdb.Options{DisableRefinement: *noParse})
+	db, err := bufferdb.OpenTPCH(*sf, bufferdb.Options{
+		DisableRefinement: *noParse,
+		ReuseCache:        *reuse,
+		ReuseMaxBytes:     *reuseMB,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -203,6 +210,8 @@ func remoteMain(ints *interrupts, addr, query, engine string, noRefine, analyze,
 			}
 			engineName = e
 			fmt.Printf("engine set to %s\n", e)
+		case cmd == "\\cache":
+			fmt.Println("reuse-cache stats live in the daemon: scrape its -http sidecar /metrics (bufferdb_reuse_*)")
 		default:
 			fmt.Println("commands over -connect: \\tables, \\engine [name], \\q")
 		}
@@ -317,6 +326,8 @@ func metaCommand(ints *interrupts, view *engineView, cmd string) bool {
 		if err != nil {
 			fmt.Println("error:", err)
 		}
+	case cmd == "\\cache":
+		printReuseStats(view.root)
 	case strings.HasPrefix(cmd, "\\profile "):
 		prof, err := db.Profile(strings.TrimPrefix(cmd, "\\profile "))
 		if err != nil {
@@ -329,9 +340,21 @@ func metaCommand(ints *interrupts, view *engineView, cmd string) bool {
 			prof.Buffered.ElapsedSec, prof.Buffered.L1IMisses, prof.Buffered.Mispredicts, prof.Buffered.CPI)
 		fmt.Printf("improvement %.1f%% with %d buffer(s)\n", prof.ImprovementPct, prof.BuffersInserted)
 	default:
-		fmt.Println("commands: \\tables, \\engine [name], \\explain <sql>, \\analyze <sql>, \\profile <sql>, \\q")
+		fmt.Println("commands: \\tables, \\engine [name], \\cache, \\explain <sql>, \\analyze <sql>, \\profile <sql>, \\q")
 	}
 	return false
+}
+
+// printReuseStats renders the semantic reuse cache's counters.
+func printReuseStats(db *bufferdb.DB) {
+	s := db.ReuseStats()
+	if s.MaxBytes == 0 {
+		fmt.Println("reuse cache: disabled (start with -reuse-cache)")
+		return
+	}
+	fmt.Printf("reuse cache: %d entries, %d / %d bytes\n", s.Entries, s.Bytes, s.MaxBytes)
+	fmt.Printf("  hits %d  misses %d  evictions %d  invalidations %d\n",
+		s.Hits, s.Misses, s.Evictions, s.Invalidations)
 }
 
 // runAnalyze executes a statement instrumented on the simulated CPU and

@@ -79,6 +79,8 @@ func main() {
 		admWait   = flag.Duration("admission-wait", 0, "admission: max time a query queues before shedding (0 = caller's context)")
 		stmtCache = flag.Int("stmt-cache", 0, "prepared-statement LRU entries (0 = default 64, negative disables)")
 		resCache  = flag.Int64("result-cache", 0, "result-reuse cache budget in encoded bytes (0 disables)")
+		reuse     = flag.Bool("reuse-cache", false, "semantic reuse cache: recycle hash-join builds and aggregate tables across queries (bufferdb_reuse_* metrics)")
+		reuseMB   = flag.Int64("reuse-max-bytes", 0, "semantic reuse-cache budget in bytes (0 = default 64 MiB; needs -reuse-cache)")
 		writeTO   = flag.Duration("write-timeout", 0, "per-frame write deadline guarding against stalled clients (0 = default 30s, negative disables)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before force-closing connections")
 		dataDir   = flag.String("data-dir", "", "persistent data directory: load it if populated, else generate TPC-H there; enables INSERT (empty = in-memory)")
@@ -119,6 +121,8 @@ func main() {
 		Eviction:          *eviction,
 		ShardIndex:        *shardIdx,
 		ShardCount:        *shardCnt,
+		ReuseCache:        *reuse,
+		ReuseMaxBytes:     *reuseMB,
 		Admission: bufferdb.AdmissionConfig{
 			MaxConcurrent: *maxConc,
 			MaxQueued:     *maxQueued,

@@ -76,7 +76,7 @@ func skipIfShort(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 21 {
+	if len(exps) != 22 {
 		t.Errorf("registry lists %d experiments", len(exps))
 	}
 	ids := map[string]bool{}

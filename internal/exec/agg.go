@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/expr"
@@ -25,11 +26,13 @@ type Aggregate struct {
 	GroupBy []expr.Expr
 	Aggs    []expr.AggSpec
 
-	module *codemodel.Module
-	label  byte
-	stats  *OpStats
-	fault  *faultinject.Point
-	schema storage.Schema
+	module       *codemodel.Module
+	label        byte
+	stats        *OpStats
+	fault        *faultinject.Point
+	publishFault *faultinject.Point
+	schema       storage.Schema
+	shared       *SharedAgg
 
 	groups       map[string]*aggGroup
 	order        []string
@@ -79,6 +82,10 @@ func NewAggregate(child Operator, groupBy []expr.Expr, aggs []expr.AggSpec, modu
 // SetTraceLabel sets the trace label.
 func (a *Aggregate) SetTraceLabel(b byte) { a.label = b }
 
+// SetShared wires the finished aggregate table to the semantic reuse
+// cache; see SharedAgg. Must be set before Open.
+func (a *Aggregate) SetShared(sa *SharedAgg) { a.shared = sa }
+
 // Open implements Operator.
 func (a *Aggregate) Open(ctx *Context) error {
 	a.stats = ctx.StatsFor(a, a.Name())
@@ -89,6 +96,7 @@ func (a *Aggregate) Open(ctx *Context) error {
 		return err
 	}
 	a.fault = ctx.FaultPoint(a.Name() + ":next")
+	a.publishFault = ctx.FaultPoint(a.Name() + ":publish")
 	a.groups = make(map[string]*aggGroup)
 	a.order = nil
 	ctx.ShrinkMem(a.memUsed) // reopen without Close: release stale charges
@@ -116,6 +124,7 @@ func (a *Aggregate) groupAddr(key string) uint64 {
 
 // consume drains the child, folding every row into its group.
 func (a *Aggregate) consume(ctx *Context) error {
+	start := time.Now()
 	for {
 		if err := ctx.Canceled(); err != nil {
 			return err
@@ -179,7 +188,52 @@ func (a *Aggregate) consume(ctx *Context) error {
 		return false
 	})
 	a.done = true
+	if a.shared != nil && a.shared.Publish != nil {
+		// Reuse-cache miss: materialize the complete, sorted output — the
+		// same rows Next will emit — and hand it to the cache. The publish
+		// fault fires first, so a poisoned table can never be inserted.
+		if err := a.publishFault.Fire(); err != nil {
+			return err
+		}
+		rows, bytes, err := a.materializeRows()
+		if err != nil {
+			return err
+		}
+		a.shared.Publish(rows, bytes, time.Since(start))
+	}
 	return nil
+}
+
+// materializeRows builds the operator's full output — mirroring Next's
+// emission exactly, including the one synthetic row of an ungrouped
+// aggregate over zero input rows — plus the retained-bytes estimate the
+// cache charges for it. Accumulator Result calls are pure, so emission
+// after materialization produces identical values.
+func (a *Aggregate) materializeRows() ([]storage.Row, int64, error) {
+	var bytes int64
+	if len(a.GroupBy) == 0 && len(a.order) == 0 {
+		out := make(storage.Row, 0, len(a.Aggs))
+		for _, spec := range a.Aggs {
+			acc, err := expr.NewAccumulator(spec)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, acc.Result())
+		}
+		return []storage.Row{out}, int64(out.ByteSize()) + hashEntryOverhead, nil
+	}
+	rows := make([]storage.Row, 0, len(a.order))
+	for _, key := range a.order {
+		grp := a.groups[key]
+		out := make(storage.Row, 0, len(a.GroupBy)+len(a.Aggs))
+		out = append(out, grp.keyVals...)
+		for _, acc := range grp.accs {
+			out = append(out, acc.Result())
+		}
+		rows = append(rows, out)
+		bytes += int64(out.ByteSize()) + hashEntryOverhead
+	}
+	return rows, bytes, nil
 }
 
 // Next implements Operator.

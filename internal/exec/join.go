@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/expr"
@@ -186,14 +187,16 @@ type HashJoin struct {
 	OuterKey expr.Expr
 	InnerKey expr.Expr
 
-	buildModule *codemodel.Module
-	probeModule *codemodel.Module
-	label       byte
-	stats       *OpStats
-	fault       *faultinject.Point
-	buildFault  *faultinject.Point
-	arena       *Arena
-	schema      storage.Schema
+	buildModule  *codemodel.Module
+	probeModule  *codemodel.Module
+	label        byte
+	stats        *OpStats
+	fault        *faultinject.Point
+	buildFault   *faultinject.Point
+	publishFault *faultinject.Point
+	arena        *Arena
+	schema       storage.Schema
+	shared       *SharedBuild
 
 	table        map[int64][]storage.Row
 	memUsed      int64
@@ -223,6 +226,10 @@ func NewHashJoin(outer, inner Operator, outerKey, innerKey expr.Expr, buildModul
 // SetTraceLabel sets the trace label.
 func (j *HashJoin) SetTraceLabel(b byte) { j.label = b }
 
+// SetShared wires the build side to the semantic reuse cache; see
+// SharedBuild. Must be set before Open.
+func (j *HashJoin) SetShared(sb *SharedBuild) { j.shared = sb }
+
 // bucketAddr maps a key to its simulated bucket address — a random-access
 // pattern the prefetcher cannot cover, as with a real hash table.
 func (j *HashJoin) bucketAddr(key int64) uint64 {
@@ -248,6 +255,7 @@ func (j *HashJoin) Open(ctx *Context) error {
 	}
 	j.fault = ctx.FaultPoint(j.Name() + ":next")
 	j.buildFault = ctx.FaultPoint(j.Name() + ":build")
+	j.publishFault = ctx.FaultPoint(j.Name() + ":publish")
 	j.arena = NewArena(ctx.CPU)
 	j.table = make(map[int64][]storage.Row)
 	ctx.ShrinkMem(j.memUsed) // reopen without Close: release stale charges
@@ -261,6 +269,16 @@ func (j *HashJoin) Open(ctx *Context) error {
 		j.bucketCount = 1 << 16
 		j.bucketRegion = ctx.CPU.AllocData(int(j.bucketCount) * 16)
 	}
+	if j.shared != nil && j.shared.Table != nil {
+		// Reuse-cache hit: adopt the published build side instead of
+		// draining the (already emptied) build input. The adopted table is
+		// read-only and its bytes live under the cache's reservation, so
+		// nothing is charged to this query.
+		j.table = j.shared.Table
+		j.opened = true
+		return nil
+	}
+	buildStart := time.Now()
 	buildArena := NewArena(ctx.CPU)
 	for {
 		// The build is a blocking loop: poll cancellation and deadlines so
@@ -295,6 +313,15 @@ func (j *HashJoin) Open(ctx *Context) error {
 		// Copy the tuple into hash-table memory and link the bucket.
 		ctx.Write(buildArena.Alloc(row.ByteSize()), row.ByteSize())
 		ctx.Write(j.bucketAddr(key), 16)
+	}
+	if j.shared != nil && j.shared.Publish != nil {
+		// Reuse-cache miss: hand the finished build to the cache. The
+		// publish fault fires first, so a poisoned build can never be
+		// inserted and later served.
+		if err := j.publishFault.Fire(); err != nil {
+			return err
+		}
+		j.shared.Publish(j.table, j.memUsed, time.Since(buildStart))
 	}
 	j.opened = true
 	return nil

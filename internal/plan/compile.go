@@ -42,9 +42,10 @@ func moduleFor(n *Node, cm *codemodel.Catalog) (*codemodel.Module, error) {
 		return cm.Module("Filter")
 	case KindProject:
 		return cm.Module("Project")
-	case KindLimit, KindExchange:
+	case KindLimit, KindExchange, KindCachedSource:
 		// Limit is too small to model; the gather's serve path is charged
-		// directly by the operator.
+		// directly by the operator; replaying cached rows executes almost
+		// no code, which is the point of the reuse cache.
 		return nil, nil
 	default:
 		return nil, fmt.Errorf("plan: no module mapping for %v", n.Kind)
@@ -124,7 +125,11 @@ func buildNode(n *Node, cm *codemodel.Catalog, child func(*Node) (exec.Operator,
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewHashJoin(outer, inner, n.OuterKey, build.InnerKey, buildMod, mod), nil
+		hj := exec.NewHashJoin(outer, inner, n.OuterKey, build.InnerKey, buildMod, mod)
+		if build.Shared != nil {
+			hj.SetShared(build.Shared)
+		}
+		return hj, nil
 
 	case KindHashBuild:
 		return nil, fmt.Errorf("plan: HashBuild must be the inner child of a HashJoin")
@@ -152,7 +157,14 @@ func buildNode(n *Node, cm *codemodel.Catalog, child func(*Node) (exec.Operator,
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewAggregate(c, n.GroupBy, n.Aggs, mod)
+		agg, err := exec.NewAggregate(c, n.GroupBy, n.Aggs, mod)
+		if err != nil {
+			return nil, err
+		}
+		if n.SharedAgg != nil {
+			agg.SetShared(n.SharedAgg)
+		}
+		return agg, nil
 
 	case KindMaterial:
 		c, err := child(n.Children[0])
@@ -200,6 +212,9 @@ func buildNode(n *Node, cm *codemodel.Catalog, child func(*Node) (exec.Operator,
 			parts[i] = op
 		}
 		return exec.NewExchange(parts)
+
+	case KindCachedSource:
+		return exec.NewCachedRows(n.Schema(), n.CachedRows), nil
 
 	default:
 		return nil, fmt.Errorf("plan: cannot compile %v", n.Kind)

@@ -198,6 +198,9 @@ func (vc *vecCompiler) vec(n *Node) (vec.Operator, error) {
 		if err != nil {
 			return nil, err
 		}
+		if n.SharedAgg != nil {
+			op.SetShared(n.SharedAgg)
+		}
 		vc.rec(op, n)
 		return op, nil
 
@@ -228,6 +231,9 @@ func (vc *vecCompiler) vec(n *Node) (vec.Operator, error) {
 			return nil, err
 		}
 		op := vec.NewHashJoin(outer, inner, n.OuterKey, build.InnerKey, buildMod, mod, 0)
+		if build.Shared != nil {
+			op.SetShared(build.Shared)
+		}
 		vc.rec(op, n)
 		return op, nil
 

@@ -41,6 +41,7 @@ const (
 	KindFilter
 	KindProject
 	KindExchange
+	KindCachedSource
 )
 
 // String returns the node kind's display name.
@@ -76,6 +77,8 @@ func (k Kind) String() string {
 		return "Project"
 	case KindExchange:
 		return "Exchange"
+	case KindCachedSource:
+		return "CachedSource"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -134,6 +137,15 @@ type Node struct {
 	// PartitionSubtrees) propagate it into partition subtrees.
 	Group int
 
+	// Semantic reuse-cache splice state (see ApplyReuse). Shared on a
+	// HashBuild node carries the adopted build table or the publish hook;
+	// SharedAgg on an Aggregate node carries the publish hook. CachedRows
+	// backs a CachedSource node; Reused marks spliced nodes for EXPLAIN.
+	Shared     *exec.SharedBuild
+	SharedAgg  *exec.SharedAgg
+	CachedRows []storage.Row
+	Reused     bool
+
 	schema storage.Schema
 }
 
@@ -151,8 +163,17 @@ func (n *Node) Blocking() bool {
 	}
 }
 
-// Label renders a short description for EXPLAIN output.
+// Label renders a short description for EXPLAIN output. Nodes spliced or
+// adopted by the semantic reuse cache carry a "[reused]" marker.
 func (n *Node) Label() string {
+	l := n.label()
+	if n.Reused {
+		l += " [reused]"
+	}
+	return l
+}
+
+func (n *Node) label() string {
 	switch n.Kind {
 	case KindSeqScan:
 		if n.Filter != nil {
@@ -207,6 +228,8 @@ func (n *Node) Label() string {
 		return fmt.Sprintf("Project(%s)", names)
 	case KindExchange:
 		return fmt.Sprintf("Gather(workers=%d)", n.Workers)
+	case KindCachedSource:
+		return fmt.Sprintf("CachedSource(%d rows)", len(n.CachedRows))
 	default:
 		return n.Kind.String()
 	}

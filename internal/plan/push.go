@@ -130,7 +130,11 @@ func (pc *pushCompiler) chain(b *push.Builder, n *Node) error {
 		if err := pc.chainChild(b, n.Children[0]); err != nil {
 			return err
 		}
-		pc.rec(b.Aggregate(n.GroupBy, n.Aggs, mod), n)
+		aggH := b.Aggregate(n.GroupBy, n.Aggs, mod)
+		if n.SharedAgg != nil {
+			push.SetSharedAgg(aggH, n.SharedAgg)
+		}
+		pc.rec(aggH, n)
 
 	case KindHashJoin:
 		build := n.Children[1]
@@ -149,6 +153,9 @@ func (pc *pushCompiler) chain(b *push.Builder, n *Node) error {
 			return err
 		}
 		probeH, buildH := b.Probe(inner, n.OuterKey, build.InnerKey, buildMod, mod)
+		if build.Shared != nil {
+			push.SetSharedBuild(buildH, build.Shared)
+		}
 		pc.rec(probeH, n)
 		pc.rec(buildH, build)
 

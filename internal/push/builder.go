@@ -190,6 +190,28 @@ func (b *Builder) Aggregate(groupBy []expr.Expr, aggs []expr.AggSpec, mod *codem
 	return a
 }
 
+// SetSharedBuild wires a hash-build breaker to the semantic reuse cache.
+// h must be the build handle Probe returned; reports whether it was.
+func SetSharedBuild(h any, sb *exec.SharedBuild) bool {
+	bs, ok := h.(*buildSink)
+	if !ok {
+		return false
+	}
+	bs.shared = sb
+	return true
+}
+
+// SetSharedAgg wires an aggregation breaker to the semantic reuse cache.
+// h must be the handle Aggregate returned; reports whether it was.
+func SetSharedAgg(h any, sa *exec.SharedAgg) bool {
+	as, ok := h.(*aggSink)
+	if !ok {
+		return false
+	}
+	as.shared = sa
+	return true
+}
+
 // Build seals the final pipe with the root collector and returns the
 // finished Pipeline.
 func (b *Builder) Build() (*Pipeline, error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"bufferdb/internal/exec"
 	"bufferdb/internal/expr"
@@ -63,12 +64,16 @@ type buildSink struct {
 	joinName string
 	modbuf
 
-	stats *exec.OpStats
-	fault *faultinject.Point
-	arena *exec.Arena
+	stats        *exec.OpStats
+	fault        *faultinject.Point
+	publishFault *faultinject.Point
+	shared       *exec.SharedBuild
+	arena        *exec.Arena
 
 	table        map[int64][]storage.Row
 	memUsed      int64
+	adopted      bool
+	buildStart   time.Time
 	bucketRegion uint64
 	bucketCount  uint64
 
@@ -78,14 +83,24 @@ type buildSink struct {
 func (b *buildSink) open(ctx *exec.Context) error {
 	b.stats = ctx.StatsFor(b, b.name())
 	b.fault = ctx.FaultPoint(b.joinName + ":build")
+	b.publishFault = ctx.FaultPoint(b.joinName + ":publish")
 	b.table = make(map[int64][]storage.Row)
 	ctx.ShrinkMem(b.memUsed) // reopen without Close: release stale charges
 	b.memUsed = 0
+	b.adopted = false
 	if ctx.CPU != nil {
 		b.bucketCount = 1 << 16
 		b.bucketRegion = ctx.CPU.AllocData(int(b.bucketCount) * 16)
 	}
 	b.arena = exec.NewArena(ctx.CPU)
+	if b.shared != nil && b.shared.Table != nil {
+		// Reuse-cache hit: adopt the published build side; its bytes live
+		// under the cache's reservation, nothing charged here. The build
+		// pipe still runs, but over the empty spliced source.
+		b.table = b.shared.Table
+		b.adopted = true
+	}
+	b.buildStart = time.Now()
 	return nil
 }
 
@@ -133,7 +148,17 @@ func (b *buildSink) consume(ctx *exec.Context, row storage.Row) error {
 	return nil
 }
 
-func (b *buildSink) finish(*exec.Context) error { return nil }
+func (b *buildSink) finish(ctx *exec.Context) error {
+	if b.shared != nil && b.shared.Publish != nil && !b.adopted {
+		// Reuse-cache miss: hand the finished build to the cache. The
+		// publish fault fires first, so a poisoned build is never inserted.
+		if err := b.publishFault.Fire(); err != nil {
+			return err
+		}
+		b.shared.Publish(b.table, b.memUsed, time.Since(b.buildStart))
+	}
+	return nil
+}
 
 func (b *buildSink) close(ctx *exec.Context) {
 	b.table = nil
@@ -158,13 +183,16 @@ type aggSink struct {
 	aggs    []expr.AggSpec
 	modbuf
 
-	stats *exec.OpStats
-	fault *faultinject.Point
+	stats        *exec.OpStats
+	fault        *faultinject.Point
+	publishFault *faultinject.Point
+	shared       *exec.SharedAgg
 
 	groups       map[string]*aggGroup
 	order        []string
 	memUsed      int64
 	consumed     bool
+	start        time.Time
 	tableRegion  uint64
 	tableBuckets uint64
 
@@ -179,6 +207,8 @@ type aggGroup struct {
 func (a *aggSink) open(ctx *exec.Context) error {
 	a.stats = ctx.StatsFor(a, a.name())
 	a.fault = ctx.FaultPoint(a.name() + ":next")
+	a.publishFault = ctx.FaultPoint(a.name() + ":publish")
+	a.start = time.Now()
 	a.groups = make(map[string]*aggGroup)
 	a.order = nil
 	ctx.ShrinkMem(a.memUsed) // reopen without Close: release stale charges
@@ -255,7 +285,7 @@ func (a *aggSink) consume(ctx *exec.Context, row storage.Row) error {
 }
 
 // finish sorts groups by key values for deterministic output order.
-func (a *aggSink) finish(*exec.Context) error {
+func (a *aggSink) finish(ctx *exec.Context) error {
 	sort.Slice(a.order, func(i, j int) bool {
 		gi, gj := a.groups[a.order[i]], a.groups[a.order[j]]
 		for k := range gi.keyVals {
@@ -266,7 +296,51 @@ func (a *aggSink) finish(*exec.Context) error {
 		return false
 	})
 	a.consumed = true
+	if a.shared != nil && a.shared.Publish != nil {
+		// Reuse-cache miss: materialize the complete, sorted output — the
+		// same rows produce will emit — and hand it to the cache. The
+		// publish fault fires first, so a poisoned table is never inserted.
+		if err := a.publishFault.Fire(); err != nil {
+			return err
+		}
+		rows, bytes, err := a.materializeRows()
+		if err != nil {
+			return err
+		}
+		a.shared.Publish(rows, bytes, time.Since(a.start))
+	}
 	return nil
+}
+
+// materializeRows builds the breaker's full output — mirroring produce's
+// emission exactly, including the one synthetic row of an ungrouped
+// aggregate over zero input rows — plus the retained-bytes estimate the
+// cache charges for it.
+func (a *aggSink) materializeRows() ([]storage.Row, int64, error) {
+	var bytes int64
+	if len(a.groupBy) == 0 && len(a.order) == 0 {
+		out := make(storage.Row, 0, len(a.aggs))
+		for _, spec := range a.aggs {
+			acc, err := expr.NewAccumulator(spec)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, acc.Result())
+		}
+		return []storage.Row{out}, int64(out.ByteSize()) + hashEntryOverhead, nil
+	}
+	rows := make([]storage.Row, 0, len(a.order))
+	for _, key := range a.order {
+		grp := a.groups[key]
+		out := make(storage.Row, 0, len(a.groupBy)+len(a.aggs))
+		out = append(out, grp.keyVals...)
+		for _, acc := range grp.accs {
+			out = append(out, acc.Result())
+		}
+		rows = append(rows, out)
+		bytes += int64(out.ByteSize()) + hashEntryOverhead
+	}
+	return rows, bytes, nil
 }
 
 // produce implements producer: it streams the grouped results into the

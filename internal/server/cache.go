@@ -117,6 +117,25 @@ type cachedResult struct {
 	size    int64
 	done    bool // stream reached its TDone frame; only then is it cacheable
 	release func()
+	// tables is the sorted base-table set the query read — the invalidation
+	// tag: a committed INSERT into one of them drops this entry, while
+	// entries over untouched tables survive. nil means the set is unknown
+	// (the SQL did not parse as a plain SELECT) and the entry conservatively
+	// depends on everything.
+	tables []string
+}
+
+// dependsOn reports whether the entry must be dropped when table is written.
+func (r *cachedResult) dependsOn(table string) bool {
+	if r.tables == nil {
+		return true
+	}
+	for _, t := range r.tables {
+		if t == table {
+			return true
+		}
+	}
+	return false
 }
 
 // resultCache is the opt-in bounded reuse cache for repeated identical
@@ -133,10 +152,13 @@ type resultCache struct {
 	entries map[string]*list.Element
 	order   *list.List
 	total   int64
-	// epoch counts invalidations. A query snapshots it before executing and
-	// put drops results from an older epoch: a SELECT that started before a
-	// write committed but finished after the invalidation must not park its
-	// pre-write result in the cache.
+	// epoch counts invalidations (whole-cache and per-table alike). A query
+	// whose table set is unknown snapshots it before executing and put drops
+	// results from an older epoch: a SELECT that started before a write
+	// committed but finished after the invalidation must not park its
+	// pre-write result in the cache. Queries with a known table set are
+	// validated more precisely, against the database's per-table write
+	// epochs — the same epochs the semantic reuse cache keys on.
 	epoch uint64
 }
 
@@ -189,9 +211,14 @@ func (c *resultCache) writeEpoch() uint64 {
 
 // put inserts a freshly-streamed result, evicting least-recently-used
 // entries until the budget holds. Results over the per-entry cap, that the
-// memory limit refuses, or whose execution started before the last
-// invalidation (epoch, from writeEpoch) are dropped silently.
-func (c *resultCache) put(key string, res *cachedResult, epoch uint64) {
+// memory limit refuses, or whose execution started before a write that may
+// affect them are dropped silently. Staleness is judged per table when the
+// entry's table set is known: snapshot holds the per-table write epochs (from
+// db.TableEpochs, shared with the semantic reuse cache) taken before the
+// query executed, and a mismatch against db's current epochs means a write
+// to a referenced table committed mid-flight. Entries with an unknown table
+// set fall back to the cache-wide epoch (from writeEpoch).
+func (c *resultCache) put(key string, res *cachedResult, epoch uint64, snapshot map[string]uint64, db *bufferdb.DB) {
 	if !c.enabled() || res.size > c.maxEntry {
 		return
 	}
@@ -202,7 +229,18 @@ func (c *resultCache) put(key string, res *cachedResult, epoch uint64) {
 	res.release = release
 
 	c.mu.Lock()
-	if epoch != c.epoch {
+	stale := false
+	if res.tables == nil {
+		stale = epoch != c.epoch
+	} else {
+		for t, e := range snapshot {
+			if db.TableEpoch(t) != e {
+				stale = true
+				break
+			}
+		}
+	}
+	if stale {
 		// A write committed while this query ran; its result may predate it.
 		c.mu.Unlock()
 		release()
@@ -232,10 +270,43 @@ func (c *resultCache) put(key string, res *cachedResult, epoch uint64) {
 	}
 }
 
-// invalidateAll drops every entry — called after a write commits, because
-// any cached result may now be stale. Coarse, but writes are rare on this
-// engine (INSERT exists to feed the persistent tier) and correctness beats
-// retention.
+// invalidateTable drops every entry that read table (plus entries whose
+// table set is unknown); entries over untouched tables survive. The
+// cache-wide epoch still advances so in-flight unknown-table results are
+// refused by put — known-table results in flight are judged precisely
+// against the database's per-table epochs instead.
+func (c *resultCache) invalidateTable(table string) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	c.epoch++
+	var dropped []*cachedResult
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		e, ok := el.Value.(*resultKeyed)
+		if !ok || !e.res.dependsOn(table) {
+			continue
+		}
+		c.order.Remove(el)
+		delete(c.entries, e.key)
+		c.total -= e.res.size
+		dropped = append(dropped, e.res)
+	}
+	c.mu.Unlock()
+	for _, r := range dropped {
+		if r.release != nil {
+			r.release()
+		}
+		metricCache("result", "invalidations").Inc()
+	}
+}
+
+// invalidateAll drops every entry — called after a write commits whose
+// target could not be determined, because any cached result may now be
+// stale. Coarse, but the fallback path; targeted writes go through
+// invalidateTable.
 func (c *resultCache) invalidateAll() {
 	if !c.enabled() {
 		return

@@ -611,6 +611,62 @@ func TestResultCacheReuse(t *testing.T) {
 	}
 }
 
+// TestResultCachePerTableInvalidation: an INSERT drops exactly the cached
+// results that read its target table — entries over untouched tables keep
+// replaying, and the re-executed query sees the new rows.
+func TestResultCachePerTableInvalidation(t *testing.T) {
+	db := newDB(t, bufferdb.Options{DataDir: t.TempDir()})
+	t.Cleanup(func() { db.Close() })
+	_, addr := startServer(t, server.Config{DB: db, ResultCacheBytes: 1 << 20})
+	c := dial(t, addr, client.Config{MaxConns: 1})
+
+	hits := obsv.Default.Counter("bufferdbd_result_cache_hits_total")
+	invals := obsv.Default.Counter("bufferdbd_result_cache_invalidations_total")
+
+	const regionCount = "SELECT COUNT(*) FROM region"
+	const nationCount = "SELECT COUNT(*) FROM nation"
+	run := func(q string) int64 {
+		t.Helper()
+		res, err := c.QueryAll(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0][0].(int64)
+	}
+
+	// Populate both entries.
+	before := run(regionCount)
+	run(nationCount)
+
+	// Both replay from the cache.
+	h0 := hits.Value()
+	run(regionCount)
+	run(nationCount)
+	if got := hits.Value() - h0; got != 2 {
+		t.Fatalf("warm replays recorded %d hits, want 2", got)
+	}
+
+	// A write to region must drop the region entry but spare nation.
+	i0 := invals.Value()
+	if _, err := c.QueryAll(context.Background(),
+		`INSERT INTO region VALUES (7, 'MU', 'hypothetical')`); err != nil {
+		t.Fatal(err)
+	}
+	if got := invals.Value() - i0; got != 1 {
+		t.Fatalf("INSERT invalidated %d entries, want exactly 1 (the region result)", got)
+	}
+
+	// The region query re-executes and sees the insert; nation still replays.
+	h1 := hits.Value()
+	if after := run(regionCount); after != before+1 {
+		t.Fatalf("region count after INSERT = %d, want %d (stale replay?)", after, before+1)
+	}
+	run(nationCount)
+	if got := hits.Value() - h1; got != 1 {
+		t.Fatalf("post-write queries recorded %d hits, want 1 (nation only)", got)
+	}
+}
+
 // TestServerMetrics spot-checks the serving-layer counters.
 func TestServerMetrics(t *testing.T) {
 	db := newDB(t, bufferdb.Options{})

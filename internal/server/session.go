@@ -250,12 +250,29 @@ func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
 	}
 
 	// A write must execute every time (replaying a cached INSERT would skip
-	// the insert) and, once committed, makes any cached read stale.
+	// the insert) and, once committed, makes cached reads of its target
+	// table stale.
 	isWrite := sqlfe.IsInsert(sql)
 	cacheable := ss.srv.results.enabled() && !opts.NoResultCache && fi == nil && !isWrite
 	key := opts.CacheKey(sql)
-	// Snapshot the invalidation epoch before the query executes: if a write
-	// commits while this query streams, put refuses the stale result.
+	db, err := ss.srv.dbFor(opts.Slice)
+	if err != nil {
+		return ss.sendQueryError(err)
+	}
+	// Tag the result with the tables it reads and snapshot their write
+	// epochs before the query executes: if an INSERT into one of them
+	// commits while this query streams, put refuses the stale result —
+	// results over untouched tables are unaffected. An unparseable
+	// statement keeps a nil tag (depends on everything) and falls back to
+	// the cache-wide epoch.
+	var tables []string
+	var snapshot map[string]uint64
+	if cacheable {
+		if tabs, ok := sqlfe.Tables(sql); ok {
+			tables = tabs
+			snapshot = db.TableEpochs(tabs)
+		}
+	}
 	epoch := ss.srv.results.writeEpoch()
 	if cacheable {
 		if res, ok := ss.srv.results.get(key); ok {
@@ -270,10 +287,6 @@ func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
 
 	qctx, qcancel := context.WithCancel(ss.srv.ctx)
 	defer qcancel()
-	db, err := ss.srv.dbFor(opts.Slice)
-	if err != nil {
-		return ss.sendQueryError(err)
-	}
 	qopts, err := queryOptions(opts, fi)
 	if err != nil {
 		return ss.sendQueryError(err)
@@ -283,16 +296,22 @@ func (ss *session) runAdhoc(sql string, opts wire.QueryOpts) error {
 		return ss.sendQueryError(err)
 	}
 	if isWrite {
-		// The insert committed inside QueryStream; cached results are stale.
-		ss.srv.results.invalidateAll()
+		// The insert committed inside QueryStream; cached reads of its
+		// target are stale. (The facade already bumped the table's write
+		// epoch and invalidated the semantic reuse cache.)
+		if target, ok := sqlfe.InsertTarget(sql); ok {
+			ss.srv.results.invalidateTable(target)
+		} else {
+			ss.srv.results.invalidateAll()
+		}
 	}
 	var collect *cachedResult
 	if cacheable {
-		collect = &cachedResult{}
+		collect = &cachedResult{tables: tables}
 	}
 	err = ss.stream(qcancel, rows, collect)
 	if err == nil && collect != nil && collect.complete() {
-		ss.srv.results.put(key, collect, epoch)
+		ss.srv.results.put(key, collect, epoch, snapshot, db)
 	}
 	return err
 }

@@ -149,7 +149,7 @@ func TestResultCacheMaxEntryClamp(t *testing.T) {
 	if c.maxEntry != 512 {
 		t.Fatalf("maxEntry = %d, want clamped to budget 512", c.maxEntry)
 	}
-	c.put("k", &cachedResult{cols: []string{"a"}, size: 600, done: true}, c.writeEpoch())
+	c.put("k", &cachedResult{cols: []string{"a"}, size: 600, done: true}, c.writeEpoch(), nil, nil)
 	if len(c.entries) != 0 {
 		t.Fatal("entry larger than the whole budget was cached")
 	}
@@ -169,13 +169,13 @@ func TestResultCacheStaleEpochDropped(t *testing.T) {
 
 	epoch := c.writeEpoch()
 	c.invalidateAll() // the write commits mid-query
-	c.put("k", res(), epoch)
+	c.put("k", res(), epoch, nil, nil)
 	if len(c.entries) != 0 {
 		t.Fatal("result from before the invalidation was cached")
 	}
 
 	// A query that started after the invalidation caches normally.
-	c.put("k", res(), c.writeEpoch())
+	c.put("k", res(), c.writeEpoch(), nil, nil)
 	if len(c.entries) != 1 {
 		t.Fatal("fresh result was not cached")
 	}

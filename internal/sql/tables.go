@@ -1,0 +1,40 @@
+package sql
+
+import "sort"
+
+// Tables returns the sorted distinct base tables a SELECT statement reads
+// (FROM list plus explicit JOINs). ok is false when the statement does not
+// parse — callers treating the table set as an invalidation tag should then
+// fall back to depending on everything.
+func Tables(query string) (tables []string, ok bool) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, false
+	}
+	seen := map[string]bool{}
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			tables = append(tables, name)
+		}
+	}
+	for _, ref := range stmt.From {
+		add(ref.Name)
+	}
+	for _, j := range stmt.Joins {
+		add(j.Table.Name)
+	}
+	sort.Strings(tables)
+	return tables, true
+}
+
+// InsertTarget returns the table an INSERT statement writes to. ok is false
+// when the statement does not parse as an INSERT — callers invalidating by
+// table should then invalidate everything.
+func InsertTarget(query string) (string, bool) {
+	stmt, err := ParseInsert(query)
+	if err != nil {
+		return "", false
+	}
+	return stmt.Table, true
+}

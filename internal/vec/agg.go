@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/exec"
@@ -22,10 +23,12 @@ type HashAggregate struct {
 	GroupBy []expr.Expr
 	Aggs    []expr.AggSpec
 
-	module *codemodel.Module
-	schema storage.Schema
-	stats  *exec.OpStats
-	fault  *faultinject.Point
+	module       *codemodel.Module
+	schema       storage.Schema
+	stats        *exec.OpStats
+	fault        *faultinject.Point
+	publishFault *faultinject.Point
+	shared       *exec.SharedAgg
 
 	groups       map[string]*aggGroup
 	order        []string
@@ -77,6 +80,10 @@ func NewHashAggregate(child Operator, groupBy []expr.Expr, aggs []expr.AggSpec, 
 	return a, nil
 }
 
+// SetShared wires the finished aggregate table to the semantic reuse
+// cache; see exec.SharedAgg. Must be set before Open.
+func (a *HashAggregate) SetShared(sa *exec.SharedAgg) { a.shared = sa }
+
 // Open implements Operator.
 func (a *HashAggregate) Open(ctx *exec.Context) error {
 	a.stats = ctx.StatsFor(a, a.Name())
@@ -87,6 +94,7 @@ func (a *HashAggregate) Open(ctx *exec.Context) error {
 		return err
 	}
 	a.fault = ctx.FaultPoint(a.Name() + ":next")
+	a.publishFault = ctx.FaultPoint(a.Name() + ":publish")
 	a.groups = make(map[string]*aggGroup)
 	a.order = nil
 	ctx.ShrinkMem(a.memUsed) // reopen without Close: release stale charges
@@ -115,6 +123,7 @@ func (a *HashAggregate) groupAddr(key string) uint64 {
 
 // consume drains the child batch by batch, folding every row into its group.
 func (a *HashAggregate) consume(ctx *exec.Context) error {
+	start := time.Now()
 	for {
 		if err := ctx.CanceledNow(); err != nil {
 			return err
@@ -182,7 +191,51 @@ func (a *HashAggregate) consume(ctx *exec.Context) error {
 		return false
 	})
 	a.done = true
+	if a.shared != nil && a.shared.Publish != nil {
+		// Reuse-cache miss: materialize the complete, sorted output — the
+		// same rows NextBatch will emit — and hand it to the cache. The
+		// publish fault fires first, so a poisoned table is never inserted.
+		if err := a.publishFault.Fire(); err != nil {
+			return err
+		}
+		rows, bytes, err := a.materializeRows()
+		if err != nil {
+			return err
+		}
+		a.shared.Publish(rows, bytes, time.Since(start))
+	}
 	return nil
+}
+
+// materializeRows builds the operator's full output — mirroring NextBatch's
+// emission exactly, including the one synthetic row of an ungrouped
+// aggregate over zero input rows — plus the retained-bytes estimate the
+// cache charges for it.
+func (a *HashAggregate) materializeRows() ([]storage.Row, int64, error) {
+	var bytes int64
+	if len(a.GroupBy) == 0 && len(a.order) == 0 {
+		out := make(storage.Row, 0, len(a.Aggs))
+		for _, spec := range a.Aggs {
+			acc, err := expr.NewAccumulator(spec)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, acc.Result())
+		}
+		return []storage.Row{out}, int64(out.ByteSize()) + hashEntryOverhead, nil
+	}
+	rows := make([]storage.Row, 0, len(a.order))
+	for _, key := range a.order {
+		grp := a.groups[key]
+		out := make(storage.Row, 0, len(a.GroupBy)+len(a.Aggs))
+		out = append(out, grp.keyVals...)
+		for _, acc := range grp.accs {
+			out = append(out, acc.Result())
+		}
+		rows = append(rows, out)
+		bytes += int64(out.ByteSize()) + hashEntryOverhead
+	}
+	return rows, bytes, nil
 }
 
 // NextBatch implements Operator.

@@ -2,6 +2,7 @@ package vec
 
 import (
 	"fmt"
+	"time"
 
 	"bufferdb/internal/codemodel"
 	"bufferdb/internal/exec"
@@ -43,13 +44,15 @@ type HashJoin struct {
 	OuterKey expr.Expr
 	InnerKey expr.Expr
 
-	buildModule *codemodel.Module
-	probeModule *codemodel.Module
-	arena       *exec.Arena
-	schema      storage.Schema
-	stats       *exec.OpStats
-	fault       *faultinject.Point
-	buildFault  *faultinject.Point
+	buildModule  *codemodel.Module
+	probeModule  *codemodel.Module
+	arena        *exec.Arena
+	schema       storage.Schema
+	stats        *exec.OpStats
+	fault        *faultinject.Point
+	buildFault   *faultinject.Point
+	publishFault *faultinject.Point
+	shared       *exec.SharedBuild
 
 	table        map[int64][]storage.Row
 	memUsed      int64
@@ -84,6 +87,10 @@ func NewHashJoin(outer, inner Operator, outerKey, innerKey expr.Expr, buildModul
 	}
 }
 
+// SetShared wires the build side to the semantic reuse cache; see
+// exec.SharedBuild. Must be set before Open.
+func (j *HashJoin) SetShared(sb *exec.SharedBuild) { j.shared = sb }
+
 // bucketAddr maps a key to its simulated bucket address — a random-access
 // pattern the prefetcher cannot cover, as with a real hash table.
 func (j *HashJoin) bucketAddr(key int64) uint64 {
@@ -109,6 +116,7 @@ func (j *HashJoin) Open(ctx *exec.Context) error {
 	}
 	j.fault = ctx.FaultPoint(j.Name() + ":next")
 	j.buildFault = ctx.FaultPoint(j.Name() + ":build")
+	j.publishFault = ctx.FaultPoint(j.Name() + ":publish")
 	j.arena = exec.NewArena(ctx.CPU)
 	j.table = make(map[int64][]storage.Row)
 	ctx.ShrinkMem(j.memUsed) // reopen without Close: release stale charges
@@ -122,6 +130,14 @@ func (j *HashJoin) Open(ctx *exec.Context) error {
 		j.bucketCount = 1 << 16
 		j.bucketRegion = ctx.CPU.AllocData(int(j.bucketCount) * 16)
 	}
+	if j.shared != nil && j.shared.Table != nil {
+		// Reuse-cache hit: adopt the published build side; its bytes live
+		// under the cache's reservation, nothing charged here.
+		j.table = j.shared.Table
+		j.opened = true
+		return nil
+	}
+	buildStart := time.Now()
 	buildArena := exec.NewArena(ctx.CPU)
 	for {
 		// The build is a blocking loop: poll cancellation and deadlines so
@@ -160,6 +176,14 @@ func (j *HashJoin) Open(ctx *exec.Context) error {
 			ctx.Write(j.bucketAddr(key), 16)
 		}
 		ctx.ExecModuleBatch(j.buildModule, j.bits)
+	}
+	if j.shared != nil && j.shared.Publish != nil {
+		// Reuse-cache miss: hand the finished build to the cache. The
+		// publish fault fires first, so a poisoned build is never inserted.
+		if err := j.publishFault.Fire(); err != nil {
+			return err
+		}
+		j.shared.Publish(j.table, j.memUsed, time.Since(buildStart))
 	}
 	j.opened = true
 	return nil

@@ -106,6 +106,7 @@ func (db *DB) Close() error {
 	}
 	var err error
 	db.closed.Do(func() {
+		db.reuseCache.Close()
 		if db.store != nil {
 			err = db.store.Close()
 		}
@@ -168,6 +169,12 @@ func (db *DB) execInsert(ctx context.Context, query string, qo QueryOptions) (*R
 	if err := db.store.Insert(name, rows); err != nil {
 		return fail(err)
 	}
+	// The write landed: advance the table's epoch (so in-flight publishes
+	// fingerprinted before this INSERT are refused) and drop every cached
+	// intermediate that read the table. Entries over untouched tables
+	// survive. Both are nil-safe when the reuse cache is off.
+	db.epochs.Bump(name)
+	db.reuseCache.Invalidate(name)
 
 	sch := storage.Schema{{Name: "inserted", Type: storage.TypeInt64}}
 	op := exec.NewValues(sch, []storage.Row{{storage.NewInt(int64(len(rows)))}})

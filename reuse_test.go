@@ -1,0 +1,265 @@
+package bufferdb
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The reuse suite pins the semantic reuse cache's contract: bit-identical
+// results with the cache on or off across all three engines, cross-query
+// (and cross-engine) recycling of hash-join builds and aggregate tables,
+// write invalidation, and a zero memory footprint after Close.
+
+// reuseQueries mixes the operator shapes the cache handles: plain and
+// grouped aggregation, join+aggregate, and predicate spellings that
+// normalize to the same fingerprint.
+var reuseQueries = []string{
+	`SELECT l_returnflag, COUNT(*), SUM(l_quantity) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`,
+	`SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem WHERE l_shipdate <= DATE '1995-06-17'`,
+	`SELECT SUM(o_totalprice), COUNT(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey AND l_quantity < 30`,
+	`SELECT SUM(o_totalprice), COUNT(*) FROM lineitem, orders WHERE l_quantity < 30 AND o_orderkey = l_orderkey`,
+	`SELECT l_linestatus, AVG(l_discount) FROM lineitem WHERE l_quantity < 40 AND l_tax < 0.06 GROUP BY l_linestatus ORDER BY l_linestatus`,
+	`SELECT l_linestatus, AVG(l_discount) FROM lineitem WHERE l_tax < 0.06 AND l_quantity < 40 GROUP BY l_linestatus ORDER BY l_linestatus`,
+}
+
+func newReuseDB(t testing.TB, opts Options) *DB {
+	t.Helper()
+	if opts.MemoryLimit == 0 {
+		opts.MemoryLimit = 256 << 20
+	}
+	if opts.CardinalityThreshold == 0 {
+		opts.CardinalityThreshold = 100
+	}
+	db, err := OpenTPCH(0.002, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestReuseEquivalenceAcrossEngines runs the workload twice per engine on a
+// cache-enabled database (cold, then warm through the cache) and once on a
+// cache-free twin, asserting bit-identical results everywhere.
+func TestReuseEquivalenceAcrossEngines(t *testing.T) {
+	cached := newReuseDB(t, Options{ReuseCache: true})
+	plain := newReuseDB(t, Options{})
+
+	for _, e := range []Engine{EngineVolcano, EngineVec, EnginePush} {
+		for _, q := range reuseQueries {
+			want, err := plain.Query(context.Background(), q, WithEngine(e))
+			if err != nil {
+				t.Fatalf("%s cache-off %q: %v", e, q, err)
+			}
+			cold, err := cached.Query(context.Background(), q, WithEngine(e))
+			if err != nil {
+				t.Fatalf("%s cold %q: %v", e, q, err)
+			}
+			warm, err := cached.Query(context.Background(), q, WithEngine(e))
+			if err != nil {
+				t.Fatalf("%s warm %q: %v", e, q, err)
+			}
+			if resultKey(cold) != resultKey(want) {
+				t.Fatalf("%s cold result differs from cache-off for %q:\n got %s\nwant %s",
+					e, q, resultKey(cold), resultKey(want))
+			}
+			if resultKey(warm) != resultKey(want) {
+				t.Fatalf("%s warm (cached) result differs for %q:\n got %s\nwant %s",
+					e, q, resultKey(warm), resultKey(want))
+			}
+		}
+	}
+	st := cached.ReuseStats()
+	if st.Hits == 0 {
+		t.Fatalf("workload never hit the cache: %+v", st)
+	}
+	if plainSt := plain.ReuseStats(); plainSt.MaxBytes != 0 {
+		t.Fatalf("cache-off database reports a live cache: %+v", plainSt)
+	}
+}
+
+// TestReuseCrossEngineAdoption: a build published by one engine serves the
+// other two — the hash-table and aggregate layouts are engine-independent.
+func TestReuseCrossEngineAdoption(t *testing.T) {
+	db := newReuseDB(t, Options{ReuseCache: true})
+	const q = `SELECT l_returnflag, SUM(l_extendedprice) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`
+
+	var want string
+	for i, e := range []Engine{EngineVolcano, EngineVec, EnginePush} {
+		res, err := db.Query(context.Background(), q, WithEngine(e))
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if i == 0 {
+			want = resultKey(res)
+		} else if resultKey(res) != want {
+			t.Fatalf("%s result differs from the published entry:\n got %s\nwant %s", e, resultKey(res), want)
+		}
+	}
+	st := db.ReuseStats()
+	if st.Hits < 2 {
+		t.Fatalf("cross-engine runs recorded %d hits, want >= 2 (vec and push adopting volcano's table)", st.Hits)
+	}
+}
+
+// TestReuseAliasRenamedPrepared pins the warm-speedup contract on a
+// shared-subplan prepared workload: two alias-renamed spellings of one
+// aggregation share a cache entry, and the warm run beats the cold build by
+// at least 5x.
+func TestReuseAliasRenamedPrepared(t *testing.T) {
+	db := newReuseDB(t, Options{ReuseCache: true})
+
+	stA, err := db.Prepare(`SELECT l_returnflag AS flag, SUM(l_extendedprice * (1 - l_discount)) AS revenue, COUNT(*) AS n
+	 FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag ORDER BY 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := db.Prepare(`SELECT l_returnflag AS rf, SUM(l_extendedprice * (1 - l_discount)) AS rev, COUNT(*) AS how_many
+	 FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' GROUP BY l_returnflag ORDER BY 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldStart := time.Now()
+	cold, err := stA.Query(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDur := time.Since(coldStart)
+
+	// Aliases differ; the fingerprint must not care.
+	var warmDur time.Duration = time.Hour
+	var warm *Result
+	for i := 0; i < 5; i++ {
+		s := time.Now()
+		w, err := stB.Query(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(s); d < warmDur {
+			warmDur = d
+		}
+		warm = w
+	}
+
+	// Compare rows only: the header line legally differs (the two
+	// spellings alias their output columns differently).
+	ck, wk := resultKey(cold), resultKey(warm)
+	if ck[strings.IndexByte(ck, '\n')+1:] != wk[strings.IndexByte(wk, '\n')+1:] {
+		t.Fatalf("alias-renamed prepared results differ:\n%s\n-- vs --\n%s", ck, wk)
+	}
+	st := db.ReuseStats()
+	if st.Hits == 0 {
+		t.Fatalf("alias-renamed statement never hit the shared entry: %+v", st)
+	}
+	if warmDur*5 > coldDur {
+		t.Errorf("warm run %v not 5x faster than cold build %v", warmDur, coldDur)
+	}
+}
+
+// TestReuseInsertInvalidation is the stale-read regression test: an INSERT
+// into a referenced table forces dependents to rebuild, while entries over
+// untouched tables survive.
+func TestReuseInsertInvalidation(t *testing.T) {
+	db := newReuseDB(t, Options{ReuseCache: true, DataDir: t.TempDir()})
+	const regionAgg = `SELECT COUNT(*), MIN(r_regionkey) FROM region`
+	const nationAgg = `SELECT COUNT(*) FROM nation`
+
+	count := func(q string) int64 {
+		t.Helper()
+		res, err := db.Query(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rows[0][0].(int64)
+	}
+
+	before := count(regionAgg) // publish region entry
+	count(nationAgg)           // publish nation entry
+	count(regionAgg)           // warm hit
+	st0 := db.ReuseStats()
+	if st0.Hits == 0 || st0.Entries < 2 {
+		t.Fatalf("cache not warmed as expected: %+v", st0)
+	}
+
+	if _, err := db.Query(context.Background(),
+		`INSERT INTO region VALUES (8, 'PACIFICA', 'speculative')`); err != nil {
+		t.Fatal(err)
+	}
+	st1 := db.ReuseStats()
+	if st1.Invalidations == 0 {
+		t.Fatalf("INSERT invalidated nothing: %+v", st1)
+	}
+
+	// Dependent rebuilt with the new row; a stale cached COUNT would miss it.
+	if after := count(regionAgg); after != before+1 {
+		t.Fatalf("region count after INSERT = %d, want %d (served a stale cached aggregate)", after, before+1)
+	}
+	// The nation entry survived the region write.
+	h := db.ReuseStats().Hits
+	count(nationAgg)
+	if db.ReuseStats().Hits != h+1 {
+		t.Fatal("nation entry did not survive a write to region")
+	}
+	// The epoch moved, so the old fingerprint can never resurface.
+	if got := db.TableEpoch("region"); got != 1 {
+		t.Fatalf("region epoch = %d, want 1", got)
+	}
+	if got := db.TableEpoch("nation"); got != 0 {
+		t.Fatalf("nation epoch = %d, want 0", got)
+	}
+}
+
+// TestReuseOptOut: WithoutReuse bypasses the cache entirely for one query.
+func TestReuseOptOut(t *testing.T) {
+	db := newReuseDB(t, Options{ReuseCache: true})
+	const q = `SELECT COUNT(*), SUM(l_quantity) FROM lineitem WHERE l_quantity < 30`
+
+	want, err := db.Query(context.Background(), q, WithoutReuse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := db.ReuseStats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("opted-out query touched the cache: %+v", st)
+	}
+	if _, err := db.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Query(context.Background(), q, WithoutReuse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.ReuseStats().Hits != 0 {
+		t.Fatal("opted-out query hit the cache")
+	}
+	if resultKey(got) != resultKey(want) {
+		t.Fatal("opt-out changed the result")
+	}
+}
+
+// TestReuseCloseReleasesMemory: published entries charge TrackedBytes while
+// resident and release everything at Close.
+func TestReuseCloseReleasesMemory(t *testing.T) {
+	db := newReuseDB(t, Options{ReuseCache: true})
+	if _, err := db.Query(context.Background(), reuseQueries[0]); err != nil {
+		t.Fatal(err)
+	}
+	st := db.ReuseStats()
+	if st.Entries == 0 || st.Bytes == 0 {
+		t.Fatalf("nothing published: %+v", st)
+	}
+	if got := db.TrackedBytes(); got != st.Bytes {
+		t.Fatalf("idle tracked bytes %d, want the cache's %d", got, st.Bytes)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.TrackedBytes(); got != 0 {
+		t.Fatalf("tracked bytes after Close = %d, want 0", got)
+	}
+	if st := db.ReuseStats(); st.Entries != 0 {
+		t.Fatalf("entries survived Close: %+v", st)
+	}
+}

@@ -51,6 +51,10 @@ type Rows struct {
 	adm    *admission
 	db     *DB
 
+	// releases unpin reuse-cache entries this cursor adopted; they run in
+	// close() so eviction can never free a build mid-probe.
+	releases []func()
+
 	// cp is the analyzed compilation (operator→node map) when the
 	// statement ran with WithStats; Stats reads it back.
 	cp *plan.CompiledPlan
@@ -118,9 +122,14 @@ func (db *DB) execPlan(ctx context.Context, p *plan.Node, qo QueryOptions) (*Row
 	if adm != nil {
 		metricAdmitted().Add(1)
 	}
-	// From here on, any failure must return the slot, stop the clock and
-	// release tracked memory before surfacing.
+	// From here on, any failure must return the slot, stop the clock,
+	// release tracked memory and unpin adopted cache entries before
+	// surfacing.
+	var reuseReleases []func()
 	bail := func(mem *exec.MemTracker, err error) (*Rows, error) {
+		for _, rel := range reuseReleases {
+			rel()
+		}
 		mem.ReleaseAll()
 		if adm != nil {
 			adm.release()
@@ -130,6 +139,14 @@ func (db *DB) execPlan(ctx context.Context, p *plan.Node, qo QueryOptions) (*Row
 		classifyError(label, err)
 		metricErrors(label).Inc()
 		return nil, err
+	}
+
+	// Semantic reuse: splice cached intermediates over matching subtrees
+	// (pinning them for the cursor's lifetime) and attach publish hooks to
+	// the rest. The plan is this execution's private copy — ad-hoc plans
+	// are fresh, prepared statements clone per run — so mutation is safe.
+	if db.reuseCache != nil && !qo.NoReuse {
+		p, reuseReleases = plan.ApplyReuse(p, db.reuseCache)
 	}
 
 	var op exec.Operator
@@ -177,6 +194,7 @@ func (db *DB) execPlan(ctx context.Context, p *plan.Node, qo QueryOptions) (*Row
 		cancel:      cancel,
 		adm:         adm,
 		db:          db,
+		releases:    reuseReleases,
 		cp:          cp,
 		engineLabel: string(label),
 		started:     time.Now(),
@@ -346,6 +364,12 @@ func (r *Rows) close() error {
 	}
 	r.closed = true
 	err := exec.CallClose(r.ectx, r.op)
+	// Adopted reuse-cache entries stay pinned until the tree is down: only
+	// now can eviction release their reservations.
+	for _, rel := range r.releases {
+		rel()
+	}
+	r.releases = nil
 	// Operators release their charges in Close; ReleaseAll only mops up
 	// after a teardown path that lost track (e.g. a panicking Close).
 	r.mem.ReleaseAll()
